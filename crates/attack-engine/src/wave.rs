@@ -1,0 +1,237 @@
+//! The **Wave / Feinting** attack (paper §IV-A1, after ProTRR and
+//! UPRAC): the strongest known pattern against PRAC-style defenses, used
+//! to validate the analytical security model empirically (§IV-B reports
+//! simulation within 1% of the analytical results).
+//!
+//! Phases:
+//!
+//! 1. **Setup** — build a pool of `R1` rows, each activated to
+//!    `N_BO - 1` (one below the alert threshold).
+//! 2. **Online** — activate the surviving pool round-robin, one
+//!    activation per row per round. Alerts fire as rows cross `N_BO`;
+//!    mitigated rows are dropped from the pool. The pool shrinks until a
+//!    single row survives.
+//! 3. **Final hammering** — the surviving row absorbs the remaining
+//!    window of activations until the defense finally mitigates it.
+//!
+//! The attack outcome is the maximum activation count the surviving row
+//! reaches — exactly `N_BO - 1 + N_online` in the analytical model, so
+//! the defense is secure for `T_RH > max count`, i.e.
+//! `T_RH >= max_count + 1 = N_BO + N_online`.
+
+use dram_core::{InDramMitigation, RowId};
+
+use crate::engine::{ActEngine, EngineConfig};
+
+/// Outcome of a wave-attack run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveOutcome {
+    /// Maximum activation count any row reached without mitigation.
+    pub max_unmitigated: u32,
+    /// Online-phase rounds completed before the pool collapsed.
+    pub rounds: u64,
+    /// Pool rows remaining when the attack ended (1 on full completion).
+    pub surviving_pool: usize,
+    /// Whether the tREFW budget expired before the attack completed.
+    pub budget_expired: bool,
+}
+
+/// Run the wave attack, activating every pool row `setup_acts` times in
+/// the setup phase (`setup_acts = N_BO - 1` for threshold-`N_BO`
+/// trackers).
+pub fn run_with_setup(
+    cfg: EngineConfig,
+    tracker: Box<dyn InDramMitigation>,
+    r1: u64,
+    setup_acts: u32,
+) -> WaveOutcome {
+    let mut engine = ActEngine::new(cfg, tracker);
+    let stride = (cfg.br + 3) * 2;
+    assert!(
+        (r1 as u32).saturating_mul(stride) < cfg.rows,
+        "pool too large for the bank"
+    );
+    let mut pool: Vec<RowId> = (0..r1 as u32).map(|i| RowId(i * stride)).collect();
+
+    // --- Setup phase ---
+    'setup: for _ in 0..setup_acts {
+        for &row in &pool {
+            engine.activate(row);
+            if engine.budget_exhausted() {
+                break 'setup;
+            }
+        }
+    }
+    // Rows mitigated during setup (proactive defenses) leave the pool.
+    let mitigated = engine.drain_mitigated();
+    if !mitigated.is_empty() {
+        pool.retain(|r| !mitigated.contains(r));
+    }
+
+    // --- Online phase ---
+    // Uniform round-robin over the surviving pool; mitigated rows drop
+    // out after each round. The survivor is *emergent*: the loop exits
+    // when a service shrinks the pool to `nmit` or fewer rows, at which
+    // point the alert has just been cleared — the precondition for the
+    // final term of Equation 2.
+    let mut rounds = 0u64;
+    while pool.len() > cfg.nmit as usize && !engine.budget_exhausted() {
+        rounds += 1;
+        if pool.len() > 32 {
+            // Large pools: drop mitigated rows once per round (cheap).
+            for &row in &pool {
+                engine.activate(row);
+                if engine.budget_exhausted() {
+                    break;
+                }
+            }
+            let mitigated = engine.drain_mitigated();
+            if !mitigated.is_empty() {
+                pool.retain(|r| !mitigated.contains(r));
+            }
+        } else {
+            // Small pools: drop per activation so the round stops the
+            // instant a service collapses the pool — the leftover round
+            // activations would otherwise burn the ABO_Delay budget the
+            // final hammering is entitled to.
+            let snapshot = pool.clone();
+            for &row in &snapshot {
+                if !pool.contains(&row) {
+                    continue;
+                }
+                engine.activate(row);
+                let mitigated = engine.drain_mitigated();
+                if !mitigated.is_empty() {
+                    pool.retain(|r| !mitigated.contains(r));
+                    if pool.len() <= cfg.nmit as usize {
+                        break;
+                    }
+                }
+                if engine.budget_exhausted() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- Final hammering ---
+    // Hammer one emergent survivor: with no alert pending it absorbs
+    // ABO_Delay activations before the alert can re-assert plus the full
+    // ABO_ACT window before the forced service mitigates it —
+    // Equation 2's `ABO_ACT + ABO_Delay` term. (If the final service
+    // wiped the entire pool, the attack ends without this bonus; the
+    // analytical model upper-bounds the attacker, the simulation
+    // lower-bounds it.)
+    if let Some(&last) = pool.first() {
+        while !engine.budget_exhausted() {
+            engine.activate(last);
+            if engine.drain_mitigated().contains(&last) {
+                break;
+            }
+        }
+    }
+
+    WaveOutcome {
+        max_unmitigated: engine.stats().max_count_ever,
+        rounds,
+        surviving_pool: pool.len(),
+        budget_expired: engine.budget_exhausted(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprac::{Qprac, QpracConfig, QpracIdeal};
+    use security_model::{n_online, PracModel};
+
+    fn engine_cfg(nmit: u32) -> EngineConfig {
+        EngineConfig::paper_default(nmit)
+    }
+
+    fn qprac_tracker(nmit: u32, nbo: u32) -> Box<Qprac> {
+        // PSQ size >= nmit per the paper's security requirement.
+        Box::new(Qprac::new(
+            QpracConfig::paper_default().with_nbo(nbo).with_psq_size(5),
+        ))
+    }
+
+    #[test]
+    fn wave_matches_analytic_model_small_pools() {
+        // §IV-B: empirical wave results track the analytical model. Our
+        // attack spaces pool rows beyond the blast radius (it forgoes
+        // Equation 2's +BR victim-refresh freebie) and can lose a few
+        // endgame activations to priority-pop parity, so the simulated
+        // maximum sits within [model - BR - nmit - 3, model + nmit + 2].
+        for (nmit, r1) in [(1u32, 500u64), (2, 500), (4, 500)] {
+            let nbo = 32u32;
+            let out = run_with_setup(
+                engine_cfg(nmit),
+                qprac_tracker(nmit, nbo),
+                r1,
+                nbo - 1,
+            );
+            let model = PracModel::prac(nmit, nbo);
+            let expected = (nbo as u64 - 1) + n_online(&model, r1);
+            let got = out.max_unmitigated as u64;
+            let slack = 2 + nmit as u64;
+            assert!(
+                got + slack + 3 >= expected && got <= expected + slack,
+                "PRAC-{nmit} R1={r1}: sim {got} vs model {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn psq_matches_ideal_prac_under_wave() {
+        // §IV-B: "maximum activation counts for QPRAC (with PSQ) are
+        // identical to those of the ideal PRAC (without PSQ)".
+        let nbo = 16u32;
+        let r1 = 300u64;
+        let psq = run_with_setup(engine_cfg(1), qprac_tracker(1, nbo), r1, nbo - 1);
+        let ideal = run_with_setup(
+            engine_cfg(1),
+            Box::new(QpracIdeal::new(QpracConfig::paper_default().with_nbo(nbo))),
+            r1,
+            nbo - 1,
+        );
+        assert_eq!(
+            psq.max_unmitigated, ideal.max_unmitigated,
+            "PSQ must match the ideal tracker under the wave attack"
+        );
+    }
+
+    #[test]
+    fn proactive_reduces_max_unmitigated() {
+        let nbo = 32u32;
+        let r1 = 400u64;
+        let plain = run_with_setup(engine_cfg(1), qprac_tracker(1, nbo), r1, nbo - 1);
+        let pro = run_with_setup(
+            engine_cfg(1),
+            Box::new(Qprac::new(QpracConfig::proactive().with_nbo(nbo))),
+            r1,
+            nbo - 1,
+        );
+        assert!(
+            pro.max_unmitigated <= plain.max_unmitigated,
+            "proactive {} vs plain {}",
+            pro.max_unmitigated,
+            plain.max_unmitigated
+        );
+    }
+
+    #[test]
+    fn bigger_pools_hammer_harder() {
+        let nbo = 16u32;
+        let small = run_with_setup(engine_cfg(1), qprac_tracker(1, nbo), 50, nbo - 1);
+        let large = run_with_setup(engine_cfg(1), qprac_tracker(1, nbo), 2_000, nbo - 1);
+        assert!(large.max_unmitigated >= small.max_unmitigated);
+    }
+
+    #[test]
+    fn attack_completes_within_budget_for_modest_pools() {
+        let out = run_with_setup(engine_cfg(1), qprac_tracker(1, 16), 200, 15);
+        assert!(!out.budget_expired);
+        assert_eq!(out.surviving_pool, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the DRAM device command path (the simulator's
+//! hottest loop after the controller scheduler).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::{BankId, DramConfig, DramDevice, RowId};
+use qprac::{Qprac, QpracConfig};
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_device");
+    g.bench_function("act_pre_cycle", |b| {
+        let mut dev = DramDevice::new(DramConfig::paper_default(), |_| {
+            Box::new(Qprac::new(QpracConfig::paper_default()))
+        });
+        let t = dev.cfg().timing;
+        let mut now = 0u64;
+        let mut row = 0u32;
+        b.iter(|| {
+            row = (row + 1) % 1024;
+            while !dev.can_activate(BankId(0), now) {
+                now += 1;
+            }
+            dev.activate(BankId(0), RowId(row), now);
+            now += t.tras;
+            while !dev.can_precharge(BankId(0), now) {
+                now += 1;
+            }
+            dev.precharge(BankId(0), now);
+            black_box(&dev);
+        });
+    });
+    g.bench_function("can_activate_check", |b| {
+        let dev = DramDevice::new(DramConfig::paper_default(), |_| {
+            Box::new(Qprac::new(QpracConfig::paper_default()))
+        });
+        let mut bank = 0u16;
+        b.iter(|| {
+            bank = (bank + 1) % 64;
+            black_box(dev.can_activate(BankId(bank), 1_000_000));
+        });
+    });
+    g.bench_function("refresh_all_banks", |b| {
+        let mut dev = DramDevice::new(DramConfig::paper_default(), |_| {
+            Box::new(Qprac::new(QpracConfig::proactive_ea()))
+        });
+        let trfc = dev.cfg().timing.trfc;
+        let mut now = 0u64;
+        b.iter(|| {
+            for rank in 0..dev.cfg().ranks {
+                while !dev.can_refresh(rank, now) {
+                    now += 1;
+                }
+                dev.refresh(rank, now);
+            }
+            now += trfc;
+            black_box(&dev);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_device
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the Priority Service Queue — the structure that
+//! must keep up with the DRAM activation rate (one offer per ACT, in the
+//! shadow of the stretched precharge; paper §VI-F measures 2.5 ns in
+//! 45 nm CMOS).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::{CounterAccess, InDramMitigation, PracCounters, RfmContext, RowId};
+use qprac::{Psq, Qprac, QpracConfig};
+
+fn bench_psq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psq");
+    g.bench_function("offer_hit", |b| {
+        let mut psq = Psq::new(5);
+        for i in 0..5 {
+            psq.offer(RowId(i), 10 + i);
+        }
+        let mut count = 20;
+        b.iter(|| {
+            count += 1;
+            black_box(psq.offer(RowId(3), count));
+        });
+    });
+    g.bench_function("offer_miss_full_queue", |b| {
+        let mut psq = Psq::new(5);
+        for i in 0..5 {
+            psq.offer(RowId(i), 1000);
+        }
+        b.iter(|| {
+            // Below the minimum: the common benign-traffic case.
+            black_box(psq.offer(RowId(99), 1));
+        });
+    });
+    g.bench_function("offer_evict", |b| {
+        let mut psq = Psq::new(5);
+        let mut count = 10;
+        b.iter(|| {
+            count += 1;
+            black_box(psq.offer(RowId(count % 64), count));
+        });
+    });
+    g.bench_function("pop_max_refill", |b| {
+        let mut psq = Psq::new(5);
+        b.iter(|| {
+            for i in 0..5u32 {
+                psq.offer(RowId(i), i + 1);
+            }
+            black_box(psq.pop_max());
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tracker");
+    g.bench_function("qprac_activation_path", |b| {
+        let mut t = Qprac::new(QpracConfig::paper_default());
+        let mut ctrs = PracCounters::new(4096, false);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let count = ctrs.increment(RowId(i));
+            t.on_activate(RowId(i), count);
+            if t.needs_alert() {
+                let ctx = RfmContext { alerting: true, alert_service: true };
+                black_box(t.on_rfm(&mut ctrs, ctx));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_psq
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 3.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::security_figs::fig03()
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 17.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::perf_figs::fig17(&qprac_bench::experiments::sensitivity_suite())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 19.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::attack_figs::fig19()
+}

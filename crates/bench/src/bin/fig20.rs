@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 20.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::perf_figs::fig20(&qprac_bench::experiments::sensitivity_suite())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figs 21 and 22.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::perf_figs::fig21_22(&qprac_bench::experiments::sensitivity_suite())
+}

@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! pass. Results land in `results/*.csv`; progress prints to stdout.
+use qprac_bench::experiments::{ablations, attack_figs, full_suite, perf_figs, security_figs, sensitivity_suite, tables};
+
+fn main() -> std::io::Result<()> {
+    let t0 = std::time::Instant::now();
+    println!("=== QPRAC reproduction: full experiment sweep ===\n");
+    tables::table01()?;
+    tables::table02()?;
+    tables::table04()?;
+    security_figs::fig02()?;
+    security_figs::fig03()?;
+    security_figs::fig06()?;
+    security_figs::fig07()?;
+    security_figs::fig08()?;
+    security_figs::fig11()?;
+    security_figs::fig12()?;
+    security_figs::fig13()?;
+    security_figs::fig23()?;
+    security_figs::wave_validate()?;
+    attack_figs::fig19()?;
+    let sens = sensitivity_suite();
+    perf_figs::fig16(&sens)?;
+    perf_figs::fig17(&sens)?;
+    perf_figs::fig18(&sens)?;
+    perf_figs::fig20(&sens)?;
+    perf_figs::fig21_22(&sens)?;
+    perf_figs::table03(&sens)?;
+    perf_figs::fig14_15(&full_suite())?;
+    ablations::run_all(&sens)?;
+    println!("=== complete in {:.1} min ===", t0.elapsed().as_secs_f64() / 60.0);
+    Ok(())
+}

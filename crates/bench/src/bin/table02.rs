@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::tables::table02()
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table III.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::perf_figs::table03(&qprac_bench::experiments::sensitivity_suite())
+}

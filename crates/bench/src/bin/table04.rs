@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table IV.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::tables::table04()
+}

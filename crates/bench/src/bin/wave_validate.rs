@@ -1,0 +1,4 @@
+//! Regenerates the paper's wave-attack validation of §IV-B.
+fn main() -> std::io::Result<()> {
+    qprac_bench::experiments::security_figs::wave_validate()
+}

@@ -1,0 +1,65 @@
+//! Minimal CSV writer used by the figure binaries (no external
+//! serialization crates needed).
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes simple CSV files under a results directory and mirrors every
+/// row to stdout so figure binaries are self-describing.
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl CsvWriter {
+    /// Create `results/<name>.csv` relative to the workspace root (or to
+    /// `QPRAC_RESULTS_DIR` when set), writing the given header row.
+    pub fn create(name: &str, header: &[&str]) -> io::Result<Self> {
+        let dir = std::env::var("QPRAC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        fs::create_dir_all(&dir)?;
+        let path = Path::new(&dir).join(format!("{name}.csv"));
+        let mut file = File::create(&path)?;
+        writeln!(file, "{}", header.join(","))?;
+        Ok(CsvWriter { path, file })
+    }
+
+    /// Append one row (values are `Display`-formatted by the caller).
+    pub fn row(&mut self, values: &[String]) -> io::Result<()> {
+        writeln!(self.file, "{}", values.join(","))
+    }
+
+    /// The file path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Format a float with fixed precision for CSV/console output.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("qprac-csv-test");
+        std::env::set_var("QPRAC_RESULTS_DIR", &dir);
+        let mut w = CsvWriter::create("unit", &["a", "b"]).unwrap();
+        w.row(&["1".into(), "2".into()]).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::env::remove_var("QPRAC_RESULTS_DIR");
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f(1.0), "1.0000");
+    }
+}

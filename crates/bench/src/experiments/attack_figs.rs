@@ -1,0 +1,52 @@
+//! Fig 19: worst-case DRAM activation-bandwidth reduction under the
+//! multi-bank performance attack (§VI-E).
+
+use dram_core::RfmKind;
+use sim::{run_bandwidth_attack, MitigationKind, SystemConfig};
+
+use crate::csv::{f, CsvWriter};
+use crate::harness::parallel;
+
+/// Attack window in memory cycles (125 µs at 3200 MHz — long enough for
+/// hundreds of alert/RFM round trips).
+const WINDOW: u64 = 400_000;
+/// Banks hammered simultaneously.
+const ATTACK_BANKS: usize = 8;
+
+/// Run Fig 19: bandwidth reduction vs N_BO for the four design points.
+pub fn fig19() -> std::io::Result<()> {
+    println!("Fig 19: activation-bandwidth reduction under multi-bank attack");
+    let nbos = [16u32, 32, 64, 128];
+    let variants: Vec<(&str, MitigationKind, RfmKind)> = vec![
+        ("QPRAC-RFMab", MitigationKind::Qprac, RfmKind::AllBank),
+        ("QPRAC-RFMab+Proactive", MitigationKind::QpracProactive, RfmKind::AllBank),
+        ("QPRAC-RFMsb+Proactive", MitigationKind::QpracProactive, RfmKind::SameBank),
+        ("QPRAC-RFMpb+Proactive", MitigationKind::QpracProactive, RfmKind::PerBank),
+    ];
+    let mut w = CsvWriter::create("fig19", &["nbo", "variant", "bw_reduction_pct"])?;
+    let jobs: Vec<(u32, usize)> = nbos
+        .iter()
+        .flat_map(|&n| (0..variants.len()).map(move |v| (n, v)))
+        .collect();
+    let rows = parallel(jobs.len(), |i| {
+        let (nbo, v) = jobs[i];
+        let (label, kind, rfm) = variants[v];
+        let base_cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::None)
+            .with_nbo(nbo);
+        let base = run_bandwidth_attack(&base_cfg, ATTACK_BANKS, WINDOW);
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(kind)
+            .with_nbo(nbo)
+            .with_alert_rfm_kind(rfm);
+        let s = run_bandwidth_attack(&cfg, ATTACK_BANKS, WINDOW);
+        (nbo, label, s.reduction_vs(&base))
+    });
+    println!("{:>6} {:<26} {:>14}", "N_BO", "variant", "BW reduction");
+    for (nbo, label, red) in rows {
+        println!("{nbo:>6} {label:<26} {:>13.1}%", red * 100.0);
+        w.row(&[nbo.to_string(), label.to_string(), f(red * 100.0)])?;
+    }
+    println!("(paper: RFMab 62-93% loss; proactive rescues N_BO>=64; RFMpb 15-27%)\n");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Experiment drivers shared by the figure binaries and `run_all`.
+
+pub mod ablations;
+pub mod attack_figs;
+pub mod perf_figs;
+pub mod security_figs;
+pub mod tables;
+
+use cpu_model::{all57, WorkloadSpec};
+
+/// The full 57-workload suite (Figs 14 and 15).
+pub fn full_suite() -> Vec<WorkloadSpec> {
+    all57()
+}
+
+/// Representative 12-workload subset used by the sensitivity figures
+/// (Figs 16–18, 21, 22 and Table III report suite-level averages; this
+/// subset spans the same intensity range at a fraction of the runtime).
+/// Set `QPRAC_FULL_SUITE=1` to use all 57 workloads instead.
+pub fn sensitivity_suite() -> Vec<WorkloadSpec> {
+    if std::env::var("QPRAC_FULL_SUITE").is_ok() {
+        return full_suite();
+    }
+    let picks = [
+        "spec06/mcf_like",
+        "spec06/libquantum_like",
+        "spec06/lbm_like",
+        "spec17/xalancbmk17_like",
+        "tpc/tpcc64_like",
+        "tpc/tpch1_like",
+        "hadoop/sort_like",
+        "hadoop/pagerank_like",
+        "media/filter_like",
+        "media/mp3_like",
+        "ycsb/a_like",
+        "ycsb/d_like",
+    ];
+    picks
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).expect("known workload"))
+        .collect()
+}

@@ -1,0 +1,51 @@
+//! Parallel run helper for the figure binaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(0..n)` across up to `threads` OS threads, preserving result
+/// order. Each job must be independent (every simulator run owns its
+/// state, so this is trivially true).
+pub fn parallel<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                **slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let v = parallel(100, |i| i * 2);
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_zero_jobs() {
+        let v: Vec<u32> = parallel(0, |_| 1);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # qprac-bench
+//!
+//! Benchmark harness and figure/table regeneration for the QPRAC
+//! reproduction. One binary per paper figure/table lives in `src/bin/`
+//! (`fig02` ... `fig23`, `table01` ... `table04`, `wave_validate`,
+//! `run_all`); Criterion micro-benchmarks live in `benches/`.
+//!
+//! All binaries print the regenerated series and write CSVs to
+//! `results/` (override with `QPRAC_RESULTS_DIR`). Simulation length is
+//! controlled by `QPRAC_INSTR` (instructions per core, default 100000);
+//! `QPRAC_FULL_SUITE=1` makes the sensitivity figures use all 57
+//! workloads instead of the 12-workload representative subset.
+
+pub mod csv;
+pub mod experiments;
+pub mod harness;
+
+pub use csv::CsvWriter;

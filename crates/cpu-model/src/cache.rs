@@ -1,0 +1,350 @@
+//! Shared last-level cache: 8 MB, 8-way, 64 B lines, LRU, write-back /
+//! write-allocate, with MSHR-based miss tracking (paper Table II).
+
+use std::collections::HashMap;
+
+/// LLC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in CPU cycles (L1/L2 are not modeled separately; this
+    /// is the load-to-use latency of an LLC hit).
+    pub hit_latency: u64,
+    /// Outstanding misses tracked (MSHRs).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Paper Table II: 8 MB shared, 8-way, 64 B lines. 64 MSHRs serve
+    /// the four cores' combined load and write-allocate misses.
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            size_bytes: 8 << 20,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 40,
+            mshrs: 64,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcAccess {
+    /// Line present; data available after the hit latency.
+    Hit,
+    /// Miss: a memory fetch for this line must be issued by the caller.
+    MissFetch,
+    /// Miss on a line already being fetched; the access was merged into
+    /// the existing MSHR.
+    MissMerged,
+    /// No MSHR available — the access must be retried later.
+    Blocked,
+}
+
+/// Outcome of a fill: tokens to wake and an optional dirty eviction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Load tokens waiting on this line.
+    pub waiters: Vec<u64>,
+    /// Dirty line that must be written back to memory, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Mshr {
+    waiters: Vec<u64>,
+    store_pending: bool,
+}
+
+/// LLC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub merged: u64,
+    pub blocked: u64,
+    pub writebacks: u64,
+}
+
+/// The shared last-level cache.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    num_sets: u64,
+    mshrs: HashMap<u64, Mshr>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Llc {
+    /// Build an LLC from the configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.size_bytes / cfg.line_bytes / cfg.ways as u64;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Llc {
+            sets: vec![
+                vec![Way { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.ways];
+                num_sets as usize
+            ],
+            num_sets,
+            cfg,
+            mshrs: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache configuration.
+    pub fn cfg(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & (self.num_sets - 1)) as usize
+    }
+
+    fn tag_of(&self, line: u64) -> u64 {
+        line >> self.num_sets.trailing_zeros()
+    }
+
+    /// Access `line`. For loads, `token` identifies the waiter to wake on
+    /// fill; stores pass `token = u64::MAX` and are posted (write-
+    /// allocate: a missing store triggers a fetch and dirties the line on
+    /// fill).
+    pub fn access(&mut self, line: u64, is_store: bool, token: u64) -> LlcAccess {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = self.tick;
+            if is_store {
+                w.dirty = true;
+            }
+            self.stats.hits += 1;
+            return LlcAccess::Hit;
+        }
+        if let Some(m) = self.mshrs.get_mut(&line) {
+            if is_store {
+                m.store_pending = true;
+            } else {
+                m.waiters.push(token);
+            }
+            self.stats.merged += 1;
+            return LlcAccess::MissMerged;
+        }
+        if self.mshrs.len() >= self.cfg.mshrs {
+            self.stats.blocked += 1;
+            return LlcAccess::Blocked;
+        }
+        let mut m = Mshr::default();
+        if is_store {
+            m.store_pending = true;
+        } else {
+            m.waiters.push(token);
+        }
+        self.mshrs.insert(line, m);
+        self.stats.misses += 1;
+        LlcAccess::MissFetch
+    }
+
+    /// Install `line` after its memory fetch completes. Returns the
+    /// tokens to wake and any dirty eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR exists for `line` (fills must match fetches).
+    pub fn fill(&mut self, line: u64) -> FillOutcome {
+        let m = self.mshrs.remove(&line).expect("fill without MSHR");
+        self.tick += 1;
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        // Choose victim: invalid way or LRU.
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let old = self.sets[set][victim];
+        let writeback = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            // Reconstruct the victim's line address.
+            Some(old.tag << self.num_sets.trailing_zeros() | set as u64)
+        } else {
+            None
+        };
+        self.sets[set][victim] = Way {
+            tag,
+            valid: true,
+            dirty: m.store_pending,
+            lru: self.tick,
+        };
+        FillOutcome { waiters: m.waiters, writeback }
+    }
+
+    /// Outstanding misses.
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Llc {
+        // 4 sets x 2 ways.
+        Llc::new(CacheConfig {
+            size_bytes: 4 * 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 40,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, false, 1), LlcAccess::MissFetch);
+        let out = c.fill(0);
+        assert_eq!(out.waiters, vec![1]);
+        assert_eq!(out.writeback, None);
+        assert_eq!(c.access(0, false, 2), LlcAccess::Hit);
+    }
+
+    #[test]
+    fn merged_misses_share_one_fetch() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, false, 1), LlcAccess::MissFetch);
+        assert_eq!(c.access(0, false, 2), LlcAccess::MissMerged);
+        let out = c.fill(0);
+        assert_eq!(out.waiters, vec![1, 2]);
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks() {
+        let mut c = tiny();
+        for line in 0..4 {
+            assert_eq!(c.access(line, false, line), LlcAccess::MissFetch);
+        }
+        assert_eq!(c.access(4, false, 9), LlcAccess::Blocked);
+        assert_eq!(c.stats().blocked, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_writes_back_dirty() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.access(0, true, u64::MAX); // store miss -> dirty on fill
+        c.fill(0);
+        c.access(4, false, 1);
+        c.fill(4);
+        // Set 0 full: {0 dirty, 4}. Touch 4 to make 0 the LRU.
+        assert_eq!(c.access(4, false, 2), LlcAccess::Hit);
+        c.access(8, false, 3);
+        let out = c.fill(8);
+        assert_eq!(out.writeback, Some(0), "dirty LRU line 0 evicted");
+        // Line 0 is gone, line 4 still present.
+        assert_eq!(c.access(4, false, 4), LlcAccess::Hit);
+        assert_eq!(c.access(8, false, 5), LlcAccess::Hit);
+    }
+
+    #[test]
+    fn store_allocate_dirties_line() {
+        let mut c = tiny();
+        assert_eq!(c.access(1, true, u64::MAX), LlcAccess::MissFetch);
+        let out = c.fill(1);
+        assert!(out.waiters.is_empty(), "stores wake nobody");
+        // Evicting it later must write back.
+        c.access(5, false, 1);
+        c.fill(5);
+        c.access(9, false, 2);
+        let out = c.fill(9);
+        assert_eq!(out.writeback, Some(1));
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let c = Llc::new(CacheConfig::paper_default());
+        assert_eq!(c.num_sets, 16384);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> Llc {
+        Llc::new(CacheConfig {
+            size_bytes: 4 * 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 40,
+            mshrs: 4,
+        })
+    }
+
+    proptest! {
+        /// After any access sequence (with fills applied immediately),
+        /// the most recently accessed `ways` lines of a set are resident.
+        #[test]
+        fn recent_lines_are_resident(lines in proptest::collection::vec(0u64..32, 1..100)) {
+            let mut c = tiny();
+            for &l in &lines {
+                match c.access(l, false, 0) {
+                    LlcAccess::MissFetch => { c.fill(l); }
+                    LlcAccess::Hit => {}
+                    other => prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+            // The last access must now hit.
+            let last = *lines.last().unwrap();
+            prop_assert_eq!(c.access(last, false, 0), LlcAccess::Hit);
+        }
+
+        /// Stats identity: hits + misses + merged + blocked == accesses.
+        #[test]
+        fn stats_partition_accesses(ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..200)) {
+            let mut c = tiny();
+            for &(l, st) in &ops {
+                match c.access(l, st, 0) {
+                    LlcAccess::MissFetch => { c.fill(l); }
+                    _ => {}
+                }
+            }
+            let s = *c.stats();
+            prop_assert_eq!(
+                s.hits + s.misses + s.merged + s.blocked,
+                ops.len() as u64
+            );
+        }
+    }
+}

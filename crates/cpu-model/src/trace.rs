@@ -1,0 +1,154 @@
+//! Instruction-trace format for the trace-driven cores.
+//!
+//! Entries follow the Ramulator2 SimpleO3 convention: a number of
+//! non-memory "bubble" instructions followed by one memory operation on a
+//! 64 B line address. Traces are infinite streams — synthetic sources
+//! generate on the fly, file sources loop.
+
+use std::io::BufRead;
+
+/// One trace record: `bubbles` non-memory instructions, then a memory
+/// access to `line` (64 B line address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Non-memory instructions preceding the access.
+    pub bubbles: u32,
+    /// Line address (byte address / 64).
+    pub line: u64,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// An infinite instruction-trace stream.
+pub trait TraceSource: Send {
+    /// Produce the next record.
+    fn next_entry(&mut self) -> TraceEntry;
+}
+
+/// A trace backed by an in-memory list, looped forever. Also the backing
+/// store for file traces.
+#[derive(Debug, Clone)]
+pub struct LoopTrace {
+    entries: Vec<TraceEntry>,
+    pos: usize,
+}
+
+impl LoopTrace {
+    /// Build from a list of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn new(entries: Vec<TraceEntry>) -> Self {
+        assert!(!entries.is_empty(), "trace must contain at least one entry");
+        LoopTrace { entries, pos: 0 }
+    }
+
+    /// Parse the Ramulator2-style text format: one record per line,
+    /// `"<bubbles> <load-byte-address> [<store-byte-address>]"`; lines
+    /// starting with `#` are comments. A record with a third field emits
+    /// a load followed by a zero-bubble store.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or malformed records.
+    pub fn parse(reader: impl BufRead) -> std::io::Result<Self> {
+        let mut entries = Vec::new();
+        for (no, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse_u64 = |s: Option<&str>| -> std::io::Result<u64> {
+                s.and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("malformed trace record at line {}", no + 1),
+                    )
+                })
+            };
+            let bubbles = parse_u64(it.next())? as u32;
+            let load_addr = parse_u64(it.next())?;
+            entries.push(TraceEntry {
+                bubbles,
+                line: load_addr / 64,
+                is_store: false,
+            });
+            if let Some(store) = it.next() {
+                let store_addr = parse_u64(Some(store))?;
+                entries.push(TraceEntry {
+                    bubbles: 0,
+                    line: store_addr / 64,
+                    is_store: true,
+                });
+            }
+        }
+        if entries.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trace contains no records",
+            ));
+        }
+        Ok(LoopTrace::new(entries))
+    }
+
+    /// Number of distinct records before the loop repeats.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl TraceSource for LoopTrace {
+    fn next_entry(&mut self) -> TraceEntry {
+        let e = self.entries[self.pos];
+        self.pos = (self.pos + 1) % self.entries.len();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_trace_wraps_around() {
+        let mut t = LoopTrace::new(vec![
+            TraceEntry { bubbles: 1, line: 10, is_store: false },
+            TraceEntry { bubbles: 2, line: 20, is_store: true },
+        ]);
+        assert_eq!(t.next_entry().line, 10);
+        assert_eq!(t.next_entry().line, 20);
+        assert_eq!(t.next_entry().line, 10);
+    }
+
+    #[test]
+    fn parses_ramulator_text_format() {
+        let text = "# comment\n3 6400\n0 128 192\n";
+        let mut t = LoopTrace::parse(text.as_bytes()).unwrap();
+        let a = t.next_entry();
+        assert_eq!((a.bubbles, a.line, a.is_store), (3, 100, false));
+        let b = t.next_entry();
+        assert_eq!((b.bubbles, b.line, b.is_store), (0, 2, false));
+        let c = t.next_entry();
+        assert_eq!((c.bubbles, c.line, c.is_store), (0, 3, true));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(LoopTrace::parse("not a record\n".as_bytes()).is_err());
+        assert!(LoopTrace::parse("".as_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn rejects_empty_entry_list() {
+        let _ = LoopTrace::new(vec![]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Device geometry, timing and PRAC configuration.
+//!
+//! Defaults reproduce Table I (PRAC parameters) and Table II (system
+//! configuration) of the paper: a 64 GB DDR5 channel (2 ranks x 8 bank
+//! groups x 4 banks, 128 K rows per bank, 8 KB rows) at a 3200 MHz bus
+//! clock (DDR-6400), with PRAC-specific timings (stretched tRP/tRC).
+
+use crate::types::{ns_to_cycles, Cycle};
+
+/// DRAM timing parameters in nanoseconds.
+///
+/// The values not present in the paper's Table II (`tFAW`, `tRRD`, `tCCD`,
+/// `tCWL`, burst length) follow Micron 32 Gb DDR5-6400 datasheet-typical
+/// numbers; they influence absolute bandwidth slightly but none of the
+/// mitigation comparisons, which are driven by tRC/tRFM/tREFI/tABO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingNs {
+    /// ACT to column command delay.
+    pub trcd: f64,
+    /// Column read to data latency (CAS latency).
+    pub tcl: f64,
+    /// Column write to data latency.
+    pub tcwl: f64,
+    /// Minimum row-open time (ACT to PRE).
+    pub tras: f64,
+    /// Precharge time. PRAC stretches this to cover the in-precharge
+    /// counter increment (Table II: 36 ns vs ~16 ns for plain DDR5).
+    pub trp: f64,
+    /// Read to precharge.
+    pub trtp: f64,
+    /// Write recovery (end of write data to precharge).
+    pub twr: f64,
+    /// ACT to ACT, same bank (row cycle).
+    pub trc: f64,
+    /// Refresh cycle time (REFab duration).
+    pub trfc: f64,
+    /// Average refresh interval.
+    pub trefi: f64,
+    /// ACT to ACT, different banks in the same bank group.
+    pub trrd_l: f64,
+    /// ACT to ACT, different bank groups.
+    pub trrd_s: f64,
+    /// Four-activate window per rank.
+    pub tfaw: f64,
+    /// Column-to-column, same bank group.
+    pub tccd_l: f64,
+    /// Column-to-column, different bank group.
+    pub tccd_s: f64,
+    /// Maximum time the controller may keep issuing ACTs after Alert_n
+    /// before it must start the RFM sequence (JEDEC: 180 ns).
+    pub tabo_act: f64,
+    /// Duration of one RFM command.
+    pub trfm: f64,
+    /// Refresh window: every row must be refreshed within this period; it
+    /// also bounds every Rowhammer attack round-trip (32 ms).
+    pub trefw: f64,
+}
+
+impl TimingNs {
+    /// DDR5-6400 timings with PRAC enabled, per Table II.
+    pub fn ddr5_prac() -> Self {
+        TimingNs {
+            trcd: 16.0,
+            tcl: 16.0,
+            tcwl: 14.0,
+            tras: 16.0,
+            trp: 36.0,
+            trtp: 5.0,
+            twr: 10.0,
+            trc: 52.0,
+            trfc: 410.0,
+            trefi: 3900.0,
+            trrd_l: 5.0,
+            trrd_s: 2.5,
+            tfaw: 10.0,
+            tccd_l: 5.0,
+            tccd_s: 1.25,
+            tabo_act: 180.0,
+            trfm: 350.0,
+            trefw: 32_000_000.0,
+        }
+    }
+
+    /// DDR5-6400 timings *without* the PRAC precharge stretch, used for the
+    /// Mithril/PrIDE comparison (paper §VI-G: "DRAM timings ... without
+    /// PRAC-specific timing increases").
+    pub fn ddr5_plain() -> Self {
+        TimingNs {
+            trp: 16.0,
+            trc: 32.0,
+            ..Self::ddr5_prac()
+        }
+    }
+}
+
+/// DRAM timing parameters converted to integer memory-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    pub trcd: Cycle,
+    pub tcl: Cycle,
+    pub tcwl: Cycle,
+    pub tras: Cycle,
+    pub trp: Cycle,
+    pub trtp: Cycle,
+    pub twr: Cycle,
+    pub trc: Cycle,
+    pub trfc: Cycle,
+    pub trefi: Cycle,
+    pub trrd_l: Cycle,
+    pub trrd_s: Cycle,
+    pub tfaw: Cycle,
+    pub tccd_l: Cycle,
+    pub tccd_s: Cycle,
+    pub tabo_act: Cycle,
+    pub trfm: Cycle,
+    pub trefw: Cycle,
+    /// Data burst duration on the channel for one 64 B access
+    /// (BL16 on an x64 DDR interface = 8 beats = 4 bus cycles).
+    pub tbl: Cycle,
+}
+
+impl Timing {
+    /// Convert nanosecond timings at the given bus frequency.
+    pub fn from_ns(ns: &TimingNs, freq_mhz: u64) -> Self {
+        Timing {
+            trcd: ns_to_cycles(ns.trcd, freq_mhz),
+            tcl: ns_to_cycles(ns.tcl, freq_mhz),
+            tcwl: ns_to_cycles(ns.tcwl, freq_mhz),
+            tras: ns_to_cycles(ns.tras, freq_mhz),
+            trp: ns_to_cycles(ns.trp, freq_mhz),
+            trtp: ns_to_cycles(ns.trtp, freq_mhz),
+            twr: ns_to_cycles(ns.twr, freq_mhz),
+            trc: ns_to_cycles(ns.trc, freq_mhz),
+            trfc: ns_to_cycles(ns.trfc, freq_mhz),
+            trefi: ns_to_cycles(ns.trefi, freq_mhz),
+            trrd_l: ns_to_cycles(ns.trrd_l, freq_mhz),
+            trrd_s: ns_to_cycles(ns.trrd_s, freq_mhz),
+            tfaw: ns_to_cycles(ns.tfaw, freq_mhz),
+            tccd_l: ns_to_cycles(ns.tccd_l, freq_mhz),
+            tccd_s: ns_to_cycles(ns.tccd_s, freq_mhz),
+            tabo_act: ns_to_cycles(ns.tabo_act, freq_mhz),
+            trfm: ns_to_cycles(ns.trfm, freq_mhz),
+            trefw: ns_to_cycles(ns.trefw, freq_mhz),
+            tbl: 4,
+        }
+    }
+}
+
+/// PRAC / Alert Back-Off parameters (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PracParams {
+    /// Back-Off threshold: a tracker requests an Alert once a row's
+    /// activation count reaches this value. Must be `<= T_RH`.
+    pub nbo: u32,
+    /// Number of RFM commands the controller issues per Alert (1, 2 or 4).
+    pub nmit: u8,
+    /// Maximum number of activations the controller may issue between the
+    /// Alert assertion and the first RFM (JEDEC: 3).
+    pub abo_act: u8,
+    /// Minimum number of activations the DRAM must service after the RFMs
+    /// before the next Alert (JEDEC: same as `nmit`).
+    pub abo_delay: u8,
+    /// Blast radius: victims refreshed on each side of a mitigated
+    /// aggressor (default 2, i.e. four victim rows per mitigation).
+    pub blast_radius: u8,
+}
+
+impl PracParams {
+    /// Paper-default parameters: N_BO = 32, PRAC-1 (one RFM per alert).
+    pub fn paper_default() -> Self {
+        PracParams {
+            nbo: 32,
+            nmit: 1,
+            abo_act: 3,
+            abo_delay: 1,
+            blast_radius: 2,
+        }
+    }
+
+    /// Set the PRAC level (RFMs per alert); `abo_delay` follows `nmit`
+    /// per the JEDEC specification (Table I).
+    pub fn with_nmit(mut self, nmit: u8) -> Self {
+        assert!(
+            matches!(nmit, 1 | 2 | 4),
+            "JEDEC PRAC allows 1, 2 or 4 RFMs per alert, got {nmit}"
+        );
+        self.nmit = nmit;
+        self.abo_delay = nmit;
+        self
+    }
+
+    /// Set the Back-Off threshold.
+    pub fn with_nbo(mut self, nbo: u32) -> Self {
+        assert!(nbo >= 1, "N_BO must be at least 1");
+        self.nbo = nbo;
+        self
+    }
+}
+
+impl Default for PracParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full device configuration (geometry + timing + PRAC).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Ranks per channel.
+    pub ranks: u8,
+    /// Bank groups per rank.
+    pub bank_groups: u8,
+    /// Banks per bank group.
+    pub banks_per_group: u8,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row size in bytes.
+    pub row_bytes: u32,
+    /// Cache-line (column access) size in bytes.
+    pub line_bytes: u32,
+    /// Bus clock in MHz (data rate is twice this).
+    pub freq_mhz: u64,
+    /// Timing parameters in cycles.
+    pub timing: Timing,
+    /// PRAC / ABO parameters.
+    pub prac: PracParams,
+    /// Maintain an ordered per-bank counter index so `top_n` queries are
+    /// exact and cheap. Required by the Ideal/UPRAC trackers; adds
+    /// O(log rows) work per ACT, so off by default.
+    pub track_counter_order: bool,
+}
+
+impl DramConfig {
+    /// The paper's Table II system: 64 GB, one channel, two ranks, 8 x 4
+    /// banks, 128 K rows of 8 KB per bank, DDR5-6400 with PRAC timings.
+    pub fn paper_default() -> Self {
+        let freq_mhz = 3200;
+        DramConfig {
+            ranks: 2,
+            bank_groups: 8,
+            banks_per_group: 4,
+            rows_per_bank: 128 * 1024,
+            row_bytes: 8192,
+            line_bytes: 64,
+            freq_mhz,
+            timing: Timing::from_ns(&TimingNs::ddr5_prac(), freq_mhz),
+            prac: PracParams::paper_default(),
+            track_counter_order: false,
+        }
+    }
+
+    /// A drastically smaller geometry for fast unit tests: 1 rank, 2 x 2
+    /// banks, 4 K rows. Timing and PRAC parameters match the paper.
+    pub fn tiny_test() -> Self {
+        DramConfig {
+            ranks: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows_per_bank: 4096,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Total number of banks in the channel.
+    pub fn num_banks(&self) -> usize {
+        self.ranks as usize * self.bank_groups as usize * self.banks_per_group as usize
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups as usize * self.banks_per_group as usize
+    }
+
+    /// Cache lines per row (columns at 64 B granularity).
+    pub fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Channel capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_banks() as u64 * self.rows_per_bank as u64 * self.row_bytes as u64
+    }
+
+    /// Upper bound on activations a single bank can absorb per tREFI
+    /// (paper §IV-C uses 67 at these timings).
+    pub fn acts_per_trefi(&self) -> u64 {
+        (self.timing.trefi - self.timing.trfc) / self.timing.trc
+    }
+
+    /// Upper bound on activations per bank within one refresh window
+    /// (paper §V: "approximately 550 K activations").
+    pub fn acts_per_trefw(&self) -> u64 {
+        let refis = self.timing.trefw / self.timing.trefi;
+        refis * self.acts_per_trefi()
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity_is_64_gib() {
+        let cfg = DramConfig::paper_default();
+        assert_eq!(cfg.num_banks(), 64);
+        assert_eq!(cfg.capacity_bytes(), 64 << 30);
+    }
+
+    #[test]
+    fn acts_per_trefi_matches_paper_section_iv() {
+        // The paper's proactive-mitigation analysis divides setup
+        // activations by 67 activations per tREFI (M = A / 67).
+        let cfg = DramConfig::paper_default();
+        let acts = cfg.acts_per_trefi();
+        assert!(
+            (66..=73).contains(&acts),
+            "expected about 67 ACTs per tREFI, got {acts}"
+        );
+    }
+
+    #[test]
+    fn acts_per_trefw_matches_paper_section_v() {
+        // §V: "Within a 32ms refresh window, a single bank can undergo up
+        // to approximately 550K activations."
+        let cfg = DramConfig::paper_default();
+        let acts = cfg.acts_per_trefw();
+        assert!(
+            (520_000..=600_000).contains(&acts),
+            "expected roughly 550K ACTs per tREFW, got {acts}"
+        );
+    }
+
+    #[test]
+    fn prac_stretches_precharge() {
+        let prac = TimingNs::ddr5_prac();
+        let plain = TimingNs::ddr5_plain();
+        assert!(prac.trp > plain.trp);
+        assert!(prac.trc > plain.trc);
+    }
+
+    #[test]
+    fn nmit_setter_updates_abo_delay() {
+        let p = PracParams::paper_default().with_nmit(4);
+        assert_eq!(p.nmit, 4);
+        assert_eq!(p.abo_delay, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "JEDEC PRAC allows")]
+    fn nmit_rejects_invalid_levels() {
+        let _ = PracParams::paper_default().with_nmit(3);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let cfg = DramConfig::tiny_test();
+        assert_eq!(cfg.num_banks(), 4);
+        assert_eq!(cfg.lines_per_row(), 128);
+    }
+}

@@ -1,0 +1,48 @@
+//! # dram-core
+//!
+//! A DDR5 DRAM device model with JEDEC PRAC (Per Row Activation Counting)
+//! support, built for the QPRAC (HPCA 2025) reproduction.
+//!
+//! The crate models everything that lives *inside* the DRAM chips:
+//!
+//! - bank/rank timing state machines with the PRAC-stretched timings of
+//!   the paper's Table II ([`config`], [`bank`]);
+//! - per-row activation counters ([`counters`]);
+//! - the Alert Back-Off protocol: Alert_n assertion, the non-blocking
+//!   180 ns window, `ABO_Delay` gating and RFM servicing ([`device`]);
+//! - the mitigation-tracker interface that QPRAC and all baselines
+//!   implement ([`mitigation`]);
+//! - physical-to-DRAM address mapping ([`mapping`]).
+//!
+//! Scheduling policy (what command to send when) lives in the `mem-ctrl`
+//! crate; this crate only validates and applies commands.
+//!
+//! ## Example
+//!
+//! ```
+//! use dram_core::{CounterAccess, DramConfig, DramDevice, NoMitigation, BankId, RowId};
+//!
+//! let mut dev = DramDevice::new(DramConfig::tiny_test(), |_| Box::new(NoMitigation));
+//! assert!(dev.can_activate(BankId(0), 0));
+//! dev.activate(BankId(0), RowId(42), 0);
+//! assert_eq!(dev.counters(BankId(0)).count(RowId(42)), 1);
+//! ```
+
+pub mod bank;
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod mapping;
+pub mod mitigation;
+pub mod stats;
+pub mod types;
+
+pub use config::{DramConfig, PracParams, Timing, TimingNs};
+pub use counters::{CounterAccess, PracCounters};
+pub use device::DramDevice;
+pub use mapping::{AddressMapper, MappingScheme};
+pub use mitigation::{InDramMitigation, NoMitigation, RfmContext};
+pub use stats::DeviceStats;
+pub use types::{
+    BankCoord, BankId, Cycle, DramAddr, DramCommand, MitigationCause, RfmCause, RfmKind, RowId,
+};

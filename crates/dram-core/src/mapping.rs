@@ -1,0 +1,265 @@
+//! Physical-address to DRAM-coordinate mapping.
+//!
+//! Two schemes are provided:
+//!
+//! - [`MappingScheme::RowBankCol`]: `row : rank : bank-group : bank : col :
+//!   offset` — consecutive cache lines stay in one row (maximum row-buffer
+//!   locality, minimum bank parallelism).
+//! - [`MappingScheme::MopXor`] (default): a Ramulator-style
+//!   "minimalist open page" layout that interleaves 4-line chunks across
+//!   bank groups/banks/ranks and XORs low row bits into the bank index to
+//!   spread conflicts. This is the scheme used for all paper experiments.
+//!
+//! Both mappings are bijective over the channel capacity, which the
+//! property tests verify.
+
+use crate::config::DramConfig;
+use crate::types::{BankCoord, DramAddr, RowId};
+
+/// Address interleaving scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingScheme {
+    /// Row-major: maximal spatial locality within a row.
+    RowBankCol,
+    /// Minimalist-open-page with bank XOR (default; Ramulator2-like).
+    #[default]
+    MopXor,
+}
+
+/// Translates physical line addresses to DRAM coordinates and back.
+#[derive(Debug, Clone)]
+pub struct AddressMapper {
+    scheme: MappingScheme,
+    ranks: u32,
+    groups: u32,
+    banks: u32,
+    rows: u32,
+    cols: u32,
+    /// Lines per minimalist-open-page chunk.
+    mop: u32,
+}
+
+impl AddressMapper {
+    /// Build a mapper for the given device configuration.
+    pub fn new(cfg: &DramConfig, scheme: MappingScheme) -> Self {
+        AddressMapper {
+            scheme,
+            ranks: cfg.ranks as u32,
+            groups: cfg.bank_groups as u32,
+            banks: cfg.banks_per_group as u32,
+            rows: cfg.rows_per_bank,
+            cols: cfg.lines_per_row(),
+            mop: 4,
+        }
+    }
+
+    /// Total cache lines addressable in the channel.
+    pub fn num_lines(&self) -> u64 {
+        self.ranks as u64 * self.groups as u64 * self.banks as u64 * self.rows as u64
+            * self.cols as u64
+    }
+
+    /// Decode a line address (byte address / 64) into DRAM coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= num_lines()` (addresses are expected to be
+    /// wrapped by the caller; the workload layer guarantees this).
+    pub fn decode(&self, line: u64) -> DramAddr {
+        assert!(line < self.num_lines(), "line address out of range");
+        match self.scheme {
+            MappingScheme::RowBankCol => self.decode_row_major(line),
+            MappingScheme::MopXor => self.decode_mop(line),
+        }
+    }
+
+    /// Encode DRAM coordinates back into a line address (inverse of
+    /// [`decode`](Self::decode)).
+    pub fn encode(&self, addr: &DramAddr) -> u64 {
+        match self.scheme {
+            MappingScheme::RowBankCol => self.encode_row_major(addr),
+            MappingScheme::MopXor => self.encode_mop(addr),
+        }
+    }
+
+    fn decode_row_major(&self, line: u64) -> DramAddr {
+        let mut x = line;
+        let col = (x % self.cols as u64) as u16;
+        x /= self.cols as u64;
+        let bank = (x % self.banks as u64) as u8;
+        x /= self.banks as u64;
+        let group = (x % self.groups as u64) as u8;
+        x /= self.groups as u64;
+        let rank = (x % self.ranks as u64) as u8;
+        x /= self.ranks as u64;
+        let row = x as u32;
+        DramAddr {
+            channel: 0,
+            coord: BankCoord { rank, bank_group: group, bank },
+            row: RowId(row),
+            col,
+        }
+    }
+
+    fn encode_row_major(&self, a: &DramAddr) -> u64 {
+        let mut x = a.row.0 as u64;
+        x = x * self.ranks as u64 + a.coord.rank as u64;
+        x = x * self.groups as u64 + a.coord.bank_group as u64;
+        x = x * self.banks as u64 + a.coord.bank as u64;
+        x * self.cols as u64 + a.col as u64
+    }
+
+    /// MOP layout, line-address digits from least significant:
+    /// `[mop-chunk col] [bank group] [bank] [rank] [col hi] [row]`,
+    /// with the bank-group digit XOR-folded with low row bits.
+    fn decode_mop(&self, line: u64) -> DramAddr {
+        let mut x = line;
+        let col_lo = (x % self.mop as u64) as u32;
+        x /= self.mop as u64;
+        let group_raw = (x % self.groups as u64) as u32;
+        x /= self.groups as u64;
+        let bank = (x % self.banks as u64) as u8;
+        x /= self.banks as u64;
+        let rank = (x % self.ranks as u64) as u8;
+        x /= self.ranks as u64;
+        let col_hi_digits = (self.cols / self.mop) as u64;
+        let col_hi = (x % col_hi_digits) as u32;
+        x /= col_hi_digits;
+        let row = x as u32;
+        // XOR-fold low row bits into the bank group to decorrelate
+        // row-conflicts from stride patterns (self-inverse, so encode uses
+        // the same fold).
+        let group = (group_raw ^ (row % self.groups)) % self.groups;
+        DramAddr {
+            channel: 0,
+            coord: BankCoord {
+                rank,
+                bank_group: group as u8,
+                bank,
+            },
+            row: RowId(row),
+            col: (col_hi * self.mop + col_lo) as u16,
+        }
+    }
+
+    fn encode_mop(&self, a: &DramAddr) -> u64 {
+        let row = a.row.0;
+        let group_raw = (a.coord.bank_group as u32 ^ (row % self.groups)) % self.groups;
+        let col_lo = a.col as u64 % self.mop as u64;
+        let col_hi = a.col as u64 / self.mop as u64;
+        let col_hi_digits = (self.cols / self.mop) as u64;
+        let mut x = row as u64;
+        x = x * col_hi_digits + col_hi;
+        x = x * self.ranks as u64 + a.coord.rank as u64;
+        x = x * self.banks as u64 + a.coord.bank as u64;
+        x = x * self.groups as u64 + group_raw as u64;
+        x * self.mop as u64 + col_lo
+    }
+
+    /// Flat bank index for coordinates (matches [`crate::types::BankId`]).
+    pub fn flat_bank(&self, c: &BankCoord) -> u16 {
+        (c.rank as u16 * self.groups as u16 + c.bank_group as u16) * self.banks as u16
+            + c.bank as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper(scheme: MappingScheme) -> AddressMapper {
+        AddressMapper::new(&DramConfig::tiny_test(), scheme)
+    }
+
+    #[test]
+    fn row_major_keeps_consecutive_lines_in_row() {
+        let m = mapper(MappingScheme::RowBankCol);
+        let a = m.decode(0);
+        let b = m.decode(1);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.coord, b.coord);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn mop_interleaves_chunks_across_groups() {
+        let m = mapper(MappingScheme::MopXor);
+        let a = m.decode(0);
+        let b = m.decode(4); // next 4-line chunk
+        assert_ne!(
+            (a.coord.bank_group, a.coord.bank, a.coord.rank),
+            (b.coord.bank_group, b.coord.bank, b.coord.rank),
+            "next MOP chunk must land on a different bank"
+        );
+    }
+
+    #[test]
+    fn round_trip_both_schemes_dense_prefix() {
+        for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
+            let m = mapper(scheme);
+            for line in 0..100_000u64 {
+                let a = m.decode(line);
+                assert_eq!(m.encode(&a), line, "{scheme:?} line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_in_bounds() {
+        let cfg = DramConfig::tiny_test();
+        let m = AddressMapper::new(&cfg, MappingScheme::MopXor);
+        let n = m.num_lines();
+        for line in (0..n).step_by(9973) {
+            let a = m.decode(line);
+            assert!(a.coord.rank < cfg.ranks);
+            assert!(a.coord.bank_group < cfg.bank_groups);
+            assert!(a.coord.bank < cfg.banks_per_group);
+            assert!(a.row.0 < cfg.rows_per_bank);
+            assert!((a.col as u32) < cfg.lines_per_row());
+        }
+    }
+
+    #[test]
+    fn flat_bank_is_dense_and_unique() {
+        let cfg = DramConfig::tiny_test();
+        let m = AddressMapper::new(&cfg, MappingScheme::MopXor);
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..cfg.ranks {
+            for group in 0..cfg.bank_groups {
+                for bank in 0..cfg.banks_per_group {
+                    let f = m.flat_bank(&BankCoord { rank, bank_group: group, bank });
+                    assert!((f as usize) < cfg.num_banks());
+                    assert!(seen.insert(f), "duplicate flat bank {f}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), cfg.num_banks());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mapping_is_bijective(line in 0u64..AddressMapper::new(
+            &DramConfig::tiny_test(), MappingScheme::MopXor).num_lines()) {
+            for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
+                let m = AddressMapper::new(&DramConfig::tiny_test(), scheme);
+                let a = m.decode(line);
+                prop_assert_eq!(m.encode(&a), line);
+            }
+        }
+
+        #[test]
+        fn distinct_lines_decode_distinct(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            prop_assume!(a != b);
+            let m = AddressMapper::new(&DramConfig::paper_default(), MappingScheme::MopXor);
+            let da = m.decode(a);
+            let db = m.decode(b);
+            prop_assert_ne!((da.coord, da.row, da.col), (db.coord, db.row, db.col));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Command and mitigation statistics for one DRAM channel.
+
+use crate::types::{MitigationCause, RfmKind};
+
+/// Counters accumulated by the device; the energy model and all figure
+/// binaries consume these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Row activations issued by the controller (excludes mitigation
+    /// internals).
+    pub acts: u64,
+    /// Precharges.
+    pub pres: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// All-bank refreshes (per rank command).
+    pub refs: u64,
+    /// RFM commands by kind.
+    pub rfm_ab: u64,
+    pub rfm_sb: u64,
+    pub rfm_pb: u64,
+    /// Alert Back-Off assertions.
+    pub alerts: u64,
+    /// Mitigations by cause.
+    pub mitigations_alert: u64,
+    pub mitigations_opportunistic: u64,
+    pub mitigations_proactive: u64,
+    pub mitigations_periodic: u64,
+    /// Victim-row refreshes performed by mitigations (blast radius).
+    pub victim_refreshes: u64,
+    /// Aggressor counter resets (each is an extra row activation).
+    pub aggressor_resets: u64,
+}
+
+impl DeviceStats {
+    /// Record one RFM command of `kind`.
+    pub fn record_rfm(&mut self, kind: RfmKind) {
+        match kind {
+            RfmKind::AllBank => self.rfm_ab += 1,
+            RfmKind::SameBank => self.rfm_sb += 1,
+            RfmKind::PerBank => self.rfm_pb += 1,
+        }
+    }
+
+    /// Record one mitigation attributed to `cause`.
+    pub fn record_mitigation(&mut self, cause: MitigationCause) {
+        match cause {
+            MitigationCause::Alert => self.mitigations_alert += 1,
+            MitigationCause::Opportunistic => self.mitigations_opportunistic += 1,
+            MitigationCause::Proactive => self.mitigations_proactive += 1,
+            MitigationCause::Periodic => self.mitigations_periodic += 1,
+        }
+    }
+
+    /// Total RFM commands of any kind.
+    pub fn rfms(&self) -> u64 {
+        self.rfm_ab + self.rfm_sb + self.rfm_pb
+    }
+
+    /// Total mitigations of any cause.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigations_alert
+            + self.mitigations_opportunistic
+            + self.mitigations_proactive
+            + self.mitigations_periodic
+    }
+
+    /// Alerts per tREFI over a run of `cycles`, given `trefi` in cycles
+    /// (paper Fig 15 metric).
+    pub fn alerts_per_trefi(&self, cycles: u64, trefi: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.alerts as f64 / (cycles as f64 / trefi as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfm_kinds_are_counted_separately() {
+        let mut s = DeviceStats::default();
+        s.record_rfm(RfmKind::AllBank);
+        s.record_rfm(RfmKind::AllBank);
+        s.record_rfm(RfmKind::SameBank);
+        s.record_rfm(RfmKind::PerBank);
+        assert_eq!((s.rfm_ab, s.rfm_sb, s.rfm_pb), (2, 1, 1));
+        assert_eq!(s.rfms(), 4);
+    }
+
+    #[test]
+    fn mitigation_causes_are_counted_separately() {
+        let mut s = DeviceStats::default();
+        s.record_mitigation(MitigationCause::Alert);
+        s.record_mitigation(MitigationCause::Opportunistic);
+        s.record_mitigation(MitigationCause::Opportunistic);
+        s.record_mitigation(MitigationCause::Proactive);
+        s.record_mitigation(MitigationCause::Periodic);
+        assert_eq!(s.mitigations_alert, 1);
+        assert_eq!(s.mitigations_opportunistic, 2);
+        assert_eq!(s.mitigations_proactive, 1);
+        assert_eq!(s.mitigations_periodic, 1);
+        assert_eq!(s.mitigations(), 5);
+    }
+
+    #[test]
+    fn alerts_per_trefi_handles_zero_cycles() {
+        let s = DeviceStats::default();
+        assert_eq!(s.alerts_per_trefi(0, 12480), 0.0);
+    }
+
+    #[test]
+    fn alerts_per_trefi_normalizes() {
+        let s = DeviceStats { alerts: 10, ..Default::default() };
+        // 10 alerts over exactly 5 tREFI -> 2 per tREFI.
+        assert!((s.alerts_per_trefi(5 * 12480, 12480) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Command-count to energy conversion (paper Table III / Fig 22).
+//!
+//! Constants follow the Micron DDR5 power-calculator methodology: an
+//! IDD0-style row energy per ACT/PRE pair, column burst energies from
+//! IDD4R/IDD4W deltas, REF energy from IDD5B over tRFC, and a background
+//! term. Absolute joules are approximations (the paper's own numbers
+//! come from a calculator, not silicon); *relative* overheads — the
+//! quantity Table III and Fig 22 report — depend only on the ratios,
+//! which these constants preserve.
+
+use dram_core::DeviceStats;
+
+/// Per-command energy constants in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// One ACT+PRE pair (row open + close, including the PRAC counter
+    /// update in the stretched precharge).
+    pub act_pre_nj: f64,
+    /// One 64 B read burst.
+    pub rd_nj: f64,
+    /// One 64 B write burst.
+    pub wr_nj: f64,
+    /// One all-bank REF command (per rank; covers many internal rows).
+    pub ref_nj: f64,
+    /// One victim-row refresh performed by a mitigation (an internal
+    /// ACT+PRE pair).
+    pub victim_refresh_nj: f64,
+    /// One aggressor counter reset (an internal activation).
+    pub aggressor_reset_nj: f64,
+    /// QPRAC PSQ logic energy per activation (synthesis result §VI-F:
+    /// ~0.05% of activation energy).
+    pub psq_logic_nj: f64,
+    /// Background power in watts (charged per nanosecond of runtime).
+    pub background_w: f64,
+}
+
+impl EnergyParams {
+    /// Micron-calculator-style defaults for a 32 Gb DDR5-6400 device.
+    pub fn ddr5_default() -> Self {
+        EnergyParams {
+            act_pre_nj: 2.2,
+            rd_nj: 1.4,
+            wr_nj: 1.5,
+            ref_nj: 210.0,
+            victim_refresh_nj: 2.2,
+            aggressor_reset_nj: 2.2,
+            psq_logic_nj: 0.0011, // 0.05% of act energy (paper §VI-F)
+            background_w: 0.15,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::ddr5_default()
+    }
+}
+
+/// Energy totals for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Demand traffic: ACT/PRE pairs and bursts, in nanojoules.
+    pub demand_nj: f64,
+    /// Periodic refresh energy.
+    pub refresh_nj: f64,
+    /// Mitigation energy (victim refreshes + aggressor resets + RFM
+    /// overhead).
+    pub mitigation_nj: f64,
+    /// Tracker logic energy (QPRAC PSQ operations per ACT).
+    pub tracker_nj: f64,
+    /// Background energy over the run duration.
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Compute the breakdown from device statistics and run duration.
+    pub fn from_stats(stats: &DeviceStats, params: &EnergyParams, runtime_ns: f64) -> Self {
+        let demand_nj = stats.acts as f64 * params.act_pre_nj
+            + stats.reads as f64 * params.rd_nj
+            + stats.writes as f64 * params.wr_nj;
+        let refresh_nj = stats.refs as f64 * params.ref_nj;
+        let mitigation_nj = stats.victim_refreshes as f64 * params.victim_refresh_nj
+            + stats.aggressor_resets as f64 * params.aggressor_reset_nj;
+        let tracker_nj = stats.acts as f64 * params.psq_logic_nj;
+        let background_nj = params.background_w * runtime_ns; // W * ns = nJ
+        EnergyBreakdown {
+            demand_nj,
+            refresh_nj,
+            mitigation_nj,
+            tracker_nj,
+            background_nj,
+        }
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.demand_nj + self.refresh_nj + self.mitigation_nj + self.tracker_nj
+            + self.background_nj
+    }
+
+    /// Energy overhead of this run relative to a baseline run
+    /// (paper Table III: percentage increase over the insecure
+    /// baseline).
+    pub fn overhead_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.total_nj() == 0.0 {
+            return 0.0;
+        }
+        self.total_nj() / baseline.total_nj() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(acts: u64, refs: u64, victims: u64, resets: u64) -> DeviceStats {
+        DeviceStats {
+            acts,
+            reads: acts,
+            refs,
+            victim_refreshes: victims,
+            aggressor_resets: resets,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_is_additive() {
+        let p = EnergyParams::default();
+        let b = EnergyBreakdown::from_stats(&stats(1000, 10, 40, 10), &p, 1e6);
+        let sum = b.demand_nj + b.refresh_nj + b.mitigation_nj + b.tracker_nj
+            + b.background_nj;
+        assert!((b.total_nj() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mitigations_add_energy() {
+        let p = EnergyParams::default();
+        let none = EnergyBreakdown::from_stats(&stats(1000, 10, 0, 0), &p, 1e6);
+        let some = EnergyBreakdown::from_stats(&stats(1000, 10, 400, 100), &p, 1e6);
+        assert!(some.total_nj() > none.total_nj());
+        assert!(some.overhead_vs(&none) > 0.0);
+    }
+
+    #[test]
+    fn one_mitigation_costs_five_row_cycles() {
+        // BR = 2: four victim refreshes + one aggressor reset = 5 x the
+        // ACT/PRE energy.
+        let p = EnergyParams::default();
+        let b = EnergyBreakdown::from_stats(&stats(0, 0, 4, 1), &p, 0.0);
+        assert!((b.mitigation_nj - 5.0 * p.act_pre_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psq_logic_is_negligible_fraction() {
+        // §VI-F: PSQ operations cost ~0.05% of activation energy.
+        let p = EnergyParams::default();
+        assert!(p.psq_logic_nj / p.act_pre_nj < 0.001);
+    }
+
+    #[test]
+    fn overhead_vs_self_is_zero() {
+        let p = EnergyParams::default();
+        let b = EnergyBreakdown::from_stats(&stats(100, 1, 0, 0), &p, 100.0);
+        assert!(b.overhead_vs(&b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! # energy-model
+//!
+//! DRAM energy accounting and tracker storage models for the QPRAC
+//! reproduction (paper §VI-F: Table III, Table IV, Fig 22).
+//!
+//! - [`energy`] — converts the command counts collected by
+//!   `dram_core::DeviceStats` into energy, with per-command constants
+//!   following the Micron DDR5 power-calculator methodology. Mitigations
+//!   cost `2·BR` victim row refreshes (ACT+PRE pairs) plus one aggressor
+//!   reset activation.
+//! - [`storage`] — per-bank SRAM requirements of in-DRAM trackers as a
+//!   function of the Rowhammer threshold (Table IV).
+
+pub mod energy;
+pub mod storage;
+
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use storage::{cat_bytes, misra_gries_bytes, qprac_bytes, twice_bytes, StorageRow};

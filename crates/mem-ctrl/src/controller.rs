@@ -1,0 +1,649 @@
+//! The memory controller: FR-FCFS scheduling, refresh management, Alert
+//! Back-Off servicing and periodic RFMs for rate-based mitigations.
+//!
+//! The controller owns the [`DramDevice`] and issues at most one command
+//! per memory cycle (command-bus constraint). Scheduling priorities, in
+//! order:
+//!
+//! 1. **Alert service** — when Alert_n is asserted the controller stops
+//!    issuing new activations, precharges all affected banks and issues
+//!    `N_mit` RFMs (a benign controller does not exploit the 180 ns
+//!    non-blocking window; attackers exploiting it are modeled in the
+//!    `attack-engine` crate).
+//! 2. **Refresh** — each rank receives a REF every tREFI; when due, the
+//!    controller precharges the rank and issues the REF.
+//! 3. **Periodic RFM** — optional per-bank RFM every `k` activations
+//!    (PrIDE/Mithril service cadence, Fig 20).
+//! 4. **FR-FCFS** — column hits first (oldest first), then the oldest
+//!    request's activation, then precharges of conflicting rows. Writes
+//!    are posted into a buffer and drained on a high/low watermark.
+
+use std::collections::VecDeque;
+
+use dram_core::{BankId, Cycle, DramDevice, RfmCause, RfmKind, RowId};
+
+use crate::request::{Completion, MemRequest, ReqId, ReqKind};
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Read-queue capacity per bank.
+    pub read_queue_cap: usize,
+    /// Total write-buffer capacity.
+    pub write_buffer_cap: usize,
+    /// Enter write-drain mode at this occupancy.
+    pub write_drain_high: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub write_drain_low: usize,
+    /// RFM kind used to service alerts (Fig 19 explores sb/pb).
+    pub alert_rfm_kind: RfmKind,
+    /// Issue a periodic per-bank RFM every this many ACTs to the bank
+    /// (rate-based mitigations); `None` disables.
+    pub periodic_rfm_interval: Option<u32>,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            read_queue_cap: 16,
+            write_buffer_cap: 64,
+            write_drain_high: 48,
+            write_drain_low: 16,
+            alert_rfm_kind: RfmKind::AllBank,
+            periodic_rfm_interval: None,
+        }
+    }
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct McStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed (issued to DRAM) writes.
+    pub writes: u64,
+    /// Sum of read latencies in memory cycles (arrival to data).
+    pub read_latency_sum: u64,
+    /// Cycles spent with an alert pending or being serviced.
+    pub alert_service_cycles: u64,
+    /// Enqueue attempts rejected because a queue was full.
+    pub rejected: u64,
+}
+
+impl McStats {
+    /// Average read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
+    }
+}
+
+/// The memory controller for one channel.
+pub struct MemoryController {
+    cfg: McConfig,
+    device: DramDevice,
+    /// Per-bank read queues.
+    read_q: Vec<VecDeque<MemRequest>>,
+    /// Per-bank write queues (posted).
+    write_q: Vec<VecDeque<MemRequest>>,
+    reads_buffered: usize,
+    writes_buffered: usize,
+    drain_mode: bool,
+    next_id: u64,
+    completions: Vec<Completion>,
+    /// Next REF due time per rank.
+    ref_due: Vec<Cycle>,
+    /// ACTs since the last periodic RFM, per bank.
+    acts_since_rfm: Vec<u32>,
+    /// Banks owing a periodic RFM.
+    rfm_owed: VecDeque<BankId>,
+    stats: McStats,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("pending_reads", &self.pending_reads())
+            .field("writes_buffered", &self.writes_buffered)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Build a controller owning `device`.
+    pub fn new(cfg: McConfig, device: DramDevice) -> Self {
+        let banks = device.cfg().num_banks();
+        let ranks = device.cfg().ranks as usize;
+        let trefi = device.cfg().timing.trefi;
+        MemoryController {
+            cfg,
+            device,
+            read_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            write_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            reads_buffered: 0,
+            writes_buffered: 0,
+            drain_mode: false,
+            next_id: 0,
+            completions: Vec::new(),
+            // Stagger per-rank refreshes across the tREFI window.
+            ref_due: (0..ranks)
+                .map(|r| trefi + r as Cycle * (trefi / ranks.max(1) as Cycle))
+                .collect(),
+            acts_since_rfm: vec![0; banks],
+            rfm_owed: VecDeque::new(),
+            stats: McStats::default(),
+        }
+    }
+
+    /// The hosted device (read access for stats/probes).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// Outstanding read requests.
+    pub fn pending_reads(&self) -> usize {
+        self.reads_buffered
+    }
+
+    /// Whether all queues are empty and no RFM work is owed (used by
+    /// drain loops in tests).
+    pub fn idle(&self) -> bool {
+        self.pending_reads() == 0 && self.writes_buffered == 0 && self.rfm_owed.is_empty()
+    }
+
+    fn flat_bank(&self, addr: &dram_core::DramAddr) -> usize {
+        let c = &addr.coord;
+        let cfg = self.device.cfg();
+        (c.rank as usize * cfg.bank_groups as usize + c.bank_group as usize)
+            * cfg.banks_per_group as usize
+            + c.bank as usize
+    }
+
+    /// Enqueue a request; returns `None` when the target queue is full
+    /// (the caller must retry later — models finite MSHR/queue capacity).
+    pub fn enqueue(
+        &mut self,
+        kind: ReqKind,
+        addr: dram_core::DramAddr,
+        tag: u64,
+        now: Cycle,
+    ) -> Option<ReqId> {
+        let bank = self.flat_bank(&addr);
+        match kind {
+            ReqKind::Read => {
+                if self.read_q[bank].len() >= self.cfg.read_queue_cap {
+                    self.stats.rejected += 1;
+                    return None;
+                }
+            }
+            ReqKind::Write => {
+                if self.writes_buffered >= self.cfg.write_buffer_cap {
+                    self.stats.rejected += 1;
+                    return None;
+                }
+            }
+        }
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let req = MemRequest { id, kind, addr, arrived: now, tag };
+        match kind {
+            ReqKind::Read => {
+                self.read_q[bank].push_back(req);
+                self.reads_buffered += 1;
+            }
+            ReqKind::Write => {
+                self.write_q[bank].push_back(req);
+                self.writes_buffered += 1;
+                if self.writes_buffered >= self.cfg.write_drain_high {
+                    self.drain_mode = true;
+                }
+            }
+        }
+        Some(id)
+    }
+
+    /// Drain completion notifications accumulated since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Advance one memory cycle, issuing at most one DRAM command.
+    pub fn tick(&mut self, now: Cycle) {
+        if self.device.alert_since().is_some() {
+            self.stats.alert_service_cycles += 1;
+            self.service_alert(now);
+            return;
+        }
+        if self.service_refresh(now) {
+            return;
+        }
+        if self.service_periodic_rfm(now) {
+            return;
+        }
+        self.schedule_frfcfs(now);
+    }
+
+    /// Alert service: precharge everything the RFM needs, then issue the
+    /// RFMs (the device clears the alert after `nmit` of them).
+    fn service_alert(&mut self, now: Cycle) {
+        let kind = self.cfg.alert_rfm_kind;
+        // For sb/pb kinds the (modified, §VI-E) interface identifies the
+        // alerting bank; RFMab ignores the target.
+        let target = self
+            .alerting_bank()
+            .unwrap_or(BankId(0));
+        if self.device.can_rfm(kind, target, now) {
+            self.device.rfm(kind, target, RfmCause::AlertService, now);
+            return;
+        }
+        // Precharge one affected bank per cycle until the RFM is legal.
+        for b in self.device.rfm_banks(kind, target) {
+            if self.device.can_precharge(b, now) {
+                self.device.precharge(b, now);
+                return;
+            }
+        }
+    }
+
+    fn alerting_bank(&self) -> Option<BankId> {
+        (0..self.device.cfg().num_banks() as u16)
+            .map(BankId)
+            .find(|&b| self.device.tracker(b).needs_alert())
+    }
+
+    /// Refresh management: returns true if this cycle was consumed.
+    fn service_refresh(&mut self, now: Cycle) -> bool {
+        for rank in 0..self.device.cfg().ranks {
+            if now < self.ref_due[rank as usize] {
+                continue;
+            }
+            if self.device.can_refresh(rank, now) {
+                self.device.refresh(rank, now);
+                self.ref_due[rank as usize] += self.device.cfg().timing.trefi;
+                return true;
+            }
+            // Precharge one bank of the rank to make progress.
+            for b in self.device.bank_ids_of_rank(rank) {
+                if self.device.can_precharge(b, now) {
+                    self.device.precharge(b, now);
+                    return true;
+                }
+            }
+            // Rank still settling (tRAS/tRTP/tWR); burn the cycle only if
+            // the rank actually has an open bank we are waiting on.
+            return true;
+        }
+        false
+    }
+
+    /// Periodic RFM service for rate-based mitigations.
+    fn service_periodic_rfm(&mut self, now: Cycle) -> bool {
+        let Some(_) = self.cfg.periodic_rfm_interval else {
+            return false;
+        };
+        let Some(&bank) = self.rfm_owed.front() else {
+            return false;
+        };
+        if self.device.can_rfm(RfmKind::PerBank, bank, now) {
+            self.device.rfm(RfmKind::PerBank, bank, RfmCause::Periodic, now);
+            self.rfm_owed.pop_front();
+            return true;
+        }
+        // Close the bank only once its demand queue drained: forcing the
+        // precharge under demand would double every request's ACT count
+        // and recursively re-arm the cadence counter.
+        let b = bank.0 as usize;
+        if self.read_q[b].is_empty()
+            && self.write_q[b].is_empty()
+            && self.device.can_precharge(bank, now)
+        {
+            self.device.precharge(bank, now);
+            return true;
+        }
+        // Bank settling or busy; wait without blocking other commands.
+        false
+    }
+
+    fn note_act(&mut self, bank: usize) {
+        if let Some(k) = self.cfg.periodic_rfm_interval {
+            self.acts_since_rfm[bank] += 1;
+            if self.acts_since_rfm[bank] >= k {
+                self.acts_since_rfm[bank] = 0;
+                self.rfm_owed.push_back(BankId(bank as u16));
+            }
+        }
+    }
+
+    /// FR-FCFS: column hits, then oldest-first activations, then
+    /// precharges for row conflicts.
+    fn schedule_frfcfs(&mut self, now: Cycle) {
+        let banks = self.device.cfg().num_banks();
+        let reads_pending = self.pending_reads() > 0;
+        if self.drain_mode && self.writes_buffered <= self.cfg.write_drain_low {
+            self.drain_mode = false;
+        }
+        let prefer_writes = self.drain_mode || !reads_pending;
+
+        // Pass 1: oldest *issuable* column hit on an open row. Hits whose
+        // bank-group CCD or data-bus slot is busy are skipped so other
+        // bank groups keep streaming.
+        let mut best: Option<(Cycle, usize, usize, bool)> = None; // (arrived, bank, idx, is_write)
+        for bank in 0..banks {
+            if self.read_q[bank].is_empty() && self.write_q[bank].is_empty() {
+                continue;
+            }
+            let open = self.device.open_row(BankId(bank as u16));
+            let Some(open_row) = open else { continue };
+            let scan = |q: &VecDeque<MemRequest>, is_write: bool,
+                        best: &mut Option<(Cycle, usize, usize, bool)>| {
+                for (i, r) in q.iter().enumerate() {
+                    if r.addr.row == open_row {
+                        if best.map_or(true, |(a, ..)| r.arrived < a) {
+                            *best = Some((r.arrived, bank, i, is_write));
+                        }
+                        break;
+                    }
+                }
+            };
+            if !self.device.can_column(BankId(bank as u16), false, now) {
+                // Read timing blocked; writes share the constraint path
+                // closely enough to skip the bank entirely this cycle.
+                continue;
+            }
+            if prefer_writes {
+                scan(&self.write_q[bank], true, &mut best);
+                if best.map_or(true, |(_, b, _, w)| !(b == bank && w)) {
+                    scan(&self.read_q[bank], false, &mut best);
+                }
+            } else {
+                scan(&self.read_q[bank], false, &mut best);
+                if self.read_q[bank].iter().all(|r| r.addr.row != open_row) {
+                    scan(&self.write_q[bank], true, &mut best);
+                }
+            }
+        }
+        if let Some((_, bank, idx, is_write)) = best {
+            if self.device.can_column(BankId(bank as u16), is_write, now) {
+                let req = if is_write {
+                    self.writes_buffered -= 1;
+                    self.write_q[bank].remove(idx).expect("scanned index")
+                } else {
+                    self.reads_buffered -= 1;
+                    self.read_q[bank].remove(idx).expect("scanned index")
+                };
+                let done = self.device.column(BankId(bank as u16), is_write, now);
+                if is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                    self.stats.read_latency_sum += done - req.arrived;
+                    self.completions.push(Completion {
+                        id: req.id,
+                        tag: req.tag,
+                        done_at: done,
+                        was_read: true,
+                    });
+                }
+                return;
+            }
+        }
+
+        // Pass 2: activate for the globally oldest request whose bank is
+        // closed; or precharge a conflicting open row.
+        let mut act: Option<(Cycle, usize, RowId)> = None;
+        let mut pre: Option<(Cycle, usize)> = None;
+        for bank in 0..banks {
+            if self.read_q[bank].is_empty() && self.write_q[bank].is_empty() {
+                continue;
+            }
+            let head = match (
+                self.read_q[bank].front(),
+                self.write_q[bank].front(),
+                prefer_writes,
+            ) {
+                (Some(r), Some(w), false) => Some(if r.arrived <= w.arrived { r } else { w }),
+                (Some(r), Some(w), true) => Some(if w.arrived <= r.arrived { w } else { r }),
+                (Some(r), None, _) => Some(r),
+                (None, Some(w), _) => Some(w),
+                (None, None, _) => None,
+            };
+            let Some(head) = head else { continue };
+            match self.device.open_row(BankId(bank as u16)) {
+                None => {
+                    if self.device.can_activate(BankId(bank as u16), now)
+                        && act.map_or(true, |(a, ..)| head.arrived < a)
+                    {
+                        act = Some((head.arrived, bank, head.addr.row));
+                    }
+                }
+                Some(open_row) => {
+                    // Open row with no pending hit: conflict, precharge.
+                    let has_hit = self.read_q[bank].iter().any(|r| r.addr.row == open_row)
+                        || self.write_q[bank].iter().any(|r| r.addr.row == open_row);
+                    if !has_hit
+                        && self.device.can_precharge(BankId(bank as u16), now)
+                        && pre.map_or(true, |(a, _)| head.arrived < a)
+                    {
+                        pre = Some((head.arrived, bank));
+                    }
+                }
+            }
+        }
+        if let Some((_, bank, row)) = act {
+            self.device.activate(BankId(bank as u16), row, now);
+            self.note_act(bank);
+            return;
+        }
+        if let Some((_, bank)) = pre {
+            self.device.precharge(BankId(bank as u16), now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::{
+        AddressMapper, CounterAccess, DramConfig, InDramMitigation, MappingScheme, NoMitigation,
+        RfmContext,
+    };
+
+    fn controller(cfg: McConfig) -> MemoryController {
+        MemoryController::new(cfg, DramDevice::new(DramConfig::tiny_test(), |_| {
+            Box::new(NoMitigation)
+        }))
+    }
+
+    fn addr_of(line: u64) -> dram_core::DramAddr {
+        let m = AddressMapper::new(&DramConfig::tiny_test(), MappingScheme::MopXor);
+        m.decode(line)
+    }
+
+    fn run_until_idle(mc: &mut MemoryController, mut now: Cycle, max: u64) -> (Cycle, Vec<Completion>) {
+        let mut done = Vec::new();
+        let deadline = now + max;
+        while (!mc.idle() || !mc.completions.is_empty()) && now < deadline {
+            mc.tick(now);
+            done.extend(mc.drain_completions());
+            now += 1;
+        }
+        (now, done)
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let mut mc = controller(McConfig::default());
+        let a = addr_of(0);
+        mc.enqueue(ReqKind::Read, a, 7, 0).unwrap();
+        let (_, done) = run_until_idle(&mut mc, 0, 100_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+        let t = DramConfig::tiny_test().timing;
+        // ACT + tRCD + tCL + burst, plus a couple of scheduling cycles.
+        let min = t.trcd + t.tcl + t.tbl;
+        assert!(done[0].done_at >= min);
+        assert!(done[0].done_at < min + 20, "latency {}", done[0].done_at);
+    }
+
+    #[test]
+    fn row_hits_are_prioritized() {
+        let mut mc = controller(McConfig::default());
+        // Two requests to the same row, one to a different row of the
+        // same bank. The same-row pair must complete before the conflict.
+        let base = addr_of(0);
+        let hit = dram_core::DramAddr { col: base.col + 1, ..base };
+        let conflict = dram_core::DramAddr { row: RowId(base.row.0 + 1), ..base };
+        mc.enqueue(ReqKind::Read, base, 0, 0).unwrap();
+        mc.enqueue(ReqKind::Read, conflict, 1, 0).unwrap();
+        mc.enqueue(ReqKind::Read, hit, 2, 0).unwrap();
+        let (_, done) = run_until_idle(&mut mc, 0, 100_000);
+        let pos =
+            |tag: u64| done.iter().position(|c| c.tag == tag).expect("completed");
+        assert!(pos(2) < pos(1), "row hit must beat the row conflict");
+    }
+
+    #[test]
+    fn refresh_happens_every_trefi() {
+        let mut mc = controller(McConfig::default());
+        let trefi = mc.device().cfg().timing.trefi;
+        for now in 0..(trefi * 4 + trefi / 2) {
+            mc.tick(now);
+        }
+        let refs = mc.device().stats().refs;
+        // 1 rank in tiny config; ~4 REFs due.
+        assert!((3..=5).contains(&refs), "refs = {refs}");
+    }
+
+    #[test]
+    fn reads_still_complete_alongside_refresh() {
+        let mut mc = controller(McConfig::default());
+        let mut now = 0;
+        let mut completed = 0u64;
+        for i in 0..200u64 {
+            while mc.enqueue(ReqKind::Read, addr_of(i * 131), i, now).is_none() {
+                mc.tick(now);
+                completed += mc.drain_completions().len() as u64;
+                now += 1;
+            }
+            for _ in 0..50 {
+                mc.tick(now);
+                completed += mc.drain_completions().len() as u64;
+                now += 1;
+            }
+        }
+        let (mut now, done) = run_until_idle(&mut mc, now, 1_000_000);
+        completed += done.len() as u64;
+        assert_eq!(completed, 200);
+        // Idle on past the next refresh due point.
+        let trefi = mc.device().cfg().timing.trefi;
+        for _ in 0..2 * trefi {
+            mc.tick(now);
+            now += 1;
+        }
+        assert!(mc.device().stats().refs > 0);
+    }
+
+    #[test]
+    fn writes_are_posted_and_drained() {
+        let mut mc = controller(McConfig::default());
+        for i in 0..10u64 {
+            mc.enqueue(ReqKind::Write, addr_of(i * 7), i, 0).unwrap();
+        }
+        assert_eq!(mc.stats().writes, 0, "posted, not yet issued");
+        let (_, _) = run_until_idle(&mut mc, 0, 200_000);
+        assert_eq!(mc.stats().writes, 10);
+    }
+
+    #[test]
+    fn full_read_queue_rejects() {
+        let mut mc = controller(McConfig { read_queue_cap: 2, ..Default::default() });
+        let a = addr_of(0);
+        assert!(mc.enqueue(ReqKind::Read, a, 0, 0).is_some());
+        assert!(mc.enqueue(ReqKind::Read, a, 1, 0).is_some());
+        assert!(mc.enqueue(ReqKind::Read, a, 2, 0).is_none());
+        assert_eq!(mc.stats().rejected, 1);
+    }
+
+    /// Tracker that alerts once a row reaches the threshold.
+    #[derive(Debug)]
+    struct AlertAt {
+        threshold: u32,
+        hot: Option<RowId>,
+    }
+    impl InDramMitigation for AlertAt {
+        fn name(&self) -> &'static str {
+            "alert-at-test"
+        }
+        fn on_activate(&mut self, row: RowId, count: u32) {
+            if count >= self.threshold {
+                self.hot = Some(row);
+            }
+        }
+        fn needs_alert(&self) -> bool {
+            self.hot.is_some()
+        }
+        fn on_rfm(&mut self, _c: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+            self.hot.take()
+        }
+        fn storage_bits(&self) -> u64 {
+            41
+        }
+    }
+
+    #[test]
+    fn alert_is_serviced_with_rfm_and_traffic_resumes() {
+        let dev = DramDevice::new(DramConfig::tiny_test(), |_| {
+            Box::new(AlertAt { threshold: 3, hot: None })
+        });
+        let mut mc = MemoryController::new(McConfig::default(), dev);
+        // Alternate row conflicts in one bank: each round re-activates
+        // whichever row is closed, so some row reaches 3 ACTs within a
+        // few rounds and raises the alert.
+        let base = addr_of(0);
+        let mut now = 0;
+        let mut done = 0;
+        let rounds = 8;
+        for round in 0..rounds {
+            let other = dram_core::DramAddr { row: RowId(base.row.0 + 1), ..base };
+            mc.enqueue(ReqKind::Read, base, round * 2, now).unwrap();
+            mc.enqueue(ReqKind::Read, other, round * 2 + 1, now).unwrap();
+            let (t, d) = run_until_idle(&mut mc, now, 200_000);
+            now = t;
+            done += d.len();
+        }
+        assert_eq!(done as u64, rounds * 2, "all requests completed despite alerts");
+        assert!(mc.device().stats().alerts >= 1);
+        assert!(mc.device().stats().rfm_ab >= 1);
+        assert!(mc.device().stats().mitigations_alert >= 1);
+        assert!(mc.stats().alert_service_cycles > 0);
+    }
+
+    #[test]
+    fn periodic_rfm_fires_every_k_acts() {
+        let cfg = McConfig {
+            periodic_rfm_interval: Some(2),
+            ..Default::default()
+        };
+        let mut mc = controller(cfg);
+        let base = addr_of(0);
+        let mut now = 0;
+        // 6 row-conflict pairs -> 6 ACTs to the bank -> 3 periodic RFMs.
+        for i in 0..6u32 {
+            let a = dram_core::DramAddr { row: RowId(base.row.0 + i), ..base };
+            mc.enqueue(ReqKind::Read, a, i as u64, now).unwrap();
+            let (t, _) = run_until_idle(&mut mc, now, 200_000);
+            now = t;
+        }
+        assert_eq!(mc.device().stats().rfm_pb, 3);
+        assert_eq!(mc.device().stats().alerts, 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mem-ctrl
+//!
+//! A DDR5 memory controller for the QPRAC reproduction:
+//!
+//! - FR-FCFS scheduling with open-page policy and posted writes
+//!   ([`MemoryController`]);
+//! - per-rank refresh management (REF every tREFI);
+//! - Alert Back-Off servicing: on Alert_n, precharge and issue `N_mit`
+//!   RFMs of the configured kind (RFMab/sb/pb — §VI-E);
+//! - periodic per-bank RFMs for rate-based mitigations (PrIDE/Mithril,
+//!   §VI-G).
+//!
+//! The controller owns a [`dram_core::DramDevice`]; the CPU side feeds it
+//! decoded [`request::MemRequest`]s and drains [`request::Completion`]s.
+
+pub mod controller;
+pub mod request;
+
+pub use controller::{McConfig, McStats, MemoryController};
+pub use request::{Completion, MemRequest, ReqId, ReqKind};

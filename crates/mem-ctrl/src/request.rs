@@ -1,0 +1,46 @@
+//! Memory request types exchanged between the cache hierarchy and the
+//! controller.
+
+use dram_core::{Cycle, DramAddr};
+
+/// Unique request identifier assigned by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u64);
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read a 64 B line (demand fill). Completion is reported.
+    Read,
+    /// Write a 64 B line (dirty eviction). Posted: buffered by the
+    /// controller and drained opportunistically.
+    Write,
+}
+
+/// One memory request.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRequest {
+    /// Assigned id (valid after enqueue).
+    pub id: ReqId,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Decoded DRAM coordinates.
+    pub addr: DramAddr,
+    /// Memory-clock cycle the request arrived at the controller.
+    pub arrived: Cycle,
+    /// Opaque tag for the originator (core id, MSHR index, ...).
+    pub tag: u64,
+}
+
+/// A completed request notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request id.
+    pub id: ReqId,
+    /// Originator tag.
+    pub tag: u64,
+    /// Memory-clock cycle the data burst finished.
+    pub done_at: Cycle,
+    /// Whether this was a read (reads unblock cores; writes do not).
+    pub was_read: bool,
+}

@@ -1,0 +1,33 @@
+//! # mitigations
+//!
+//! Baseline in-DRAM Rowhammer trackers the QPRAC paper analyzes or
+//! compares against. Each implements
+//! [`dram_core::InDramMitigation`] and can be hosted by the timing-level
+//! [`dram_core::DramDevice`] or the activation-level engine in
+//! `attack-engine`:
+//!
+//! | Tracker | Paper section | Why it matters |
+//! |---------|---------------|----------------|
+//! | [`Panopticon`] | §II-E1, Appendix A | FIFO + t-bit; broken by Toggle+Forget / Fill+Escape |
+//! | [`UpracFifo`] | §II-E2 | UPRAC's practical strawman; broken by Fill+Escape |
+//! | [`Moat`] | §VII-A | concurrent secure design; single-entry queue |
+//! | [`Mithril`] | §VI-G | Misra-Gries tracker; impractical CAM, heavy RFMs |
+//! | [`Pride`] | §VI-G | probabilistic FIFO; heavy RFMs at low T_RH |
+//!
+//! The idealized UPRAC / QPRAC-Ideal oracle lives in the `qprac` crate
+//! (`qprac::QpracIdeal`) since it shares QPRAC's mitigation policy.
+//! Controller cadences for the rate-based designs are in [`rates`].
+
+pub mod mithril;
+pub mod moat;
+pub mod panopticon;
+pub mod pride;
+pub mod rates;
+pub mod uprac;
+
+pub use mithril::Mithril;
+pub use moat::Moat;
+pub use panopticon::{Panopticon, PanopticonVariant};
+pub use pride::Pride;
+pub use rates::{mithril_interval, pride_interval};
+pub use uprac::UpracFifo;

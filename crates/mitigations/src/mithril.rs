@@ -1,0 +1,231 @@
+//! Mithril (Kim et al., HPCA 2022) — a Misra-Gries (Counter-based
+//! Summary) in-DRAM tracker used as a comparison point in §VI-G (Fig 20).
+//!
+//! Mithril keeps a Misra-Gries table per bank (the paper cites a
+//! 5,300-entry CAM/bank as impractical) and relies on
+//! controller-scheduled RFMs rather than the ABO protocol: every RFM
+//! mitigates the table's hottest entry. The Misra-Gries "spill counter"
+//! guarantees that any row activated more than `spill + table share`
+//! times is present in the table.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+/// Misra-Gries summary tracker.
+#[derive(Debug, Clone)]
+pub struct Mithril {
+    capacity: usize,
+    /// row -> estimated count.
+    table: HashMap<RowId, u64>,
+    /// count -> rows at that count (min/max lookups in O(log n)).
+    by_count: BTreeMap<u64, Vec<RowId>>,
+    /// Misra-Gries spill counter: lower bound subtracted from evicted
+    /// rows' estimates.
+    spill: u64,
+}
+
+impl Mithril {
+    /// Create a tracker with the given table capacity (the paper's
+    /// Mithril configuration is 5,300 entries per bank).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Mithril {
+            capacity,
+            table: HashMap::with_capacity(capacity),
+            by_count: BTreeMap::new(),
+            spill: 0,
+        }
+    }
+
+    /// Number of tracked rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Current spill-counter value.
+    pub fn spill(&self) -> u64 {
+        self.spill
+    }
+
+    /// Estimated count for `row` (0 when untracked).
+    pub fn estimate(&self, row: RowId) -> u64 {
+        self.table.get(&row).copied().unwrap_or(0)
+    }
+
+    fn bucket_remove(&mut self, count: u64, row: RowId) {
+        if let Some(v) = self.by_count.get_mut(&count) {
+            if let Some(pos) = v.iter().position(|r| *r == row) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.by_count.remove(&count);
+            }
+        }
+    }
+
+    fn bucket_insert(&mut self, count: u64, row: RowId) {
+        self.by_count.entry(count).or_default().push(row);
+    }
+
+    fn increment(&mut self, row: RowId) {
+        if let Some(&c) = self.table.get(&row) {
+            self.table.insert(row, c + 1);
+            self.bucket_remove(c, row);
+            self.bucket_insert(c + 1, row);
+            return;
+        }
+        if self.table.len() < self.capacity {
+            let c = self.spill + 1;
+            self.table.insert(row, c);
+            self.bucket_insert(c, row);
+            return;
+        }
+        // Table full: Misra-Gries replacement. If some entry sits at the
+        // spill floor, replace it; otherwise raise the floor (the
+        // decrement-all step, done lazily via the spill counter).
+        let (&min_count, _) = self.by_count.iter().next().expect("non-empty table");
+        if min_count <= self.spill {
+            let victim = self.by_count.get(&min_count).and_then(|v| v.last().copied());
+            if let Some(victim) = victim {
+                self.bucket_remove(min_count, victim);
+                self.table.remove(&victim);
+                let c = self.spill + 1;
+                self.table.insert(row, c);
+                self.bucket_insert(c, row);
+                return;
+            }
+        }
+        self.spill += 1;
+    }
+
+    /// Remove and return the hottest tracked row.
+    pub fn pop_max(&mut self) -> Option<RowId> {
+        let (&max_count, rows) = self.by_count.iter().next_back()?;
+        let row = *rows.last()?;
+        self.bucket_remove(max_count, row);
+        self.table.remove(&row);
+        Some(row)
+    }
+}
+
+impl InDramMitigation for Mithril {
+    fn name(&self) -> &'static str {
+        "mithril"
+    }
+
+    fn on_activate(&mut self, row: RowId, _count: u32) {
+        self.increment(row);
+    }
+
+    fn needs_alert(&self) -> bool {
+        // Mithril predates the ABO protocol; it never alerts and is
+        // serviced by controller-scheduled periodic RFMs.
+        false
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        self.pop_max()
+    }
+
+    /// Row id + estimate per entry (Table IV compares this CAM cost).
+    fn storage_bits(&self) -> u64 {
+        self.capacity as u64 * (17 + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx() -> RfmContext {
+        RfmContext { alerting: false, alert_service: false }
+    }
+
+    #[test]
+    fn tracks_heavy_hitter_exactly_when_table_fits() {
+        let mut t = Mithril::new(8);
+        for _ in 0..50 {
+            t.on_activate(RowId(1), 0);
+        }
+        for r in 2..6 {
+            t.on_activate(RowId(r), 0);
+        }
+        assert_eq!(t.estimate(RowId(1)), 50);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(1)));
+    }
+
+    #[test]
+    fn misra_gries_bound_holds() {
+        // Classic guarantee: estimate(row) >= true_count - spill, so a
+        // row with true count > spill is always present.
+        let mut t = Mithril::new(4);
+        let mut x = 99u64;
+        let mut true_counts = std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let row = RowId((x >> 40) as u32 % 64);
+            *true_counts.entry(row).or_insert(0u64) += 1;
+            t.on_activate(row, 0);
+        }
+        for (row, &count) in &true_counts {
+            if count > t.spill() {
+                assert!(
+                    t.estimate(*row) > 0,
+                    "{row} with {count} > spill {} must be tracked",
+                    t.spill()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pop_max_returns_hottest_first() {
+        let mut t = Mithril::new(8);
+        for _ in 0..10 {
+            t.on_activate(RowId(1), 0);
+        }
+        for _ in 0..20 {
+            t.on_activate(RowId(2), 0);
+        }
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(2)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(1)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), None);
+    }
+
+    #[test]
+    fn never_uses_abo() {
+        let mut t = Mithril::new(4);
+        for _ in 0..10_000 {
+            t.on_activate(RowId(3), 0);
+        }
+        assert!(!t.needs_alert());
+    }
+
+    #[test]
+    fn table_capacity_is_respected() {
+        let mut t = Mithril::new(4);
+        for r in 0..100 {
+            t.on_activate(RowId(r), 0);
+        }
+        assert!(t.len() <= 4);
+        assert!(t.spill() > 0, "overflow raises the spill floor");
+    }
+
+    #[test]
+    fn storage_matches_paper_scale() {
+        // §VI-G: "Mithril requires a 5,300-entry CAM/bank, which is
+        // impractical" — about 21 KB at 33 bits/entry.
+        let t = Mithril::new(5300);
+        let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb > 20.0, "{kb} KB");
+    }
+}

@@ -1,0 +1,186 @@
+//! MOAT (Qureshi & Qazi, ASPLOS 2025) — the concurrent secure-PRAC design
+//! the paper compares against in §VII-A (Figs 21 and 22).
+//!
+//! MOAT uses a dual-threshold design with minimal state: an *enqueue
+//! threshold* `ETH` (the paper's comparison uses `N_BO / 2`) captures the
+//! hottest row seen so far into a single-entry queue (plus a shadow
+//! register), and the Alert fires when the captured row's count reaches
+//! the alert threshold `ATH = N_BO`. Optional proactive mitigation
+//! drains the entry on a configurable REF cadence.
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+/// MOAT tracker: one `(row, count)` entry plus thresholds.
+#[derive(Debug, Clone)]
+pub struct Moat {
+    /// Enqueue threshold (`ETH`); rows below it are never captured.
+    eth: u32,
+    /// Alert threshold (`ATH = N_BO`).
+    ath: u32,
+    entry: Option<(RowId, u32)>,
+    /// Proactive mitigation on every `k`-th REF; 0 disables.
+    proactive_per_refs: u32,
+    refs_seen: u64,
+}
+
+impl Moat {
+    /// Create a MOAT tracker. The paper's configuration uses
+    /// `eth = nbo / 2` and `ath = nbo`; `proactive_per_refs = 0` disables
+    /// proactive mitigation.
+    pub fn new(eth: u32, ath: u32, proactive_per_refs: u32) -> Self {
+        assert!(eth <= ath, "enqueue threshold cannot exceed alert threshold");
+        assert!(eth >= 1);
+        Moat {
+            eth,
+            ath,
+            entry: None,
+            proactive_per_refs,
+            refs_seen: 0,
+        }
+    }
+
+    /// Paper-comparison configuration at a given Back-Off threshold.
+    pub fn paper(nbo: u32) -> Self {
+        Self::new((nbo / 2).max(1), nbo, 0)
+    }
+
+    /// Currently captured entry.
+    pub fn entry(&self) -> Option<(RowId, u32)> {
+        self.entry
+    }
+
+    fn capture(&mut self, row: RowId, count: u32) {
+        if count < self.eth {
+            return;
+        }
+        match self.entry {
+            Some((r, c)) if r == row => self.entry = Some((r, count.max(c))),
+            Some((_, c)) if count > c => self.entry = Some((row, count)),
+            None => self.entry = Some((row, count)),
+            _ => {}
+        }
+    }
+}
+
+impl InDramMitigation for Moat {
+    fn name(&self) -> &'static str {
+        "moat"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        self.capture(row, count);
+    }
+
+    fn on_victim_refresh(&mut self, row: RowId, count: u32) {
+        // MOAT also tracks transitive victims through the same
+        // single-entry capture.
+        self.capture(row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.entry.map_or(false, |(_, c)| c >= self.ath)
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, ctx: RfmContext) -> Option<RowId> {
+        if ctx.alerting || ctx.alert_service {
+            // MOAT mitigates its captured row on any alert-service RFM
+            // (all-bank RFMs reach every bank).
+            self.entry.take().map(|(r, _)| r)
+        } else {
+            self.entry.take().map(|(r, _)| r)
+        }
+    }
+
+    fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
+        if self.proactive_per_refs == 0 {
+            return None;
+        }
+        self.refs_seen += 1;
+        if self.refs_seen % self.proactive_per_refs as u64 != 0 {
+            return None;
+        }
+        self.entry.take().map(|(r, _)| r)
+    }
+
+    /// One row id + counter entry, plus the two threshold registers.
+    fn storage_bits(&self) -> u64 {
+        (17 + 24) + 2 * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx(alerting: bool) -> RfmContext {
+        RfmContext { alerting, alert_service: true }
+    }
+
+    fn drive(t: &mut Moat, c: &mut PracCounters, row: RowId, n: u32) {
+        for _ in 0..n {
+            let count = c.increment(row);
+            t.on_activate(row, count);
+        }
+    }
+
+    #[test]
+    fn captures_only_above_eth() {
+        let mut t = Moat::paper(32); // eth 16, ath 32
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 15);
+        assert_eq!(t.entry(), None);
+        drive(&mut t, &mut c, RowId(1), 1);
+        assert_eq!(t.entry(), Some((RowId(1), 16)));
+    }
+
+    #[test]
+    fn hotter_row_displaces_entry() {
+        let mut t = Moat::paper(32);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 20);
+        drive(&mut t, &mut c, RowId(2), 21);
+        assert_eq!(t.entry().unwrap().0, RowId(2));
+        // Re-activating row 1 beyond 21 takes the slot back.
+        drive(&mut t, &mut c, RowId(1), 2);
+        assert_eq!(t.entry().unwrap().0, RowId(1));
+    }
+
+    #[test]
+    fn alerts_at_ath() {
+        let mut t = Moat::paper(32);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 31);
+        assert!(!t.needs_alert());
+        drive(&mut t, &mut c, RowId(1), 1);
+        assert!(t.needs_alert());
+        assert_eq!(t.on_rfm(&mut c, ctx(true)), Some(RowId(1)));
+        assert!(!t.needs_alert());
+    }
+
+    #[test]
+    fn proactive_cadence() {
+        let mut t = Moat::new(4, 32, 4);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 10);
+        for _ in 0..3 {
+            assert_eq!(t.on_ref(&mut c), None);
+        }
+        assert_eq!(t.on_ref(&mut c), Some(RowId(1)));
+    }
+
+    #[test]
+    fn single_entry_blind_spot() {
+        // The single entry can only hold one hot row: with two equally
+        // hot rows, one is untracked at any instant — the structural
+        // reason QPRAC's multi-entry PSQ outperforms MOAT at low N_BO
+        // (Fig 21).
+        let mut t = Moat::paper(32);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 20);
+        drive(&mut t, &mut c, RowId(2), 25);
+        let tracked = t.entry().unwrap().0;
+        assert_eq!(tracked, RowId(2));
+        assert_ne!(tracked, RowId(1), "row 1 is momentarily invisible");
+    }
+}

@@ -1,0 +1,146 @@
+//! PrIDE (Jaleel et al., ISCA 2024) — probabilistic in-DRAM tracking with
+//! a small FIFO, used as a comparison point in §VI-G (Fig 20).
+//!
+//! Each activation is sampled into a 4-entry FIFO with a fixed
+//! probability; controller-scheduled RFMs pop the FIFO head for
+//! mitigation. Security comes from the sampling rate relative to the
+//! mitigation cadence, so PrIDE needs increasingly frequent RFMs at low
+//! Rowhammer thresholds (the paper: ~30% activation-bandwidth loss at
+//! T_RH = 250).
+
+use std::collections::VecDeque;
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// PrIDE tracker: probabilistic sampler + FIFO.
+#[derive(Debug, Clone)]
+pub struct Pride {
+    fifo: VecDeque<RowId>,
+    capacity: usize,
+    /// Sampling probability numerator: each ACT enters with prob 1/`p_inv`.
+    p_inv: u32,
+    rng: SmallRng,
+    /// Sampled insertions dropped because the FIFO was full.
+    pub dropped: u64,
+}
+
+impl Pride {
+    /// Create a PrIDE tracker with `capacity` FIFO entries and sampling
+    /// probability `1 / p_inv`. Deterministic per `seed`.
+    pub fn new(capacity: usize, p_inv: u32, seed: u64) -> Self {
+        assert!(capacity > 0);
+        assert!(p_inv >= 1);
+        Pride {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            p_inv,
+            rng: SmallRng::seed_from_u64(seed),
+            dropped: 0,
+        }
+    }
+
+    /// Paper configuration: 4 entries per bank, sampling 1/16.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(4, 16, seed)
+    }
+
+    /// FIFO occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+impl InDramMitigation for Pride {
+    fn name(&self) -> &'static str {
+        "pride"
+    }
+
+    fn on_activate(&mut self, row: RowId, _count: u32) {
+        if self.rng.gen_range(0..self.p_inv) == 0 {
+            if self.fifo.len() < self.capacity {
+                self.fifo.push_back(row);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn needs_alert(&self) -> bool {
+        // PrIDE predates ABO; it is serviced by periodic RFMs.
+        false
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        self.fifo.pop_front()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.capacity as u64 * 17
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx() -> RfmContext {
+        RfmContext { alerting: false, alert_service: false }
+    }
+
+    #[test]
+    fn sampling_rate_is_close_to_nominal() {
+        let mut t = Pride::new(1_000_000, 16, 42);
+        for i in 0..100_000u32 {
+            t.on_activate(RowId(i), 0);
+        }
+        let rate = t.queue_len() as f64 / 100_000.0;
+        assert!(
+            (rate - 1.0 / 16.0).abs() < 0.01,
+            "sample rate {rate} vs 1/16"
+        );
+    }
+
+    #[test]
+    fn hot_rows_are_sampled_with_high_probability() {
+        // A row activated hundreds of times is sampled almost surely:
+        // P(miss) = (15/16)^300 ~ 4e-9.
+        let mut t = Pride::new(512, 16, 7);
+        for _ in 0..300 {
+            t.on_activate(RowId(9), 0);
+        }
+        assert!(t.fifo.contains(&RowId(9)));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = Pride::paper(1);
+        let mut b = Pride::paper(1);
+        for i in 0..1000u32 {
+            a.on_activate(RowId(i % 7), 0);
+            b.on_activate(RowId(i % 7), 0);
+        }
+        assert_eq!(a.fifo, b.fifo);
+    }
+
+    #[test]
+    fn fifo_order_and_overflow() {
+        let mut t = Pride::new(2, 1, 3); // p = 1: every ACT sampled
+        t.on_activate(RowId(1), 0);
+        t.on_activate(RowId(2), 0);
+        t.on_activate(RowId(3), 0); // dropped
+        assert_eq!(t.dropped, 1);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(1)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(2)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), None);
+    }
+
+    #[test]
+    fn storage_is_tiny() {
+        // §VI-G: PrIDE uses a 4-entry FIFO per bank.
+        assert_eq!(Pride::paper(0).storage_bits(), 4 * 17);
+    }
+}

@@ -1,0 +1,73 @@
+//! Mitigation cadences for the rate-based baselines (Fig 20).
+//!
+//! Mithril and PrIDE are not ABO-driven: the memory controller schedules
+//! an RFM every `k` activations per bank. `k` determines both security
+//! (smaller `k` tolerates lower T_RH) and cost (each RFM blocks the bank
+//! for tRFM = 350 ns).
+//!
+//! The cadences here are calibrated to the anchor points published for
+//! each design (DESIGN.md §3.5):
+//!
+//! - PrIDE: 1 mitigation/tREFI (~67 ACTs) is secure at T_RH 1700, and an
+//!   RFM per ~10 ACTs is needed at T_RH 250 → `k ≈ T_RH / 25`.
+//! - Mithril: needs a denser cadence for the same threshold (its bound
+//!   depends on the Misra-Gries spill): `k ≈ T_RH / 40`, matching its
+//!   much larger slowdown at T_RH ≤ 512 in Fig 20.
+
+/// ACTs per bank between controller-scheduled mitigations for PrIDE at a
+/// target Rowhammer threshold.
+pub fn pride_interval(trh: u32) -> u32 {
+    (trh / 25).max(2)
+}
+
+/// ACTs per bank between controller-scheduled mitigations for Mithril at
+/// a target Rowhammer threshold.
+pub fn mithril_interval(trh: u32) -> u32 {
+    (trh / 40).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pride_anchor_points() {
+        // ~67 ACTs/mitigation at T_RH 1700 (1 per tREFI)...
+        let k = pride_interval(1700);
+        assert!((60..=72).contains(&k), "k={k}");
+        // ... and ~10 ACTs/mitigation at T_RH 250.
+        let k = pride_interval(250);
+        assert!((8..=12).contains(&k), "k={k}");
+    }
+
+    #[test]
+    fn mithril_is_denser_than_pride() {
+        for trh in [64u32, 128, 256, 512, 1024] {
+            assert!(
+                mithril_interval(trh) < pride_interval(trh),
+                "Mithril must mitigate more often at T_RH={trh}"
+            );
+        }
+    }
+
+    #[test]
+    fn intervals_grow_with_trh() {
+        let mut lp = 0;
+        let mut lm = 0;
+        for trh in [64u32, 128, 256, 512, 1024] {
+            let p = pride_interval(trh);
+            let m = mithril_interval(trh);
+            assert!(p >= lp && m >= lm);
+            lp = p;
+            lm = m;
+        }
+    }
+
+    #[test]
+    fn low_trh_saturates_to_continuous_mitigation() {
+        // At T_RH 64 Mithril mitigates virtually every activation —
+        // the regime where Fig 20 reports a 69% slowdown.
+        assert_eq!(mithril_interval(64), 1);
+        assert_eq!(pride_interval(64), 2);
+    }
+}

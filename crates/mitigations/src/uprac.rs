@@ -1,0 +1,165 @@
+//! UPRAC (Canpolat et al., DRAMSec 2024) as analyzed in §II-E2.
+//!
+//! The queue-less UPRAC proposal mitigates the globally top-N activated
+//! rows on each alert, which requires oracular knowledge of all per-row
+//! counters (that idealization is [`qprac::QpracIdeal`] in this suite —
+//! the paper treats QPRAC-Ideal and idealized UPRAC as the same design).
+//!
+//! The *practical* strawman examined by the paper is UPRAC with a FIFO
+//! service queue ([`UpracFifo`]): rows whose count crosses an enqueue
+//! threshold (below `N_BO`) enter a FIFO, and the alert fires when a
+//! queued row reaches `N_BO`. Because insertion fails when the FIFO is
+//! full while removal is bounded by one per `ABO_ACT + ABO_Delay`
+//! activations, the `Fill+Escape` attack defeats it (§II-E2).
+
+use std::collections::VecDeque;
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+/// UPRAC with a FIFO service queue.
+#[derive(Debug, Clone)]
+pub struct UpracFifo {
+    /// Count at which a row is enqueued for future mitigation.
+    enqueue_threshold: u32,
+    /// Back-Off threshold: a *queued* row reaching this count alerts.
+    nbo: u32,
+    queue: VecDeque<(RowId, u32)>,
+    capacity: usize,
+    /// Insertions dropped because the FIFO was full.
+    pub lost_insertions: u64,
+}
+
+impl UpracFifo {
+    /// Create a tracker. `enqueue_threshold` must not exceed `nbo`.
+    pub fn new(capacity: usize, enqueue_threshold: u32, nbo: u32) -> Self {
+        assert!(capacity > 0);
+        assert!(
+            enqueue_threshold <= nbo,
+            "rows must be enqueued before they can alert"
+        );
+        UpracFifo {
+            enqueue_threshold,
+            nbo,
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            lost_insertions: 0,
+        }
+    }
+
+    /// Queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether `row` is queued.
+    pub fn queued(&self, row: RowId) -> bool {
+        self.queue.iter().any(|(r, _)| *r == row)
+    }
+}
+
+impl InDramMitigation for UpracFifo {
+    fn name(&self) -> &'static str {
+        "uprac-fifo"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        if let Some(e) = self.queue.iter_mut().find(|(r, _)| *r == row) {
+            e.1 = count;
+            return;
+        }
+        if count >= self.enqueue_threshold {
+            if self.queue.len() < self.capacity {
+                self.queue.push_back((row, count));
+            } else {
+                // Full FIFO: the hot row is not tracked — Fill+Escape.
+                self.lost_insertions += 1;
+            }
+        }
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.queue.iter().any(|&(_, c)| c >= self.nbo)
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        self.queue.pop_front().map(|(r, _)| r)
+    }
+
+    fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
+        // One mitigation per tREFI, like Panopticon (§II-E1 notes "one
+        // extra entry may be removed due to mitigation on tREFI").
+        self.queue.pop_front().map(|(r, _)| r)
+    }
+
+    /// Row id + counter per FIFO entry.
+    fn storage_bits(&self) -> u64 {
+        self.capacity as u64 * (17 + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx() -> RfmContext {
+        RfmContext { alerting: true, alert_service: true }
+    }
+
+    fn drive(t: &mut UpracFifo, c: &mut PracCounters, row: RowId, n: u32) {
+        for _ in 0..n {
+            let count = c.increment(row);
+            t.on_activate(row, count);
+        }
+    }
+
+    #[test]
+    fn enqueues_at_threshold() {
+        let mut t = UpracFifo::new(4, 8, 16);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 7);
+        assert_eq!(t.queue_len(), 0);
+        drive(&mut t, &mut c, RowId(1), 1);
+        assert!(t.queued(RowId(1)));
+    }
+
+    #[test]
+    fn alert_when_queued_row_reaches_nbo() {
+        let mut t = UpracFifo::new(4, 8, 16);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 15);
+        assert!(!t.needs_alert());
+        drive(&mut t, &mut c, RowId(1), 1);
+        assert!(t.needs_alert());
+    }
+
+    #[test]
+    fn full_fifo_loses_hot_rows() {
+        let mut t = UpracFifo::new(2, 4, 16);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(1), 4);
+        drive(&mut t, &mut c, RowId(2), 4);
+        // Row 3 gets hot while the queue is full: lost, and — crucially —
+        // it can keep being activated without ever alerting.
+        drive(&mut t, &mut c, RowId(3), 100);
+        assert!(!t.queued(RowId(3)));
+        assert!(!t.needs_alert(), "untracked rows cannot alert");
+        assert!(t.lost_insertions > 0);
+    }
+
+    #[test]
+    fn fifo_pops_in_insertion_order() {
+        let mut t = UpracFifo::new(3, 2, 16);
+        let mut c = PracCounters::new(64, false);
+        drive(&mut t, &mut c, RowId(5), 2);
+        drive(&mut t, &mut c, RowId(6), 2);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(5)));
+        assert_eq!(t.on_ref(&mut c), Some(RowId(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueued before")]
+    fn threshold_above_nbo_rejected() {
+        let _ = UpracFifo::new(4, 32, 16);
+    }
+}

@@ -1,0 +1,153 @@
+//! QPRAC tracker configuration (paper §III, §V "Evaluated Designs").
+
+/// Proactive-mitigation policy applied on REF commands (§III-D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProactivePolicy {
+    /// No proactive mitigations (plain QPRAC / QPRAC-NoOp).
+    Off,
+    /// Mitigate the highest-count PSQ entry on every eligible REF,
+    /// regardless of its count (QPRAC+Proactive). High energy cost.
+    EveryRef,
+    /// Energy-aware: mitigate only when the highest-count entry has
+    /// reached the proactive threshold `N_PRO` (QPRAC+Proactive-EA).
+    /// The paper's default is `N_PRO = N_BO / 2`.
+    EnergyAware {
+        /// Proactive mitigation threshold.
+        npro: u32,
+    },
+}
+
+/// Full configuration of one QPRAC tracker instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpracConfig {
+    /// PSQ entries per bank. The paper requires `psq_size >= nmit` for
+    /// alert-only security and `>= nmit + 1` when proactive mitigation is
+    /// enabled (§III-E); the default is 5.
+    pub psq_size: usize,
+    /// Back-Off threshold: the highest-priority entry reaching this count
+    /// raises an Alert (single-threshold design, §III-C1).
+    pub nbo: u32,
+    /// Mitigate on *every* received RFM, even when this bank is not the
+    /// one alerting (opportunistic mitigation, §III-D1). Disabled only by
+    /// the QPRAC-NoOp comparison point.
+    pub opportunistic: bool,
+    /// Proactive mitigation policy on REF.
+    pub proactive: ProactivePolicy,
+    /// Issue at most one proactive mitigation every `proactive_per_refs`
+    /// REFs (Fig 17/21 explore 1, 2 and 4 tREFI cadences). 1 = every REF.
+    pub proactive_per_refs: u32,
+    /// Bits per RowID entry in the PSQ (17 for 128 K rows).
+    pub row_bits: u32,
+    /// Bits per activation counter in the PSQ (paper §III-E: 7 bits for
+    /// T_RH 66; `min(6, log2(T_RH)+1)` in general).
+    pub ctr_bits: u32,
+}
+
+impl QpracConfig {
+    /// Paper-default QPRAC: 5-entry PSQ, N_BO = 32, opportunistic on,
+    /// proactive off.
+    pub fn paper_default() -> Self {
+        QpracConfig {
+            psq_size: 5,
+            nbo: 32,
+            opportunistic: true,
+            proactive: ProactivePolicy::Off,
+            proactive_per_refs: 1,
+            row_bits: 17,
+            ctr_bits: 7,
+        }
+    }
+
+    /// QPRAC-NoOp: mitigates only the alerting bank's entry on RFMs.
+    pub fn noop() -> Self {
+        QpracConfig {
+            opportunistic: false,
+            ..Self::paper_default()
+        }
+    }
+
+    /// QPRAC+Proactive: proactive mitigation on every REF.
+    pub fn proactive() -> Self {
+        QpracConfig {
+            proactive: ProactivePolicy::EveryRef,
+            ..Self::paper_default()
+        }
+    }
+
+    /// QPRAC+Proactive-EA (the paper's default design): proactive
+    /// mitigation gated by `N_PRO = N_BO / 2`.
+    pub fn proactive_ea() -> Self {
+        let base = Self::paper_default();
+        QpracConfig {
+            proactive: ProactivePolicy::EnergyAware { npro: base.nbo / 2 },
+            ..base
+        }
+    }
+
+    /// Change the Back-Off threshold, keeping `N_PRO = N_BO/2` coupling
+    /// for the energy-aware policy.
+    pub fn with_nbo(mut self, nbo: u32) -> Self {
+        self.nbo = nbo;
+        if let ProactivePolicy::EnergyAware { .. } = self.proactive {
+            self.proactive = ProactivePolicy::EnergyAware { npro: (nbo / 2).max(1) };
+        }
+        self
+    }
+
+    /// Change the PSQ size.
+    pub fn with_psq_size(mut self, n: usize) -> Self {
+        self.psq_size = n;
+        self
+    }
+
+    /// Change the proactive cadence (1 = every REF, k = every k-th REF).
+    pub fn with_proactive_per_refs(mut self, k: u32) -> Self {
+        assert!(k >= 1, "cadence must be at least one REF");
+        self.proactive_per_refs = k;
+        self
+    }
+
+    /// Per-bank SRAM bits the PSQ needs (paper §VI-F: 5 entries x
+    /// (17 + 7) bits = 15 bytes).
+    pub fn storage_bits(&self) -> u64 {
+        self.psq_size as u64 * (self.row_bits + self.ctr_bits) as u64
+    }
+}
+
+impl Default for QpracConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_is_15_bytes() {
+        let cfg = QpracConfig::paper_default();
+        assert_eq!(cfg.storage_bits(), 120);
+        assert_eq!(cfg.storage_bits() / 8, 15);
+    }
+
+    #[test]
+    fn ea_npro_follows_nbo() {
+        let cfg = QpracConfig::proactive_ea().with_nbo(64);
+        assert_eq!(cfg.proactive, ProactivePolicy::EnergyAware { npro: 32 });
+        let cfg = cfg.with_nbo(1);
+        assert_eq!(cfg.proactive, ProactivePolicy::EnergyAware { npro: 1 });
+    }
+
+    #[test]
+    fn noop_disables_opportunistic() {
+        assert!(!QpracConfig::noop().opportunistic);
+        assert!(QpracConfig::paper_default().opportunistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_rejected() {
+        let _ = QpracConfig::paper_default().with_proactive_per_refs(0);
+    }
+}

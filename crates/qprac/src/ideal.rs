@@ -1,0 +1,188 @@
+//! QPRAC-Ideal: an oracle tracker that always knows the globally top-N
+//! activated rows of its bank (paper §V "Evaluated Designs", item 5; this
+//! is also the idealized UPRAC of §IV-A).
+//!
+//! The oracle maintains a complete ordered shadow of the bank's non-zero
+//! PRAC counters, which is exactly the (impractical) capability UPRAC
+//! assumes: reading every per-row counter at alert time. Mitigation and
+//! proactive behaviour mirror QPRAC+Proactive so the comparison isolates
+//! the effect of the finite PSQ.
+
+use std::collections::BTreeSet;
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+use crate::config::{ProactivePolicy, QpracConfig};
+
+/// Oracle tracker with exact global top-N knowledge.
+#[derive(Debug, Clone)]
+pub struct QpracIdeal {
+    cfg: QpracConfig,
+    /// Ordered `(count, row)` shadow of all non-zero counters.
+    ordered: BTreeSet<(u32, u32)>,
+    refs_seen: u64,
+}
+
+impl QpracIdeal {
+    /// Build an ideal tracker. `cfg.psq_size` is ignored (the oracle is
+    /// unbounded); all other fields behave as in [`crate::Qprac`].
+    pub fn new(cfg: QpracConfig) -> Self {
+        QpracIdeal {
+            cfg,
+            ordered: BTreeSet::new(),
+            refs_seen: 0,
+        }
+    }
+
+    fn observe(&mut self, row: RowId, count: u32) {
+        if count > 0 {
+            self.ordered.remove(&(count - 1, row.0));
+        }
+        self.ordered.insert((count, row.0));
+    }
+
+    fn max_count(&self) -> u32 {
+        self.ordered.iter().next_back().map_or(0, |&(c, _)| c)
+    }
+
+    fn pop_max(&mut self) -> Option<RowId> {
+        let &(c, r) = self.ordered.iter().next_back()?;
+        if c == 0 {
+            return None;
+        }
+        self.ordered.remove(&(c, r));
+        Some(RowId(r))
+    }
+}
+
+impl InDramMitigation for QpracIdeal {
+    fn name(&self) -> &'static str {
+        "qprac-ideal"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        self.observe(row, count);
+    }
+
+    fn on_victim_refresh(&mut self, row: RowId, count: u32) {
+        self.observe(row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.max_count() >= self.cfg.nbo
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, ctx: RfmContext) -> Option<RowId> {
+        if self.cfg.opportunistic || ctx.alerting {
+            self.pop_max()
+        } else {
+            None
+        }
+    }
+
+    fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
+        self.refs_seen += 1;
+        if self.refs_seen % self.cfg.proactive_per_refs as u64 != 0 {
+            return None;
+        }
+        match self.cfg.proactive {
+            ProactivePolicy::Off => None,
+            ProactivePolicy::EveryRef => self.pop_max(),
+            ProactivePolicy::EnergyAware { npro } => {
+                if self.max_count() >= npro {
+                    self.pop_max()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The oracle needs a full copy of every per-row counter: rows x
+    /// (row-id + counter) bits. This is the "impractical overhead" the
+    /// paper attributes to UPRAC.
+    fn storage_bits(&self) -> u64 {
+        (1u64 << self.cfg.row_bits) * (self.cfg.row_bits + self.cfg.ctr_bits) as u64
+    }
+}
+
+/// The paper's default ideal configuration: opportunistic + proactive,
+/// like QPRAC+Proactive-EA but with oracle knowledge.
+pub fn ideal_default() -> QpracIdeal {
+    QpracIdeal::new(QpracConfig::proactive_ea())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx(alerting: bool) -> RfmContext {
+        RfmContext { alerting, alert_service: true }
+    }
+
+    #[test]
+    fn tracks_global_maximum_beyond_any_queue_size() {
+        let mut t = QpracIdeal::new(QpracConfig::paper_default());
+        let mut c = PracCounters::new(1024, false);
+        // 100 distinct warm rows (more than any PSQ could hold).
+        for r in 0..100 {
+            for _ in 0..(r % 7 + 1) {
+                let count = c.increment(RowId(r));
+                t.on_activate(RowId(r), count);
+            }
+        }
+        for _ in 0..9 {
+            let count = c.increment(RowId(500));
+            t.on_activate(RowId(500), count);
+        }
+        assert_eq!(t.on_rfm(&mut c, ctx(false)), Some(RowId(500)));
+    }
+
+    #[test]
+    fn shadow_matches_host_top_n() {
+        let mut t = QpracIdeal::new(QpracConfig::paper_default());
+        let mut c = PracCounters::new(256, true);
+        let mut x = 7u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let row = RowId((x >> 33) as u32 % 256);
+            let count = c.increment(row);
+            t.on_activate(row, count);
+        }
+        let host_top = c.top_n(1)[0];
+        let picked = t.on_rfm(&mut c, ctx(true)).unwrap();
+        assert_eq!(c.count(picked), host_top.1, "oracle picks a max-count row");
+    }
+
+    #[test]
+    fn alert_condition_matches_nbo() {
+        let mut t = QpracIdeal::new(QpracConfig::paper_default().with_nbo(4));
+        let mut c = PracCounters::new(16, false);
+        for i in 0..3 {
+            let count = c.increment(RowId(0));
+            t.on_activate(RowId(0), count);
+            assert!(!t.needs_alert(), "after {i} acts");
+        }
+        let count = c.increment(RowId(0));
+        t.on_activate(RowId(0), count);
+        assert!(t.needs_alert());
+    }
+
+    #[test]
+    fn pop_removes_entry_until_reobserved() {
+        let mut t = QpracIdeal::new(QpracConfig::paper_default());
+        let mut c = PracCounters::new(16, false);
+        let count = c.increment(RowId(3));
+        t.on_activate(RowId(3), count);
+        assert_eq!(t.on_rfm(&mut c, ctx(true)), Some(RowId(3)));
+        assert_eq!(t.on_rfm(&mut c, ctx(true)), None, "shadow drained");
+    }
+
+    #[test]
+    fn storage_reflects_full_counter_copy() {
+        let t = QpracIdeal::new(QpracConfig::paper_default());
+        // 2^17 rows x 24 bits: the impractical UPRAC requirement.
+        assert_eq!(t.storage_bits(), (1 << 17) * 24);
+    }
+}

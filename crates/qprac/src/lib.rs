@@ -1,0 +1,46 @@
+//! # qprac
+//!
+//! The paper's contribution: QPRAC, a secure and practical PRAC-based
+//! Rowhammer mitigation built around a **Priority-based Service Queue**
+//! (PSQ).
+//!
+//! - [`Psq`] — the queue itself: priority insertion, in-place hit update,
+//!   min-eviction (paper §III-B, Fig 5).
+//! - [`Qprac`] — the per-bank tracker implementing
+//!   [`dram_core::InDramMitigation`]: single-threshold alerting at
+//!   `N_BO`, opportunistic mitigation on all-bank RFMs, proactive
+//!   mitigation on REFs with an optional energy-aware threshold
+//!   (§III-C/D).
+//! - [`QpracIdeal`] — the oracle comparison point with global top-N
+//!   knowledge (§V).
+//! - [`QpracConfig`]/[`ProactivePolicy`] — variant selection
+//!   (QPRAC-NoOp / QPRAC / +Proactive / +Proactive-EA).
+//!
+//! ## Example
+//!
+//! ```
+//! use qprac::{Qprac, QpracConfig};
+//! use dram_core::{InDramMitigation, PracCounters, RowId, RfmContext};
+//!
+//! let mut tracker = Qprac::new(QpracConfig::paper_default());
+//! let mut counters = PracCounters::new(1024, false);
+//! // Hammer one row to the Back-Off threshold.
+//! for _ in 0..32 {
+//!     let c = counters.increment(RowId(7));
+//!     tracker.on_activate(RowId(7), c);
+//! }
+//! assert!(tracker.needs_alert());
+//! // The RFM mitigates the hottest tracked row.
+//! let ctx = RfmContext { alerting: true, alert_service: true };
+//! assert_eq!(tracker.on_rfm(&mut counters, ctx), Some(RowId(7)));
+//! ```
+
+pub mod config;
+pub mod ideal;
+pub mod psq;
+pub mod tracker;
+
+pub use config::{ProactivePolicy, QpracConfig};
+pub use ideal::{ideal_default, QpracIdeal};
+pub use psq::{Psq, PsqEntry};
+pub use tracker::Qprac;

@@ -1,0 +1,342 @@
+//! The Priority-based Service Queue (PSQ) — the paper's central data
+//! structure (§III-B, Fig 5).
+//!
+//! The PSQ is a small CAM holding `(RowID, activation count)` pairs,
+//! logically sorted by count. Its insertion policy is what distinguishes
+//! it from the FIFO queues that make Panopticon and UPRAC insecure:
+//!
+//! - On a *hit* (activated row already present) the entry's count is
+//!   updated in place to the in-DRAM PRAC count.
+//! - On a *miss* the row is inserted if the queue has a free slot, or if
+//!   its count exceeds the lowest count in the queue, in which case the
+//!   lowest-count entry is evicted.
+//!
+//! Because insertion is by priority, the queue being full never causes a
+//! highly activated row to be lost — the property the paper's security
+//! argument (§IV-B) rests on, and which `fill_escape` attacks exploit in
+//! FIFO designs.
+
+use dram_core::RowId;
+
+/// One PSQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsqEntry {
+    /// Tracked row.
+    pub row: RowId,
+    /// Last observed PRAC activation count for the row.
+    pub count: u32,
+}
+
+/// A priority-based service queue with a fixed number of entries.
+///
+/// ```
+/// use qprac::Psq;
+/// use dram_core::RowId;
+///
+/// let mut psq = Psq::new(2);
+/// psq.offer(RowId(1), 5);
+/// psq.offer(RowId(2), 9);
+/// psq.offer(RowId(3), 2);            // lower than both -> rejected
+/// assert_eq!(psq.peek_max().unwrap().row, RowId(2));
+/// psq.offer(RowId(3), 7);            // beats the min (row 1, count 5)
+/// assert!(psq.contains(RowId(3)));
+/// assert!(!psq.contains(RowId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Psq {
+    entries: Vec<PsqEntry>,
+    capacity: usize,
+}
+
+impl Psq {
+    /// Create a PSQ with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PSQ capacity must be positive");
+        Psq {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `row` is currently tracked.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.entries.iter().any(|e| e.row == row)
+    }
+
+    /// Offer an activation observation to the queue (hit-update or
+    /// priority insertion). Returns `true` if the row is tracked after
+    /// the call.
+    pub fn offer(&mut self, row: RowId, count: u32) -> bool {
+        if count == 0 {
+            return self.contains(row);
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
+            e.count = count;
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(PsqEntry { row, count });
+            return true;
+        }
+        // Full: replace the minimum only if strictly exceeded (paper:
+        // "inserts only rows with activation counts higher than the
+        // lowest count in the queue").
+        let (min_idx, min_count) = self.min_entry();
+        if count > min_count {
+            self.entries[min_idx] = PsqEntry { row, count };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The entry with the highest count (ties broken toward the higher
+    /// row id for determinism), without removing it.
+    pub fn peek_max(&self) -> Option<PsqEntry> {
+        self.entries
+            .iter()
+            .copied()
+            .max_by_key(|e| (e.count, e.row))
+    }
+
+    /// Remove and return the entry with the highest count.
+    pub fn pop_max(&mut self) -> Option<PsqEntry> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.count, e.row))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(best))
+    }
+
+    /// Remove `row` if tracked (used when the host mitigates a row via a
+    /// path the queue did not nominate).
+    pub fn remove(&mut self, row: RowId) -> Option<PsqEntry> {
+        let idx = self.entries.iter().position(|e| e.row == row)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Highest count currently tracked (0 when empty).
+    pub fn max_count(&self) -> u32 {
+        self.entries.iter().map(|e| e.count).max().unwrap_or(0)
+    }
+
+    /// Lowest count currently tracked (0 when empty).
+    pub fn min_count(&self) -> u32 {
+        self.entries.iter().map(|e| e.count).min().unwrap_or(0)
+    }
+
+    /// Iterate over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &PsqEntry> {
+        self.entries.iter()
+    }
+
+    fn min_entry(&self) -> (usize, u32) {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.count, e.row))
+            .map(|(i, e)| (i, e.count))
+            .expect("min_entry on empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_slots_first() {
+        let mut q = Psq::new(3);
+        assert!(q.offer(RowId(1), 1));
+        assert!(q.offer(RowId(2), 1));
+        assert!(q.offer(RowId(3), 1));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn hit_updates_count_in_place() {
+        let mut q = Psq::new(2);
+        q.offer(RowId(1), 3);
+        q.offer(RowId(1), 7);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_max().unwrap().count, 7);
+    }
+
+    #[test]
+    fn full_queue_rejects_equal_or_lower_counts() {
+        let mut q = Psq::new(2);
+        q.offer(RowId(1), 5);
+        q.offer(RowId(2), 5);
+        // Equal to the min: rejected (strict comparison, per paper).
+        assert!(!q.offer(RowId(3), 5));
+        // Below the min: rejected.
+        assert!(!q.offer(RowId(4), 4));
+        assert!(!q.contains(RowId(3)));
+    }
+
+    #[test]
+    fn full_queue_evicts_minimum_for_higher_count() {
+        let mut q = Psq::new(2);
+        q.offer(RowId(1), 5);
+        q.offer(RowId(2), 9);
+        assert!(q.offer(RowId(3), 6));
+        assert!(q.contains(RowId(2)));
+        assert!(q.contains(RowId(3)));
+        assert!(!q.contains(RowId(1)));
+    }
+
+    #[test]
+    fn figure5_scenario() {
+        // Fig 5 of the paper: queue [X:31, Y:25, A:4, Z:1]; ACT-A hits and
+        // increments in place; ACT-X raises X to 32 = N_BO.
+        let mut q = Psq::new(5);
+        q.offer(RowId(88), 31); // X
+        q.offer(RowId(89), 25); // Y
+        q.offer(RowId(90), 4); // A
+        q.offer(RowId(91), 1); // Z
+        q.offer(RowId(90), 5); // ACT-A: in-place update
+        assert_eq!(q.len(), 4);
+        q.offer(RowId(88), 32); // ACT-X
+        assert_eq!(q.max_count(), 32);
+        assert_eq!(q.peek_max().unwrap().row, RowId(88));
+    }
+
+    #[test]
+    fn pop_max_removes_highest() {
+        let mut q = Psq::new(3);
+        q.offer(RowId(1), 2);
+        q.offer(RowId(2), 8);
+        q.offer(RowId(3), 5);
+        assert_eq!(q.pop_max().unwrap().row, RowId(2));
+        assert_eq!(q.pop_max().unwrap().row, RowId(3));
+        assert_eq!(q.pop_max().unwrap().row, RowId(1));
+        assert!(q.pop_max().is_none());
+    }
+
+    #[test]
+    fn zero_count_offers_are_ignored() {
+        let mut q = Psq::new(2);
+        assert!(!q.offer(RowId(1), 0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_untracks_row() {
+        let mut q = Psq::new(2);
+        q.offer(RowId(1), 3);
+        assert_eq!(q.remove(RowId(1)).unwrap().count, 3);
+        assert!(q.remove(RowId(1)).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Psq::new(0);
+    }
+
+    #[test]
+    fn min_and_max_counts() {
+        let mut q = Psq::new(4);
+        assert_eq!((q.min_count(), q.max_count()), (0, 0));
+        q.offer(RowId(1), 3);
+        q.offer(RowId(2), 9);
+        assert_eq!((q.min_count(), q.max_count()), (3, 9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Reference model: complete map of the highest count ever offered
+    /// per row (counts in these sequences only grow, like PRAC counts
+    /// between mitigations).
+    fn run_model(cap: usize, offers: &[(u32, u32)]) -> (Psq, HashMap<u32, u32>) {
+        let mut q = Psq::new(cap);
+        let mut truth: HashMap<u32, u32> = HashMap::new();
+        for &(row, count) in offers {
+            let c = truth.entry(row).or_insert(0);
+            *c = (*c).max(count);
+            q.offer(RowId(row), *c);
+        }
+        (q, truth)
+    }
+
+    proptest! {
+        /// §IV-B security property: while full, the PSQ always retains a
+        /// row whose count equals the global maximum — the top entry can
+        /// never be displaced by lower-count traffic.
+        #[test]
+        fn psq_always_tracks_the_global_maximum(
+            cap in 1usize..6,
+            offers in proptest::collection::vec((0u32..20, 1u32..64), 1..200),
+        ) {
+            let (q, truth) = run_model(cap, &offers);
+            let global_max = truth.values().copied().max().unwrap_or(0);
+            prop_assert_eq!(q.max_count(), global_max);
+        }
+
+        /// The queue never exceeds capacity and never holds duplicates.
+        #[test]
+        fn psq_capacity_and_uniqueness(
+            cap in 1usize..6,
+            offers in proptest::collection::vec((0u32..10, 1u32..64), 1..200),
+        ) {
+            let (q, _) = run_model(cap, &offers);
+            prop_assert!(q.len() <= cap);
+            let mut rows: Vec<_> = q.iter().map(|e| e.row).collect();
+            rows.sort();
+            rows.dedup();
+            prop_assert_eq!(rows.len(), q.len());
+        }
+
+        /// With capacity >= distinct rows, the PSQ holds exactly the truth.
+        #[test]
+        fn psq_is_exact_when_large_enough(
+            offers in proptest::collection::vec((0u32..5, 1u32..64), 1..100),
+        ) {
+            let (q, truth) = run_model(8, &offers);
+            prop_assert_eq!(q.len(), truth.len());
+            for e in q.iter() {
+                prop_assert_eq!(truth[&e.row.0], e.count);
+            }
+        }
+
+        /// pop_max drains in non-increasing count order.
+        #[test]
+        fn pop_max_is_sorted(
+            offers in proptest::collection::vec((0u32..10, 1u32..64), 1..100),
+        ) {
+            let (mut q, _) = run_model(5, &offers);
+            let mut last = u32::MAX;
+            while let Some(e) = q.pop_max() {
+                prop_assert!(e.count <= last);
+                last = e.count;
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # security-model
+//!
+//! Closed-form security analysis of PRAC-based Rowhammer mitigations,
+//! reproducing §IV of the QPRAC paper (HPCA 2025):
+//!
+//! - the Wave/Feinting attack model on an idealized PRAC (Equations 1–3):
+//!   [`online`] bounds the online-phase activations `N_online` (Fig 6),
+//!   [`setup`] bounds the starting row pool `R1` from the tREFW time
+//!   budget (Fig 7), [`trh`] combines them into the minimum secure `T_RH`
+//!   (Fig 8);
+//! - the proactive-mitigation extensions of §IV-C ([`proactive`],
+//!   Figs 11–13);
+//! - analytical forms of the Panopticon attacks (Fig 2, Fig 3, Fig 23)
+//!   in [`panopticon`], cross-validated against the activation-level
+//!   simulations in the `attack-engine` crate.
+//!
+//! The crate is dependency-free and mirrors the paper's published
+//! artifact scripts (`equation2.py`, `equation3.py`, `tbit_attack.py`).
+
+pub mod online;
+pub mod panopticon;
+pub mod params;
+pub mod proactive;
+pub mod setup;
+pub mod trh;
+
+pub use online::{n_online, rounds, OnlineOutcome};
+pub use params::PracModel;
+pub use proactive::{max_r1_proactive, n_online_proactive, secure_trh_proactive};
+pub use setup::{max_r1, setup_acts};
+pub use trh::{secure_trh, trh_curve};

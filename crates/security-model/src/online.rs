@@ -1,0 +1,187 @@
+//! Online-phase model of the Wave/Feinting attack (paper §IV-A, Eqs. 2–3,
+//! Figs 6 and 12).
+//!
+//! The attack starts from a pool of `R1` rows, all at `N_BO - 1`
+//! activations, and uniformly activates the surviving pool once per
+//! round. Each alert (one per `ABO_ACT + ABO_Delay` activations) removes
+//! `N_mit` rows; the blast-radius refreshes of the final alert in a round
+//! give `BR` rows their activation for free, so a round only issues
+//! `R - BR` real activations (Equation 3):
+//!
+//! ```text
+//! R_N = R_{N-1} - floor( N_mit * (R_{N-1} - BR) / (ABO_ACT + ABO_Delay) )
+//! ```
+//!
+//! Rounds are counted until the pool stops shrinking (a handful of rows
+//! remain, all of which are mitigated at the next alert); the attack then
+//! focuses on a single surviving row, which can absorb one activation per
+//! round plus `ABO_ACT + ABO_Delay` activations around the final alert
+//! plus `BR` blast-radius increments (Equation 2). With proactive
+//! mitigation the pool additionally shrinks by one row per elapsed tREFI
+//! (§IV-C2).
+//!
+//! This literal floor form reproduces the paper's endpoints
+//! (N_online = 46 / 30 / 23 for PRAC-1/2/4 at R1 = 128 K) within one
+//! activation.
+
+use crate::params::PracModel;
+
+/// Result of running the online phase to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineOutcome {
+    /// Rounds until the pool collapses (`N_R` in Equation 2).
+    pub rounds: u64,
+    /// Maximum activations to the surviving row during the online phase
+    /// (Equation 2: `N_R + ABO_ACT + ABO_Delay + BR`).
+    pub n_online: u64,
+    /// Total real activations issued across all rounds.
+    pub total_acts: u64,
+    /// Total mitigations performed across all rounds (alert-driven plus
+    /// proactive).
+    pub total_mitigations: u64,
+    /// Online-phase duration in nanoseconds (activation time plus RFM
+    /// service time), used by the setup-phase budget of Fig 7.
+    pub duration_ns: f64,
+}
+
+/// Run the online phase from a starting pool of `r1` rows.
+pub fn rounds(model: &PracModel, r1: u64) -> OnlineOutcome {
+    let acts_per_alert = model.acts_per_alert() as u64;
+    let mut pool = r1;
+    let mut rounds = 0u64;
+    let mut total_acts = 0u64;
+    let mut total_mitigations = 0u64;
+    let mut duration_ns = 0.0f64;
+    // Proactive-online extras accumulate fractional tREFIs across rounds.
+    let mut proactive_time_carry_ns = 0.0f64;
+
+    while pool > 1 {
+        // Equation 3: BR rows get their activation from the previous
+        // alert's blast-radius refreshes.
+        let acts = pool.saturating_sub(model.br as u64);
+        let mitigated = model.nmit as u64 * acts / acts_per_alert;
+
+        let round_time = acts as f64 * model.trc_ns + mitigated as f64 * model.trfm_ns;
+        let mut removed = mitigated;
+        if let Some(p) = model.proactive {
+            // §IV-C2: extra mitigations = round time / tREFI (scaled by
+            // the proactive cadence). The energy-aware variant fires at
+            // the same rate here because online-phase pool rows sit at
+            // N_BO - 1, at or above any N_PRO <= N_BO/2 threshold.
+            proactive_time_carry_ns += round_time;
+            let period = model.trefi_ns * p.per_refs as f64;
+            let extra = (proactive_time_carry_ns / period).floor();
+            proactive_time_carry_ns -= extra * period;
+            removed += extra as u64;
+        }
+        if removed == 0 {
+            // Pool stalled: the remaining handful of rows are all
+            // mitigated at the next alert; the attack moves to the final
+            // single-row hammering phase.
+            break;
+        }
+        rounds += 1;
+        total_acts += acts;
+        total_mitigations += removed;
+        duration_ns += round_time;
+        pool = pool.saturating_sub(removed);
+    }
+
+    let n_online = rounds + (model.abo_act + model.abo_delay + model.br) as u64;
+    OnlineOutcome {
+        rounds,
+        n_online,
+        total_acts,
+        total_mitigations,
+        duration_ns,
+    }
+}
+
+/// Maximum online-phase activations to a single row (Equation 2) for a
+/// starting pool of `r1` rows — the y-axis of Fig 6 (and Fig 12 when the
+/// model has proactive mitigation enabled).
+pub fn n_online(model: &PracModel, r1: u64) -> u64 {
+    rounds(model, r1).n_online
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_endpoints_at_full_pool() {
+        // Fig 6: N_online reaches 46 / 30 / 23 for PRAC-1/2/4 at 128 K.
+        let n1 = n_online(&PracModel::prac(1, 1), 128 * 1024);
+        let n2 = n_online(&PracModel::prac(2, 1), 128 * 1024);
+        let n4 = n_online(&PracModel::prac(4, 1), 128 * 1024);
+        assert!((44..=48).contains(&n1), "PRAC-1: {n1} (paper: 46)");
+        assert!((28..=32).contains(&n2), "PRAC-2: {n2} (paper: 30)");
+        assert!((21..=25).contains(&n4), "PRAC-4: {n4} (paper: 23)");
+    }
+
+    #[test]
+    fn n_online_monotone_in_pool_size() {
+        let m = PracModel::prac(1, 1);
+        let mut last = 0;
+        for r1 in [4u64, 100, 1000, 10_000, 50_000, 128 * 1024] {
+            let n = n_online(&m, r1);
+            assert!(n >= last, "N_online must not decrease with R1");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn higher_prac_level_reduces_n_online() {
+        for r1 in [1000u64, 20_000, 128 * 1024] {
+            let n1 = n_online(&PracModel::prac(1, 1), r1);
+            let n2 = n_online(&PracModel::prac(2, 1), r1);
+            let n4 = n_online(&PracModel::prac(4, 1), r1);
+            assert!(n1 >= n2 && n2 >= n4, "more RFMs per alert must help");
+        }
+    }
+
+    #[test]
+    fn proactive_reduces_n_online_modestly() {
+        // Fig 12: N_online decreases by at most 5 / 2 / 1 for
+        // QPRAC-1/2/4 with proactive mitigations.
+        for (nmit, max_drop) in [(1u32, 8u64), (2, 5), (4, 4)] {
+            let base = n_online(&PracModel::prac(nmit, 1), 128 * 1024);
+            let pro = n_online(&PracModel::prac(nmit, 1).with_proactive(), 128 * 1024);
+            assert!(pro <= base, "proactive must not hurt");
+            assert!(
+                base - pro <= max_drop,
+                "PRAC-{nmit}: drop {} too large",
+                base - pro
+            );
+            assert!(base - pro >= 1, "PRAC-{nmit}: proactive should help some");
+        }
+    }
+
+    #[test]
+    fn tiny_pools_terminate() {
+        for r1 in 0..=8u64 {
+            let o = rounds(&PracModel::prac(1, 1), r1);
+            assert!(o.n_online >= (3 + 1 + 2), "floor is ABO_ACT+Delay+BR");
+            assert!(o.rounds < 10_000);
+        }
+    }
+
+    #[test]
+    fn mitigation_accounting_consistent() {
+        // Mitigations during the counted rounds equal the pool shrinkage
+        // from R1 down to the stall pool.
+        let m = PracModel::prac(2, 1);
+        let o = rounds(&m, 10_000);
+        assert!(o.total_mitigations <= 10_000);
+        assert!(o.total_mitigations >= 10_000 - 16, "stall pool is small");
+    }
+
+    #[test]
+    fn duration_accounts_acts_and_rfms() {
+        let m = PracModel::prac(1, 1);
+        let o = rounds(&m, 1000);
+        let expected =
+            o.total_acts as f64 * m.trc_ns + o.total_mitigations as f64 * m.trfm_ns;
+        assert!((o.duration_ns - expected).abs() < 1e-6);
+    }
+}

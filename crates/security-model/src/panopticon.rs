@@ -1,0 +1,167 @@
+//! Analytical models of the Panopticon attacks (paper §II-E1, Fig 2 and
+//! Fig 3; Appendix A, Fig 23).
+//!
+//! These closed forms mirror the paper's artifact scripts
+//! (`tbit_attack.py` etc.) and are cross-validated against step-by-step
+//! simulations in the `attack-engine` crate.
+
+/// Activation budget of one bank over a refresh window (§V: ~550 K), with
+/// the REF overhead discounted.
+pub fn bank_act_budget() -> u64 {
+    // (tREFW / tREFI) * floor((tREFI - tRFC) / tRC)
+    let refis = 32_000_000.0f64 / 3900.0;
+    let acts_per_refi = ((3900.0f64 - 410.0) / 52.0).floor();
+    (refis * acts_per_refi) as u64
+}
+
+/// Channel-level activation budget over a refresh window: activations to
+/// *different* banks are limited by `tRRD_S` (2.5 ns) rather than `tRC`.
+pub fn channel_act_budget() -> u64 {
+    let budget_ns = 32_000_000.0f64 * (1.0 - 410.0 / 3900.0);
+    (budget_ns / 2.5) as u64
+}
+
+/// **Toggle+Forget** (Fig 2): maximum unmitigated activations to the
+/// target row for Panopticon with t-bit toggling, a FIFO service queue of
+/// `queue_size`, and mitigation threshold `2^tbit`.
+///
+/// One attack iteration raises all `Q+1` rows by `M+1` activations
+/// (`M-1` uniform, `+1` to fill the queue, `+2` to the target during the
+/// non-blocking ABO window and `+2` catch-up for the queue rows); the
+/// target's t-bit toggle happens while the queue is full, so it is never
+/// inserted and keeps accumulating until tREFW ends.
+pub fn toggle_forget_max_acts(queue_size: u64, tbit: u32) -> u64 {
+    let m = 1u64 << tbit;
+    let per_iter_target = m + 1;
+    // Activations spent per iteration across the Q+1 attack rows:
+    // (Q+1)(M-1) round-robin + Q queue-filling + 2 ABO_ACT + 2Q catch-up.
+    let per_iter_cost = (queue_size + 1) * (m - 1) + queue_size + 2 + 2 * queue_size;
+    let iters = bank_act_budget() / per_iter_cost;
+    iters * per_iter_target
+}
+
+/// **Fill+Escape** (Fig 3): maximum unmitigated activations to the target
+/// for Panopticon *with full-counter comparison* (no t-bit shortcut),
+/// mitigation threshold `m`, and a FIFO queue of `queue_size`.
+///
+/// The attacker only touches the target with the 3 ABO_ACT activations
+/// allowed while the queue is full, so the target is never inserted.
+/// Each alert drains `N_mit = 4` entries plus one tREFI mitigation; the
+/// attacker refills with 5 fresh rows activated to `m` (5 m activations
+/// per 3 target activations).
+pub fn fill_escape_max_acts(queue_size: u64, m: u64) -> u64 {
+    let setup = (queue_size + 1) * (m - 1) + queue_size;
+    let budget = bank_act_budget().saturating_sub(setup);
+    let refill_cost = 5 * m;
+    let iters = budget / refill_cost;
+    // The target reaches m - 1 + 3 in setup/first window, then +3 per
+    // refill iteration, all unmitigated.
+    (m - 1) + 3 + 3 * iters
+}
+
+/// **Blocked-t-bit attack** (Fig 23, Appendix A): Panopticon that
+/// disallows ABO_ACT activations from toggling the t-bit. The attacker
+/// uses queue-filling alerts across all 32 banks of a rank and hammers
+/// the target only inside ABO windows; each alert requires refilling a
+/// queue with `Q` rows to threshold `m`, with refills pipelined across
+/// banks at channel activation bandwidth.
+pub fn blocked_tbit_max_acts(queue_size: u64, m: u64) -> u64 {
+    let per_alert_cost = queue_size * m; // channel activations per alert
+    let alerts = channel_act_budget() / per_alert_cost;
+    3 * alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_budget_matches_paper() {
+        let b = bank_act_budget();
+        assert!((520_000..=580_000).contains(&b), "budget {b} (paper ~550K)");
+    }
+
+    #[test]
+    fn toggle_forget_matches_fig2_anchors() {
+        // Fig 2: >100K unmitigated ACTs at Q=4; ~25K at Q=16.
+        let q4 = toggle_forget_max_acts(4, 8);
+        let q16 = toggle_forget_max_acts(16, 8);
+        assert!(q4 > 90_000, "Q=4: {q4} (paper >100K)");
+        assert!((18_000..=36_000).contains(&q16), "Q=16: {q16} (paper ~25K)");
+    }
+
+    #[test]
+    fn toggle_forget_independent_of_tbit() {
+        // Fig 2: "This vulnerability is independent of the mitigation
+        // threshold (t-bit)". The per-iteration gain and cost both scale
+        // with M, so the totals for different t differ by <15%.
+        for q in [4u64, 8, 16] {
+            let a = toggle_forget_max_acts(q, 6) as f64;
+            let b = toggle_forget_max_acts(q, 10) as f64;
+            assert!((a - b).abs() / a < 0.15, "q={q}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn toggle_forget_decreases_with_queue_size() {
+        let mut last = u64::MAX;
+        for q in [4u64, 6, 8, 10, 12, 14, 16] {
+            let v = toggle_forget_max_acts(q, 8);
+            assert!(v < last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn toggle_forget_breaks_sub100_trh() {
+        // The paper's security claim: the target can exceed 100x a
+        // sub-100 T_RH without mitigation.
+        assert!(toggle_forget_max_acts(16, 10) > 100 * 100);
+    }
+
+    #[test]
+    fn fill_escape_matches_fig3_anchor() {
+        // Fig 3: minimum ~1283 unmitigated ACTs at threshold 512; higher
+        // at lower thresholds.
+        let at_512 = fill_escape_max_acts(4, 512);
+        assert!(
+            (1_000..=1_600).contains(&at_512),
+            "Q=4, M=512: {at_512} (paper 1283)"
+        );
+        let at_64 = fill_escape_max_acts(4, 64);
+        assert!(at_64 > 4_000, "M=64: {at_64} (paper ~5-6K)");
+    }
+
+    #[test]
+    fn fill_escape_minimum_is_interior() {
+        // Fig 3: the curve dips in the mid thresholds and rises at both
+        // ends (low M = cheap refills; high M = big unmitigated setup).
+        let low = fill_escape_max_acts(8, 64);
+        let mid = fill_escape_max_acts(8, 512);
+        let high = fill_escape_max_acts(8, 4096);
+        assert!(mid < low, "mid {mid} < low {low}");
+        assert!(mid < high, "mid {mid} < high {high}");
+    }
+
+    #[test]
+    fn fill_escape_insecure_below_1280() {
+        // §II-E1: "even the optimized version of Panopticon is insecure
+        // below a T_RH of 1280".
+        let worst = (6..=12)
+            .map(|t| fill_escape_max_acts(4, 1 << t))
+            .min()
+            .unwrap();
+        assert!(worst >= 1_000, "worst-case {worst}");
+    }
+
+    #[test]
+    fn blocked_tbit_still_insecure() {
+        // Fig 23: ~1800+ unmitigated ACTs at M=1024 => still insecure
+        // below T_RH ~1200 (Appendix A conclusion).
+        let v = blocked_tbit_max_acts(16, 1024);
+        assert!(v > 1_200, "Q=16, M=1024: {v}");
+        // And it decreases with both threshold and queue size.
+        assert!(blocked_tbit_max_acts(16, 4096) < v);
+        assert!(blocked_tbit_max_acts(64, 1024) < v);
+    }
+}

@@ -1,0 +1,127 @@
+//! Model parameters shared by all analytical computations.
+
+/// Proactive mitigation as seen by the analytical model (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProactiveModel {
+    /// One proactive mitigation every `per_refs` tREFIs (1 = every REF).
+    pub per_refs: u32,
+    /// Energy-aware threshold `N_PRO`; `None` models QPRAC+Proactive
+    /// (mitigate on every eligible REF regardless of count).
+    pub npro: Option<u32>,
+}
+
+/// Analytical model of a PRAC-based defense (paper Table I/II values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PracModel {
+    /// RFMs issued per alert (PRAC level: 1, 2 or 4).
+    pub nmit: u32,
+    /// Max ACTs between Alert and first RFM (JEDEC: 3).
+    pub abo_act: u32,
+    /// Min ACTs after RFMs before the next Alert (JEDEC: `nmit`).
+    pub abo_delay: u32,
+    /// Blast radius of each mitigation.
+    pub br: u32,
+    /// Back-Off threshold.
+    pub nbo: u32,
+    /// Rows per bank (starting-pool cap).
+    pub rows_per_bank: u64,
+    /// Activations per tREFI sustained by one bank (paper: 67).
+    pub acts_per_trefi: u64,
+    /// Row-cycle time in nanoseconds.
+    pub trc_ns: f64,
+    /// Single-RFM duration in nanoseconds.
+    pub trfm_ns: f64,
+    /// Refresh interval in nanoseconds.
+    pub trefi_ns: f64,
+    /// Refresh command duration in nanoseconds.
+    pub trfc_ns: f64,
+    /// Refresh window (attack time budget) in nanoseconds.
+    pub trefw_ns: f64,
+    /// Proactive mitigation model, if enabled.
+    pub proactive: Option<ProactiveModel>,
+}
+
+impl PracModel {
+    /// PRAC-N with the paper's Table II timing constants and a given
+    /// Back-Off threshold.
+    pub fn prac(nmit: u32, nbo: u32) -> Self {
+        assert!(matches!(nmit, 1 | 2 | 4), "PRAC level must be 1, 2 or 4");
+        assert!(nbo >= 1);
+        PracModel {
+            nmit,
+            abo_act: 3,
+            abo_delay: nmit,
+            br: 2,
+            nbo,
+            rows_per_bank: 128 * 1024,
+            acts_per_trefi: 67,
+            trc_ns: 52.0,
+            trfm_ns: 350.0,
+            trefi_ns: 3900.0,
+            trfc_ns: 410.0,
+            trefw_ns: 32_000_000.0,
+            proactive: None,
+        }
+    }
+
+    /// Enable proactive mitigation on every REF (QPRAC+Proactive).
+    pub fn with_proactive(mut self) -> Self {
+        self.proactive = Some(ProactiveModel { per_refs: 1, npro: None });
+        self
+    }
+
+    /// Enable energy-aware proactive mitigation with `N_PRO = N_BO / 2`
+    /// (QPRAC+Proactive-EA).
+    pub fn with_proactive_ea(mut self) -> Self {
+        self.proactive = Some(ProactiveModel {
+            per_refs: 1,
+            npro: Some((self.nbo / 2).max(1)),
+        });
+        self
+    }
+
+    /// Attack time budget: the refresh window minus the fraction consumed
+    /// by REF commands themselves.
+    pub fn attack_budget_ns(&self) -> f64 {
+        self.trefw_ns * (1.0 - self.trfc_ns / self.trefi_ns)
+    }
+
+    /// ACTs attackable per alert window (ABO_ACT + ABO_Delay) —
+    /// the alert cadence denominator of Equation (3).
+    pub fn acts_per_alert(&self) -> u32 {
+        self.abo_act + self.abo_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prac_levels_set_abo_delay() {
+        assert_eq!(PracModel::prac(1, 32).acts_per_alert(), 4);
+        assert_eq!(PracModel::prac(2, 32).acts_per_alert(), 5);
+        assert_eq!(PracModel::prac(4, 32).acts_per_alert(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "PRAC level")]
+    fn invalid_level_rejected() {
+        let _ = PracModel::prac(3, 32);
+    }
+
+    #[test]
+    fn budget_excludes_refresh_time() {
+        let m = PracModel::prac(1, 32);
+        let budget = m.attack_budget_ns();
+        assert!(budget < m.trefw_ns);
+        // 410/3900 ~ 10.5% of the window goes to REF.
+        assert!((budget / m.trefw_ns - 0.8949).abs() < 0.01);
+    }
+
+    #[test]
+    fn proactive_ea_threshold_is_half_nbo() {
+        let m = PracModel::prac(1, 32).with_proactive_ea();
+        assert_eq!(m.proactive.unwrap().npro, Some(16));
+    }
+}

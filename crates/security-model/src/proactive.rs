@@ -1,0 +1,105 @@
+//! Convenience wrappers for the proactive-mitigation analyses of §IV-C
+//! (Figs 11, 12 and 13). The underlying math lives in [`crate::online`]
+//! and [`crate::setup`]; these helpers pair the with/without-proactive
+//! variants the figures plot side by side.
+
+use crate::online;
+use crate::params::PracModel;
+use crate::setup;
+use crate::trh;
+
+/// Maximum feasible starting pool with proactive mitigation enabled
+/// (Fig 11). Returns 0 when proactive mitigation defeats the attack.
+pub fn max_r1_proactive(nmit: u32, nbo: u32) -> u64 {
+    setup::max_r1(&PracModel::prac(nmit, nbo).with_proactive())
+}
+
+/// Online-phase activations with proactive mitigation for a given pool
+/// (Fig 12).
+pub fn n_online_proactive(nmit: u32, r1: u64) -> u64 {
+    online::n_online(&PracModel::prac(nmit, 1).with_proactive(), r1)
+}
+
+/// Minimum secure `T_RH` with proactive mitigation (Fig 13).
+pub fn secure_trh_proactive(nmit: u32, nbo: u32) -> u64 {
+    trh::secure_trh(&PracModel::prac(nmit, nbo).with_proactive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trh::secure_trh;
+
+    #[test]
+    fn paper_anchor_trh_nbo1_with_proactive() {
+        // Fig 13: at N_BO = 1 proactive drops T_RH to 40 / 27 / 20 for
+        // QPRAC-1/2/4 (from 44 / 29 / 22 without).
+        let t1 = secure_trh_proactive(1, 1);
+        let t2 = secure_trh_proactive(2, 1);
+        let t4 = secure_trh_proactive(4, 1);
+        assert!((37..=43).contains(&t1), "QPRAC-1+Pro: {t1} (paper 40)");
+        assert!((24..=30).contains(&t2), "QPRAC-2+Pro: {t2} (paper 27)");
+        assert!((18..=23).contains(&t4), "QPRAC-4+Pro: {t4} (paper 20)");
+    }
+
+    #[test]
+    fn paper_anchor_trh_nbo32_with_proactive() {
+        // Fig 13 / §IV-C: at the default N_BO = 32 proactive defends
+        // T_RH of 66 / 55 / 50 (vs 71 / 58 / 52 without).
+        let t1 = secure_trh_proactive(1, 32);
+        let t2 = secure_trh_proactive(2, 32);
+        let t4 = secure_trh_proactive(4, 32);
+        assert!((62..=69).contains(&t1), "QPRAC-1+Pro: {t1} (paper 66)");
+        assert!((51..=58).contains(&t2), "QPRAC-2+Pro: {t2} (paper 55)");
+        assert!((46..=53).contains(&t4), "QPRAC-4+Pro: {t4} (paper 50)");
+    }
+
+    #[test]
+    fn proactive_never_hurts_security() {
+        for nmit in [1u32, 2, 4] {
+            for nbo in [1u32, 8, 32, 64, 128, 256] {
+                let without = secure_trh(&PracModel::prac(nmit, nbo));
+                let with = secure_trh_proactive(nmit, nbo);
+                assert!(
+                    with <= without,
+                    "PRAC-{nmit} N_BO={nbo}: proactive {with} > plain {without}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proactive_r1_zero_at_high_nbo() {
+        // Fig 11: the attack pool vanishes for N_BO >= 128.
+        assert_eq!(max_r1_proactive(1, 128), 0);
+        assert_eq!(max_r1_proactive(1, 256), 0);
+        assert!(max_r1_proactive(1, 16) > 0);
+    }
+
+    #[test]
+    fn proactive_allows_larger_r1_at_low_nbo() {
+        // Fig 11 discussion: for small N_BO the shorter online phase
+        // allows a *larger* feasible R1 than without proactive.
+        let with = max_r1_proactive(1, 1);
+        let without = setup::max_r1(&PracModel::prac(1, 1));
+        assert!(
+            with >= without,
+            "with={with} without={without}: shorter online frees budget"
+        );
+    }
+
+    #[test]
+    fn ea_security_between_plain_and_proactive() {
+        // §IV-C: QPRAC+Proactive-EA achieves a security level between
+        // QPRAC and QPRAC+Proactive.
+        for nbo in [16u32, 32, 64] {
+            let plain = secure_trh(&PracModel::prac(1, nbo));
+            let ea = secure_trh(&PracModel::prac(1, nbo).with_proactive_ea());
+            let pro = secure_trh(&PracModel::prac(1, nbo).with_proactive());
+            assert!(
+                pro <= ea && ea <= plain,
+                "N_BO={nbo}: pro={pro} ea={ea} plain={plain}"
+            );
+        }
+    }
+}

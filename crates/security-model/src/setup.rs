@@ -1,0 +1,170 @@
+//! Setup-phase model: how large a starting row pool (`R1`) fits in the
+//! refresh window (paper §IV-A3, Fig 7; §IV-C1, Fig 11).
+//!
+//! The setup phase activates each of `R1` rows `N_BO - 1` times (staying
+//! under the alert threshold). Setup and online phases together must fit
+//! within tREFW. With proactive mitigation, one pool row is mitigated
+//! (counter reset, i.e. removed from the pool) every elapsed tREFI once
+//! the pool's counts reach the proactive threshold (§IV-C1: `M = A / 67`).
+
+use crate::online;
+use crate::params::PracModel;
+
+/// Real activations issued during setup for a pool of `r1` rows.
+pub fn setup_acts(model: &PracModel, r1: u64) -> u64 {
+    r1 * (model.nbo as u64 - 1)
+}
+
+/// Setup-phase duration in nanoseconds.
+pub fn setup_time_ns(model: &PracModel, r1: u64) -> f64 {
+    setup_acts(model, r1) as f64 * model.trc_ns
+}
+
+/// Pool rows surviving the setup phase after proactive mitigations
+/// (equals `r1` when the model has no proactive mitigation).
+///
+/// §IV-C1: the number of proactive mitigations is the number of setup
+/// activations divided by the activations per tREFI (67), scaled by the
+/// proactive cadence. The energy-aware variant only mitigates once the
+/// hottest tracked count reaches `N_PRO`, so the activations issued while
+/// every pool row is still below `N_PRO` do not incur mitigations.
+pub fn surviving_pool(model: &PracModel, r1: u64) -> u64 {
+    let Some(p) = model.proactive else {
+        return r1;
+    };
+    let nbo = model.nbo as u64;
+    // Activations issued while proactive mitigation is actually firing.
+    let guarded_acts = match p.npro {
+        None => r1 * (nbo - 1),
+        Some(npro) => {
+            let npro = npro as u64;
+            if npro >= nbo {
+                0
+            } else {
+                // Uniform round-robin setup: all rows climb together, so
+                // the PSQ max crosses N_PRO once ~N_PRO - 1 activations
+                // per row have been issued.
+                r1 * (nbo - npro)
+            }
+        }
+    };
+    let mitigations = guarded_acts / (model.acts_per_trefi * p.per_refs as u64);
+    r1.saturating_sub(mitigations)
+}
+
+/// The largest starting pool `R1` for which setup + online fit within the
+/// attack budget and at least one row survives to the online phase.
+/// Returns 0 when no pool works (proactive mitigation defeats the attack
+/// entirely — Fig 11 at N_BO >= 128).
+pub fn max_r1(model: &PracModel) -> u64 {
+    let fits = |r1: u64| -> bool {
+        if r1 == 0 {
+            return true;
+        }
+        if surviving_pool(model, r1) == 0 {
+            return false;
+        }
+        let online = online::rounds(model, surviving_pool(model, r1));
+        setup_time_ns(model, r1) + online.duration_ns <= model.attack_budget_ns()
+    };
+    // `fits` is monotone (larger pools cost more time); binary search.
+    let mut lo = 0u64; // known feasible
+    let mut hi = model.rows_per_bank + 1; // known infeasible or cap
+    if fits(model.rows_per_bank) {
+        return model.rows_per_bank;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_nbo1() {
+        // Fig 7: at N_BO = 1 the setup is free and R1 is online-limited,
+        // "ranging from 50K to 62K for PRAC-1 to PRAC-4".
+        let r1_prac1 = max_r1(&PracModel::prac(1, 1));
+        let r1_prac4 = max_r1(&PracModel::prac(4, 1));
+        assert!(
+            (42_000..=60_000).contains(&r1_prac1),
+            "PRAC-1 R1 = {r1_prac1} (paper: ~50K)"
+        );
+        assert!(
+            (52_000..=75_000).contains(&r1_prac4),
+            "PRAC-4 R1 = {r1_prac4} (paper: ~62K)"
+        );
+        assert!(r1_prac4 > r1_prac1, "more RFMs per alert -> shorter online");
+    }
+
+    #[test]
+    fn paper_anchor_nbo256() {
+        // Fig 7: at N_BO = 256 the setup dominates and R1 drops to ~2K.
+        let r1 = max_r1(&PracModel::prac(1, 256));
+        assert!((1_500..=2_600).contains(&r1), "R1 = {r1} (paper: ~2K)");
+    }
+
+    #[test]
+    fn max_r1_decreases_with_nbo() {
+        let mut last = u64::MAX;
+        for nbo in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let r1 = max_r1(&PracModel::prac(1, nbo));
+            assert!(r1 <= last, "R1 must not grow with N_BO");
+            last = r1;
+        }
+    }
+
+    #[test]
+    fn surviving_pool_without_proactive_is_identity() {
+        let m = PracModel::prac(1, 32);
+        assert_eq!(surviving_pool(&m, 12345), 12345);
+    }
+
+    #[test]
+    fn proactive_defeats_attack_at_high_nbo() {
+        // Fig 11: N_BO of 128 and 256 completely defeat the attack: the
+        // setup needs >= 67 ACTs/row while proactive mitigation removes
+        // one row per 67 ACTs.
+        for nbo in [128u32, 256] {
+            let m = PracModel::prac(1, nbo).with_proactive();
+            assert_eq!(max_r1(&m), 0, "N_BO={nbo} should defeat the attack");
+        }
+        // ... but N_BO = 32 does not.
+        let m = PracModel::prac(1, 32).with_proactive();
+        assert!(max_r1(&m) > 0);
+    }
+
+    #[test]
+    fn proactive_shrinks_surviving_pool() {
+        let base = PracModel::prac(1, 32);
+        let pro = base.with_proactive();
+        let r1 = 10_000;
+        assert!(surviving_pool(&pro, r1) < surviving_pool(&base, r1));
+        // N_BO = 32: survival fraction 1 - 31/67 ~ 0.537.
+        let s = surviving_pool(&pro, r1) as f64 / r1 as f64;
+        assert!((s - 0.537).abs() < 0.02, "fraction {s}");
+    }
+
+    #[test]
+    fn energy_aware_sits_between_plain_and_proactive() {
+        let r1 = 10_000;
+        let plain = surviving_pool(&PracModel::prac(1, 32), r1);
+        let ea = surviving_pool(&PracModel::prac(1, 32).with_proactive_ea(), r1);
+        let pro = surviving_pool(&PracModel::prac(1, 32).with_proactive(), r1);
+        assert!(pro < ea && ea < plain, "pro={pro} ea={ea} plain={plain}");
+    }
+
+    #[test]
+    fn setup_time_zero_at_nbo1() {
+        assert_eq!(setup_time_ns(&PracModel::prac(1, 1), 50_000), 0.0);
+        assert!(setup_time_ns(&PracModel::prac(1, 2), 50_000) > 0.0);
+    }
+}

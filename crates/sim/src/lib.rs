@@ -1,0 +1,57 @@
+//! # sim
+//!
+//! The full-system simulator of the QPRAC reproduction: trace-driven
+//! out-of-order cores, shared LLC, FR-FCFS memory controller and the
+//! PRAC-enabled DRAM device with a hosted Rowhammer mitigation.
+//!
+//! - [`SystemConfig`]/[`MitigationKind`] select the evaluated design
+//!   (paper §V);
+//! - [`System`] binds the substrates and runs until every core retires
+//!   its instruction budget;
+//! - [`run_workload`] is the one-call entry used by the figure binaries;
+//! - [`attack`] implements the §VI-E multi-bank performance attack
+//!   (Fig 19).
+//!
+//! ## Example
+//!
+//! ```
+//! use sim::{run_workload, MitigationKind, SystemConfig};
+//! use cpu_model::WorkloadSpec;
+//!
+//! let cfg = SystemConfig::paper_default()
+//!     .with_mitigation(MitigationKind::Qprac)
+//!     .with_instruction_limit(3_000);
+//! let stats = run_workload(&cfg, &WorkloadSpec::by_name("ycsb/c_like").unwrap());
+//! assert!(stats.ipc_sum() > 0.0);
+//! ```
+
+pub mod attack;
+pub mod config;
+pub mod stats;
+pub mod system;
+
+pub use attack::{run_bandwidth_attack, BwAttackStats};
+pub use config::{MitigationKind, SystemConfig};
+pub use stats::{geomean, RunStats};
+pub use system::System;
+
+use cpu_model::{TraceSource, WorkloadSpec};
+
+/// Run `cfg.cores` homogeneous copies of `workload` and return the run
+/// statistics (the paper's methodology: four copies per workload).
+pub fn run_workload(cfg: &SystemConfig, workload: &WorkloadSpec) -> RunStats {
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| Box::new(workload.source(i as u64)) as Box<dyn TraceSource>)
+        .collect();
+    System::new(cfg.clone(), traces, workload.params.mlp).run()
+}
+
+/// Run a workload under a mitigation and under the insecure baseline,
+/// returning `(mitigated, baseline)` — the pair every performance figure
+/// needs.
+pub fn run_vs_baseline(cfg: &SystemConfig, workload: &WorkloadSpec) -> (RunStats, RunStats) {
+    let base_cfg = cfg.clone().with_mitigation(MitigationKind::None);
+    let mitigated = run_workload(cfg, workload);
+    let baseline = run_workload(&base_cfg, workload);
+    (mitigated, baseline)
+}

@@ -1,0 +1,327 @@
+//! The full system: cores + shared LLC + memory controller + DRAM with a
+//! hosted mitigation, clocked at the paper's 4 GHz core / 3.2 GHz memory
+//! ratio (exact 4:5 rational stepping).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use cpu_model::{
+    CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource,
+};
+use dram_core::{AddressMapper, DramDevice};
+use energy_model::{EnergyBreakdown, EnergyParams};
+use mem_ctrl::{MemoryController, ReqKind};
+
+use crate::config::SystemConfig;
+use crate::stats::RunStats;
+
+/// CPU-cycle cost of moving a filled line from the LLC to the core.
+const FILL_TO_USE: u64 = 10;
+
+/// The memory side visible to cores: LLC + issue/wakeup plumbing.
+struct MemSide {
+    llc: Llc,
+    /// `(due_cpu_cycle, token)` load completions.
+    ready: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Lines waiting to enter the memory controller: `(line, is_write)`.
+    pending_issue: VecDeque<(u64, bool)>,
+    cpu_cycle: u64,
+}
+
+impl CoreMem for MemSide {
+    fn load(&mut self, line: u64, token: u64) -> bool {
+        match self.llc.access(line, false, token) {
+            LlcAccess::Hit => {
+                let due = self.cpu_cycle + self.llc.cfg().hit_latency;
+                self.ready.push(Reverse((due, token)));
+                true
+            }
+            LlcAccess::MissFetch => {
+                self.pending_issue.push_back((line, false));
+                true
+            }
+            LlcAccess::MissMerged => true,
+            LlcAccess::Blocked => false,
+        }
+    }
+
+    fn store(&mut self, line: u64) -> bool {
+        match self.llc.access(line, true, u64::MAX) {
+            LlcAccess::Hit | LlcAccess::MissMerged => true,
+            LlcAccess::MissFetch => {
+                self.pending_issue.push_back((line, false));
+                true
+            }
+            LlcAccess::Blocked => false,
+        }
+    }
+}
+
+/// A full simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    /// CPU cycle each core reached its instruction limit (None = still
+    /// running toward it).
+    finished_at: Vec<Option<u64>>,
+    mem: MemSide,
+    mc: MemoryController,
+    mapper: AddressMapper,
+    cpu_cycle: u64,
+    mem_cycle: u64,
+    clock_acc: u64,
+}
+
+impl System {
+    /// Build a system running `traces[i]` on core `i`.
+    pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>, mlp: usize) -> Self {
+        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        let dram_cfg = cfg.dram_config();
+        let mapper = AddressMapper::new(&dram_cfg, cfg.mapping);
+        let device = {
+            let cfg_ref = &cfg;
+            DramDevice::new(dram_cfg.clone(), |bank| cfg_ref.make_tracker(bank))
+        };
+        let mc = MemoryController::new(cfg.mc_config(), device);
+        let core_cfg = CoreConfig {
+            max_outstanding_loads: mlp.max(1),
+            ..CoreConfig::paper_default()
+        };
+        let cores: Vec<Core> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(core_cfg, i, t))
+            .collect();
+        let n = cores.len();
+        System {
+            cores,
+            finished_at: vec![None; n],
+            mem: MemSide {
+                llc: Llc::new(CacheConfig::paper_default()),
+                ready: BinaryHeap::new(),
+                pending_issue: VecDeque::new(),
+                cpu_cycle: 0,
+            },
+            mc,
+            mapper,
+            cpu_cycle: 0,
+            mem_cycle: 0,
+            clock_acc: 0,
+            cfg,
+        }
+    }
+
+    /// Advance one CPU cycle (cores) plus the proportional memory work.
+    fn step(&mut self) {
+        self.cpu_cycle += 1;
+        self.mem.cpu_cycle = self.cpu_cycle;
+
+        // Deliver due load completions.
+        while let Some(&Reverse((due, token))) = self.mem.ready.peek() {
+            if due > self.cpu_cycle {
+                break;
+            }
+            self.mem.ready.pop();
+            let core = (token >> 48) as usize;
+            self.cores[core].finish_load(token);
+        }
+
+        // Core ticks, in rotating order: shared-resource arbitration
+        // (LLC MSHRs, controller queues) must not systematically favor
+        // lower-numbered cores, or heavy workloads starve the last core.
+        let n = self.cores.len();
+        let start = (self.cpu_cycle as usize) % n;
+        for k in 0..n {
+            let i = (start + k) % n;
+            self.cores[i].tick(&mut self.mem);
+            if self.finished_at[i].is_none()
+                && self.cores[i].retired() >= self.cfg.instr_limit
+            {
+                self.finished_at[i] = Some(self.cpu_cycle);
+            }
+        }
+
+        // Memory clock: 4 memory cycles per 5 CPU cycles (3.2/4 GHz).
+        self.clock_acc += 4;
+        while self.clock_acc >= 5 {
+            self.clock_acc -= 5;
+            self.mem_cycle += 1;
+            self.mem_tick();
+        }
+    }
+
+    fn mem_tick(&mut self) {
+        // Feed pending LLC misses/writebacks into the controller.
+        while let Some(&(line, is_write)) = self.mem.pending_issue.front() {
+            let addr = self.mapper.decode(line % self.mapper.num_lines());
+            let kind = if is_write { ReqKind::Write } else { ReqKind::Read };
+            if self.mc.enqueue(kind, addr, line, self.mem_cycle).is_some() {
+                self.mem.pending_issue.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.mc.tick(self.mem_cycle);
+        for done in self.mc.drain_completions() {
+            if !done.was_read {
+                continue;
+            }
+            let out = self.mem.llc.fill(done.tag);
+            for token in out.waiters {
+                let due = self.cpu_cycle + FILL_TO_USE;
+                self.mem.ready.push(Reverse((due, token)));
+            }
+            if let Some(victim) = out.writeback {
+                self.mem.pending_issue.push_back((victim, true));
+            }
+        }
+    }
+
+    /// Run until every core retires the configured instruction limit.
+    /// Returns the aggregated statistics.
+    pub fn run(mut self) -> RunStats {
+        let safety_cap = self.cfg.instr_limit.saturating_mul(4000).max(10_000_000);
+        let debug = std::env::var("QPRAC_DEBUG_PROGRESS").is_ok();
+        while self.finished_at.iter().any(Option::is_none) {
+            self.step();
+            if debug && self.cpu_cycle % 2_000_000 == 0 {
+                let per_core: Vec<(u64, usize, usize)> = self
+                    .cores
+                    .iter()
+                    .map(|c| (c.retired(), c.outstanding_loads(), c.rob_len()))
+                    .collect();
+                eprintln!(
+                    "[sim] cycle={} cores(ret,out,rob)={per_core:?} acts={} alerts={} pending_reads={} pending_issue={} mshrs={}",
+                    self.cpu_cycle,
+                    self.mc.device().stats().acts,
+                    self.mc.device().stats().alerts,
+                    self.mc.pending_reads(),
+                    self.mem.pending_issue.len(),
+                    self.mem.llc.mshrs_in_use(),
+                );
+            }
+            assert!(
+                self.cpu_cycle < safety_cap,
+                "simulation exceeded {safety_cap} cycles — livelock?"
+            );
+        }
+        self.collect()
+    }
+
+    fn collect(self) -> RunStats {
+        let core_ipc: Vec<f64> = self
+            .finished_at
+            .iter()
+            .map(|f| {
+                let cycles = f.expect("run() waits for all cores") as f64;
+                self.cfg.instr_limit as f64 / cycles
+            })
+            .collect();
+        let mut cpu = CoreStats::default();
+        for c in &self.cores {
+            let s = c.stats();
+            cpu.retired += s.retired;
+            cpu.cycles = cpu.cycles.max(s.cycles);
+            cpu.loads += s.loads;
+            cpu.stores += s.stores;
+            cpu.stall_cycles += s.stall_cycles;
+        }
+        let device = self.mc.device().stats().clone();
+        let dram_cfg = self.mc.device().cfg();
+        let runtime_ns = self.mem_cycle as f64 * 1000.0 / dram_cfg.freq_mhz as f64;
+        let energy =
+            EnergyBreakdown::from_stats(&device, &EnergyParams::default(), runtime_ns);
+        RunStats {
+            cpu_cycles: self.cpu_cycle,
+            mem_cycles: self.mem_cycle,
+            core_ipc,
+            cpu,
+            cache: *self.mem.llc.stats(),
+            mc: self.mc.stats().clone(),
+            device,
+            energy,
+            runtime_ns,
+            trefi_cycles: dram_cfg.timing.trefi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MitigationKind;
+    use cpu_model::WorkloadSpec;
+
+    fn run_named(workload: &str, kind: MitigationKind, instrs: u64) -> RunStats {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(kind)
+            .with_instruction_limit(instrs);
+        let spec = WorkloadSpec::by_name(workload).unwrap();
+        let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+            .map(|i| Box::new(spec.source(i as u64)) as Box<dyn TraceSource>)
+            .collect();
+        System::new(cfg, traces, spec.params.mlp).run()
+    }
+
+    #[test]
+    fn baseline_run_retires_and_refreshes() {
+        // Memory-bound workload: enough memory cycles elapse to cross
+        // several tREFI boundaries.
+        let s = run_named("ycsb/a_like", MitigationKind::None, 10_000);
+        assert_eq!(s.core_ipc.len(), 4);
+        assert!(s.core_ipc.iter().all(|&ipc| ipc > 0.0));
+        assert!(s.instructions() >= 40_000);
+        assert!(s.device.refs > 0, "refresh must run");
+        assert_eq!(s.device.alerts, 0, "no mitigation, no alerts");
+    }
+
+    #[test]
+    fn memory_bound_workload_touches_dram() {
+        let s = run_named("ycsb/a_like", MitigationKind::None, 5_000);
+        assert!(s.device.acts > 100, "acts = {}", s.device.acts);
+        assert!(s.rbmpki() > 1.0, "rbmpki = {}", s.rbmpki());
+        assert!(s.cache.misses > 0);
+    }
+
+    #[test]
+    fn compute_bound_workload_mostly_hits() {
+        let s = run_named("media/gsm_like", MitigationKind::None, 5_000);
+        assert!(
+            s.rbmpki() < 5.0,
+            "cache-friendly workload, rbmpki = {}",
+            s.rbmpki()
+        );
+    }
+
+    #[test]
+    fn qprac_proactive_mitigates_under_hot_workload() {
+        // Proactive mitigation drains PSQ tops on every REF, so any
+        // memory-bound run that crosses a tREFI boundary mitigates.
+        let s = run_named("ycsb/a_like", MitigationKind::QpracProactive, 10_000);
+        assert!(
+            s.device.mitigations_proactive > 0,
+            "REF-shadow mitigations must fire: {:?}",
+            s.device
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_named("tpc/tpcc64_like", MitigationKind::Qprac, 3_000);
+        let b = run_named("tpc/tpcc64_like", MitigationKind::Qprac, 3_000);
+        assert_eq!(a.cpu_cycles, b.cpu_cycles);
+        assert_eq!(a.device, b.device);
+    }
+
+    #[test]
+    fn proactive_reduces_alerts() {
+        let plain = run_named("ycsb/d_like", MitigationKind::QpracNoOp, 8_000);
+        let pro = run_named("ycsb/d_like", MitigationKind::QpracProactive, 8_000);
+        assert!(
+            pro.device.alerts <= plain.device.alerts,
+            "proactive {} vs noop {}",
+            pro.device.alerts,
+            plain.device.alerts
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Implement a custom Rowhammer tracker against the `dram-core`
+//! mitigation interface and pit it against the Fill+Escape attack.
+//!
+//! The example builds a naive "biggest count wins" single-entry tracker
+//! and shows that (a) the trait is easy to implement, and (b) the
+//! activation-level engine immediately quantifies a design's security.
+//!
+//! ```sh
+//! cargo run --release --example custom_mitigation
+//! ```
+
+use attack_engine::engine::{ActEngine, EngineConfig};
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+use qprac::{Qprac, QpracConfig};
+
+/// A single-entry tracker: remembers the hottest row it has seen and
+/// alerts when that row reaches the threshold. (This is roughly MOAT
+/// with an enqueue threshold of 1.)
+#[derive(Debug)]
+struct HottestRow {
+    threshold: u32,
+    entry: Option<(RowId, u32)>,
+}
+
+impl InDramMitigation for HottestRow {
+    fn name(&self) -> &'static str {
+        "hottest-row-example"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        match self.entry {
+            Some((r, c)) if r == row => self.entry = Some((r, count.max(c))),
+            Some((_, c)) if count > c => self.entry = Some((row, count)),
+            None => self.entry = Some((row, count)),
+            _ => {}
+        }
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.entry.map_or(false, |(_, c)| c >= self.threshold)
+    }
+
+    fn on_rfm(&mut self, _c: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        self.entry.take().map(|(r, _)| r)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        17 + 24
+    }
+}
+
+/// Hammer two rows alternately and report the worst unmitigated count.
+fn alternating_hammer(tracker: Box<dyn InDramMitigation>) -> u32 {
+    let cfg = EngineConfig {
+        rows: 4096,
+        trefw_ns: 2_000_000.0, // 2 ms window keeps the example snappy
+        ..EngineConfig::paper_default(1)
+    };
+    let mut e = ActEngine::new(cfg, tracker);
+    while !e.budget_exhausted() {
+        e.activate(RowId(100));
+        e.activate(RowId(200));
+    }
+    e.stats().max_count_ever
+}
+
+fn main() {
+    let naive = alternating_hammer(Box::new(HottestRow { threshold: 32, entry: None }));
+    let qprac = alternating_hammer(Box::new(Qprac::new(QpracConfig::paper_default())));
+    println!("worst unmitigated activation count under a two-row hammer:");
+    println!("  hottest-row tracker : {naive}");
+    println!("  QPRAC (5-entry PSQ) : {qprac}");
+    println!();
+    println!("Even two alternating rows defeat the single-entry tracker: each");
+    println!("row displaces the other before the alert threshold is reached and");
+    println!("the mitigation always lands on whichever row is captured, letting");
+    println!("the other keep climbing. QPRAC's PSQ holds both rows at once and");
+    println!("stays pinned at N_BO plus the ABO slack.");
+}

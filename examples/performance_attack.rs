@@ -1,0 +1,49 @@
+//! Reproduce the §VI-E performance attack (Fig 19 scenario): hammer
+//! several banks to trigger an Alert/RFM storm and measure how much
+//! activation bandwidth survives under each RFM flavor.
+//!
+//! ```sh
+//! cargo run --release --example performance_attack
+//! ```
+
+use dram_core::RfmKind;
+use sim::{run_bandwidth_attack, MitigationKind, SystemConfig};
+
+fn main() {
+    let window = 400_000; // 125 us at 3200 MHz
+    let banks = 8;
+    let nbo = 32;
+
+    let base_cfg = SystemConfig::paper_default()
+        .with_mitigation(MitigationKind::None)
+        .with_nbo(nbo);
+    let base = run_bandwidth_attack(&base_cfg, banks, window);
+    println!(
+        "no mitigation      : {:>7} ACTs ({:.0} ACTs/us)",
+        base.acts,
+        base.acts_per_us(3200)
+    );
+
+    for (label, kind, rfm) in [
+        ("QPRAC-RFMab", MitigationKind::Qprac, RfmKind::AllBank),
+        ("QPRAC-RFMab+Pro", MitigationKind::QpracProactive, RfmKind::AllBank),
+        ("QPRAC-RFMsb+Pro", MitigationKind::QpracProactive, RfmKind::SameBank),
+        ("QPRAC-RFMpb+Pro", MitigationKind::QpracProactive, RfmKind::PerBank),
+    ] {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(kind)
+            .with_nbo(nbo)
+            .with_alert_rfm_kind(rfm);
+        let s = run_bandwidth_attack(&cfg, banks, window);
+        println!(
+            "{label:<19}: {:>7} ACTs  ({} alerts, {} RFMs, {:.1}% bandwidth lost)",
+            s.acts,
+            s.alerts,
+            s.rfms,
+            s.reduction_vs(&base) * 100.0
+        );
+    }
+    println!();
+    println!("All-bank RFMs let an attacker collapse the whole channel; the");
+    println!("paper's proposed same-bank/per-bank RFMs contain the damage (§VI-E).");
+}

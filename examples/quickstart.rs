@@ -1,0 +1,51 @@
+//! Quickstart: simulate one workload under QPRAC and under the insecure
+//! baseline, and print what the mitigation cost.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cpu_model::WorkloadSpec;
+use sim::{run_workload, MitigationKind, SystemConfig};
+
+fn main() {
+    let workload = WorkloadSpec::by_name("ycsb/a_like").expect("known workload");
+    println!("workload: {} (4 homogeneous copies)", workload.name);
+
+    // The paper's default design: QPRAC with energy-aware proactive
+    // mitigation, N_BO = 32, one RFM per alert, 5-entry PSQ.
+    let cfg = SystemConfig::paper_default()
+        .with_mitigation(MitigationKind::QpracProactiveEa)
+        .with_instruction_limit(50_000);
+    let baseline_cfg = cfg.clone().with_mitigation(MitigationKind::None);
+
+    let baseline = run_workload(&baseline_cfg, &workload);
+    let qprac = run_workload(&cfg, &workload);
+
+    println!("baseline  : IPC sum = {:.3}", baseline.ipc_sum());
+    println!(
+        "QPRAC+EA  : IPC sum = {:.3}  (normalized perf {:.4})",
+        qprac.ipc_sum(),
+        qprac.normalized_perf(&baseline)
+    );
+    println!(
+        "alerts    : {} ({:.3} per tREFI)",
+        qprac.device.alerts,
+        qprac.alerts_per_trefi()
+    );
+    println!(
+        "mitigations: {} total ({} alert / {} opportunistic / {} proactive)",
+        qprac.device.mitigations(),
+        qprac.device.mitigations_alert,
+        qprac.device.mitigations_opportunistic,
+        qprac.device.mitigations_proactive
+    );
+    println!(
+        "energy    : +{:.2}% vs baseline",
+        qprac.energy.overhead_vs(&baseline.energy) * 100.0
+    );
+    println!(
+        "tracker   : {} bytes of SRAM per bank",
+        cfg.make_tracker(0).storage_bits() / 8
+    );
+}

@@ -1,0 +1,41 @@
+//! # qprac-suite
+//!
+//! Umbrella crate for the QPRAC (HPCA 2025) reproduction. It re-exports the
+//! workspace crates so the examples and integration tests can use one
+//! coherent namespace:
+//!
+//! - [`dram_core`] — DDR5 device model with PRAC counters and the ABO engine.
+//! - [`mem_ctrl`] — FR-FCFS memory controller with ABO/RFM support.
+//! - [`cpu_model`] — out-of-order cores, shared LLC, and the workload suite.
+//! - [`mitigations`] — baseline in-DRAM trackers (Panopticon, UPRAC, MOAT,
+//!   Mithril, PrIDE, Ideal).
+//! - [`qprac`] — the paper's contribution: the priority-based service queue
+//!   and all QPRAC variants.
+//! - [`attack_engine`] — activation-level security engine plus the
+//!   Toggle+Forget, Fill+Escape and Wave attacks.
+//! - [`security_model`] — closed-form security analysis (Equations 1–3).
+//! - [`energy_model`] — energy and storage overhead models.
+//! - [`sim`] — the full-system simulator and experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sim::{SystemConfig, MitigationKind, run_workload};
+//! use cpu_model::workloads::WorkloadSpec;
+//!
+//! let cfg = SystemConfig::default()
+//!     .with_mitigation(MitigationKind::QpracProactiveEa)
+//!     .with_instruction_limit(20_000);
+//! let stats = run_workload(&cfg, &WorkloadSpec::by_name("spec06/mcf_like").unwrap());
+//! assert!(stats.cpu.ipc() > 0.0);
+//! ```
+
+pub use attack_engine;
+pub use cpu_model;
+pub use dram_core;
+pub use energy_model;
+pub use mem_ctrl;
+pub use mitigations;
+pub use qprac;
+pub use security_model;
+pub use sim;

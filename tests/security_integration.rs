@@ -1,0 +1,149 @@
+//! Cross-crate security integration: the attacks, the analytical model
+//! and the trackers must tell one consistent story — the paper's central
+//! security claims.
+
+use attack_engine::engine::{ActEngine, EngineConfig};
+use attack_engine::{fill_escape, run_wave, toggle_forget};
+use dram_core::RowId;
+use qprac::{Qprac, QpracConfig, QpracIdeal};
+use security_model::{n_online, secure_trh, PracModel};
+
+/// §II-E vs §III: the attacks that break Panopticon's FIFO do not break
+/// QPRAC's PSQ. We replay the Fill+Escape access pattern against QPRAC
+/// and verify no row ever exceeds the analytical bound.
+#[test]
+fn fill_escape_pattern_cannot_break_qprac() {
+    let nbo = 64u32;
+    let cfg = EngineConfig {
+        rows: 65536,
+        trefw_ns: 4_000_000.0,
+        ..EngineConfig::paper_default(1)
+    };
+    let mut e = ActEngine::new(
+        cfg,
+        Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(nbo))),
+    );
+    // Fill-then-hammer, as in the FIFO attack: Q rows to the threshold,
+    // then ABO-window hammering of a target.
+    let target = RowId(0);
+    let mut fresh = 1u32;
+    while !e.budget_exhausted() {
+        if e.alert_pending() {
+            while e.abo_acts_left() > 0 {
+                e.activate(target);
+            }
+            e.service_alert();
+        } else {
+            let row = RowId(fresh * 8);
+            fresh += 1;
+            if row.0 >= 65536 {
+                break;
+            }
+            for _ in 0..nbo {
+                e.activate(row);
+                if e.alert_pending() || e.budget_exhausted() {
+                    break;
+                }
+            }
+        }
+    }
+    // The security bound: N_BO - 1 + N_online-ish slack. Use the paper's
+    // secure T_RH as the ceiling no row may reach.
+    let bound = secure_trh(&PracModel::prac(1, nbo));
+    assert!(
+        (e.stats().max_count_ever as u64) < bound,
+        "QPRAC leaked {} unmitigated ACTs (bound {bound})",
+        e.stats().max_count_ever
+    );
+    // Sanity: the same budget demolishes the FIFO design.
+    let broken = fill_escape::run(4, nbo);
+    assert!(broken.target_unmitigated as u64 > bound);
+}
+
+/// §IV-B: QPRAC's finite PSQ behaves exactly like the ideal top-N oracle
+/// under the wave attack, across PRAC levels.
+#[test]
+fn psq_equals_ideal_for_wave_attack_all_levels() {
+    for nmit in [1u32, 2, 4] {
+        let nbo = 24u32;
+        let r1 = 400u64;
+        let cfg = EngineConfig::paper_default(nmit);
+        let psq = run_wave(
+            cfg,
+            Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(nbo))),
+            r1,
+            nbo - 1,
+        );
+        let ideal = run_wave(
+            cfg,
+            Box::new(QpracIdeal::new(QpracConfig::paper_default().with_nbo(nbo))),
+            r1,
+            nbo - 1,
+        );
+        assert_eq!(
+            psq.max_unmitigated, ideal.max_unmitigated,
+            "PRAC-{nmit}: PSQ {} vs ideal {}",
+            psq.max_unmitigated, ideal.max_unmitigated
+        );
+    }
+}
+
+/// The wave attack respects the analytical ordering: more RFMs per alert
+/// means lower attack ceilings, both in the model and in simulation.
+#[test]
+fn wave_ordering_matches_model_across_levels() {
+    let nbo = 32u32;
+    let r1 = 1500u64;
+    let mut sims = Vec::new();
+    for nmit in [1u32, 2, 4] {
+        let out = run_wave(
+            EngineConfig::paper_default(nmit),
+            Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(nbo))),
+            r1,
+            nbo - 1,
+        );
+        sims.push(out.max_unmitigated);
+        let model = (nbo as u64 - 1) + n_online(&PracModel::prac(nmit, nbo), r1);
+        assert!(
+            (out.max_unmitigated as u64) <= model + 4,
+            "PRAC-{nmit}: sim {} above model {model}",
+            out.max_unmitigated
+        );
+    }
+    assert!(sims[0] >= sims[1] && sims[1] >= sims[2], "{sims:?}");
+}
+
+/// Panopticon's insecurity magnitudes (Fig 2/3) versus QPRAC's bound:
+/// orders of magnitude apart at the same hardware budget.
+#[test]
+fn panopticon_vs_qprac_security_gap() {
+    let toggle = toggle_forget::run(4, 8).target_unmitigated as u64;
+    let qprac_bound = secure_trh(&PracModel::prac(1, 32));
+    assert!(
+        toggle > 100 * qprac_bound,
+        "Toggle+Forget {toggle} should dwarf QPRAC's bound {qprac_bound}"
+    );
+}
+
+/// Proactive mitigation only ever helps, in model and in simulation.
+#[test]
+fn proactive_helps_in_model_and_simulation() {
+    let nbo = 32u32;
+    let r1 = 800u64;
+    let plain = run_wave(
+        EngineConfig::paper_default(1),
+        Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(nbo))),
+        r1,
+        nbo - 1,
+    );
+    let pro = run_wave(
+        EngineConfig::paper_default(1),
+        Box::new(Qprac::new(QpracConfig::proactive().with_nbo(nbo))),
+        r1,
+        nbo - 1,
+    );
+    assert!(pro.max_unmitigated <= plain.max_unmitigated);
+    let m_plain = secure_trh(&PracModel::prac(1, nbo));
+    let m_pro = secure_trh(&PracModel::prac(1, nbo).with_proactive());
+    assert!(m_pro <= m_plain);
+}
