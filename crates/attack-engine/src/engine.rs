@@ -215,8 +215,7 @@ impl ActEngine {
         self.acts_since_service = self.acts_since_service.saturating_add(1);
         if self.alert {
             self.abo_used += 1;
-        } else if self.tracker.needs_alert()
-            && self.acts_since_service >= self.cfg.abo_delay as u64
+        } else if self.tracker.needs_alert() && self.acts_since_service >= self.cfg.abo_delay as u64
         {
             self.alert = true;
             self.abo_used = 0;
@@ -234,7 +233,10 @@ impl ActEngine {
         }
         for _ in 0..self.cfg.nmit {
             let alerting = self.tracker.needs_alert();
-            let ctx = RfmContext { alerting, alert_service: true };
+            let ctx = RfmContext {
+                alerting,
+                alert_service: true,
+            };
             if let Some(row) = self.tracker.on_rfm(&mut self.counters, ctx) {
                 self.apply_mitigation(row);
             }
@@ -284,7 +286,10 @@ mod tests {
     use qprac::{Qprac, QpracConfig};
 
     fn engine_with_qprac(nbo: u32) -> ActEngine {
-        let cfg = EngineConfig { rows: 4096, ..EngineConfig::paper_default(1) };
+        let cfg = EngineConfig {
+            rows: 4096,
+            ..EngineConfig::paper_default(1)
+        };
         ActEngine::new(
             cfg,
             Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(nbo))),
@@ -330,7 +335,10 @@ mod tests {
 
     #[test]
     fn abo_delay_gates_back_to_back_alerts() {
-        let cfg = EngineConfig { rows: 4096, ..EngineConfig::paper_default(4) };
+        let cfg = EngineConfig {
+            rows: 4096,
+            ..EngineConfig::paper_default(4)
+        };
         let mut e = ActEngine::new(
             cfg,
             Box::new(Qprac::new(QpracConfig::paper_default().with_nbo(4))),
@@ -363,17 +371,21 @@ mod tests {
 
     #[test]
     fn proactive_ref_mitigation_runs_when_enabled() {
-        let cfg = EngineConfig { rows: 4096, ..EngineConfig::paper_default(1) };
+        let cfg = EngineConfig {
+            rows: 4096,
+            ..EngineConfig::paper_default(1)
+        };
         let mut e = ActEngine::new(
             cfg,
-            Box::new(Qprac::new(
-                QpracConfig::proactive().with_nbo(1_000_000),
-            )),
+            Box::new(Qprac::new(QpracConfig::proactive().with_nbo(1_000_000))),
         );
         for i in 0..68 {
             e.activate(RowId(i % 8));
         }
-        assert!(e.stats().mitigations >= 1, "REF-shadow proactive mitigation");
+        assert!(
+            e.stats().mitigations >= 1,
+            "REF-shadow proactive mitigation"
+        );
     }
 
     #[test]

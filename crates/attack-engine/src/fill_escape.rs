@@ -170,8 +170,7 @@ mod tests {
     fn agrees_with_analytic_model() {
         for (q, m) in [(4usize, 256u32), (4, 512), (8, 512)] {
             let sim = run(q, m).target_unmitigated as f64;
-            let model =
-                security_model::panopticon::fill_escape_max_acts(q as u64, m as u64) as f64;
+            let model = security_model::panopticon::fill_escape_max_acts(q as u64, m as u64) as f64;
             let ratio = sim / model;
             assert!(
                 (0.5..=2.0).contains(&ratio),

@@ -150,9 +150,13 @@ mod tests {
     }
 
     fn qprac_tracker(nmit: u32, nbo: u32) -> Box<Qprac> {
-        // PSQ size >= nmit per the paper's security requirement.
+        // PSQ size >= nmit per the paper's security requirement —
+        // enforced, not assumed, so a future nmit > 5 case cannot
+        // silently violate the precondition.
         Box::new(Qprac::new(
-            QpracConfig::paper_default().with_nbo(nbo).with_psq_size(5),
+            QpracConfig::paper_default()
+                .with_nbo(nbo)
+                .with_psq_size((nmit as usize).max(5)),
         ))
     }
 
@@ -165,12 +169,7 @@ mod tests {
         // maximum sits within [model - BR - nmit - 3, model + nmit + 2].
         for (nmit, r1) in [(1u32, 500u64), (2, 500), (4, 500)] {
             let nbo = 32u32;
-            let out = run_with_setup(
-                engine_cfg(nmit),
-                qprac_tracker(nmit, nbo),
-                r1,
-                nbo - 1,
-            );
+            let out = run_with_setup(engine_cfg(nmit), qprac_tracker(nmit, nbo), r1, nbo - 1);
             let model = PracModel::prac(nmit, nbo);
             let expected = (nbo as u64 - 1) + n_online(&model, r1);
             let got = out.max_unmitigated as u64;

@@ -1,8 +1,8 @@
 //! Throughput of the activation-level security engine — what bounds the
 //! wall-clock of the attack experiments (Figs 2, 3, 23, wave sweeps).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use attack_engine::engine::{ActEngine, EngineConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dram_core::RowId;
 use mitigations::Panopticon;
 use qprac::{Qprac, QpracConfig};
@@ -10,11 +10,11 @@ use qprac::{Qprac, QpracConfig};
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("act_engine");
     g.bench_function("qprac_activation_stream", |b| {
-        let cfg = EngineConfig { rows: 4096, ..EngineConfig::paper_default(1) };
-        let mut e = ActEngine::new(
-            cfg,
-            Box::new(Qprac::new(QpracConfig::paper_default())),
-        );
+        let cfg = EngineConfig {
+            rows: 4096,
+            ..EngineConfig::paper_default(1)
+        };
+        let mut e = ActEngine::new(cfg, Box::new(Qprac::new(QpracConfig::paper_default())));
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 512;
@@ -23,7 +23,10 @@ fn bench_engine(c: &mut Criterion) {
         });
     });
     g.bench_function("panopticon_activation_stream", |b| {
-        let cfg = EngineConfig { rows: 4096, ..EngineConfig::paper_default(1) };
+        let cfg = EngineConfig {
+            rows: 4096,
+            ..EngineConfig::paper_default(1)
+        };
         let mut e = ActEngine::new(cfg, Box::new(Panopticon::tbit(8, 8)));
         let mut i = 0u32;
         b.iter(|| {
@@ -39,10 +42,7 @@ fn bench_engine(c: &mut Criterion) {
                 trefw_ns: 100_000.0, // truncated window for the bench
                 ..EngineConfig::paper_default(1)
             };
-            let mut e = ActEngine::new(
-                cfg,
-                Box::new(Qprac::new(QpracConfig::paper_default())),
-            );
+            let mut e = ActEngine::new(cfg, Box::new(Qprac::new(QpracConfig::paper_default())));
             while !e.budget_exhausted() {
                 e.activate(RowId(0));
             }

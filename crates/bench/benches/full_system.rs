@@ -3,8 +3,8 @@
 //! QPRAC configuration. This is the number that determines figure
 //! regeneration time.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpu_model::WorkloadSpec;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sim::{run_workload, MitigationKind, SystemConfig};
 
 fn bench_system(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 //! 45 nm CMOS).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dram_core::{CounterAccess, InDramMitigation, PracCounters, RfmContext, RowId};
+use dram_core::{InDramMitigation, PracCounters, RfmContext, RowId};
 use qprac::{Psq, Qprac, QpracConfig};
 
 fn bench_psq(c: &mut Criterion) {
@@ -59,7 +59,10 @@ fn bench_psq(c: &mut Criterion) {
             let count = ctrs.increment(RowId(i));
             t.on_activate(RowId(i), count);
             if t.needs_alert() {
-                let ctx = RfmContext { alerting: true, alert_service: true };
+                let ctx = RfmContext {
+                    alerting: true,
+                    alert_service: true,
+                };
                 black_box(t.on_rfm(&mut ctrs, ctx));
             }
         });

@@ -1,6 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation in one
 //! pass. Results land in `results/*.csv`; progress prints to stdout.
-use qprac_bench::experiments::{ablations, attack_figs, full_suite, perf_figs, security_figs, sensitivity_suite, tables};
+use qprac_bench::experiments::{
+    ablations, attack_figs, full_suite, perf_figs, security_figs, sensitivity_suite, tables,
+};
 
 fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
@@ -28,6 +30,9 @@ fn main() -> std::io::Result<()> {
     perf_figs::table03(&sens)?;
     perf_figs::fig14_15(&full_suite())?;
     ablations::run_all(&sens)?;
-    println!("=== complete in {:.1} min ===", t0.elapsed().as_secs_f64() / 60.0);
+    println!(
+        "=== complete in {:.1} min ===",
+        t0.elapsed().as_secs_f64() / 60.0
+    );
     Ok(())
 }

@@ -39,7 +39,9 @@ pub fn psq_size_security() -> std::io::Result<()> {
         let out = run_wave(
             EngineConfig::paper_default(nmit),
             Box::new(Qprac::new(
-                QpracConfig::paper_default().with_nbo(nbo).with_psq_size(size),
+                QpracConfig::paper_default()
+                    .with_nbo(nbo)
+                    .with_psq_size(size),
             )),
             r1,
             nbo - 1,
@@ -50,11 +52,17 @@ pub fn psq_size_security() -> std::io::Result<()> {
         let compliant = size >= nmit as usize;
         println!(
             "{nmit:>5} {size:>9} {max:>17}{}",
-            if compliant { "" } else { "   (undersized: < N_mit)" }
+            if compliant {
+                ""
+            } else {
+                "   (undersized: < N_mit)"
+            }
         );
         w.row(&[nmit.to_string(), size.to_string(), max.to_string()])?;
     }
-    println!("(sizes >= N_mit track the ideal-PRAC ceiling; the default 5 covers PRAC-4 + proactive)\n");
+    println!(
+        "(sizes >= N_mit track the ideal-PRAC ceiling; the default 5 covers PRAC-4 + proactive)\n"
+    );
     Ok(())
 }
 
@@ -63,7 +71,13 @@ pub fn opportunistic_bit(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
     println!("Ablation: opportunistic mitigation on/off (QPRAC vs QPRAC-NoOp)");
     let mut w = CsvWriter::create(
         "ablation_opportunistic",
-        &["nbo", "noop_alerts_per_trefi", "qprac_alerts_per_trefi", "noop_perf", "qprac_perf"],
+        &[
+            "nbo",
+            "noop_alerts_per_trefi",
+            "qprac_alerts_per_trefi",
+            "noop_perf",
+            "qprac_perf",
+        ],
     )?;
     println!(
         "{:>6} {:>12} {:>13} {:>10} {:>11}",
@@ -115,7 +129,13 @@ pub fn insertion_tie_policy() -> std::io::Result<()> {
     println!("Ablation: PSQ insertion on count ties (strict '>' is the paper's rule)");
     let mut w = CsvWriter::create(
         "ablation_tie_policy",
-        &["rows", "strict_max", "tie_insert_max", "strict_writes", "tie_writes"],
+        &[
+            "rows",
+            "strict_max",
+            "tie_insert_max",
+            "strict_writes",
+            "tie_writes",
+        ],
     )?;
     println!(
         "{:>6} {:>11} {:>15} {:>14} {:>11}",
@@ -144,9 +164,7 @@ pub fn insertion_tie_policy() -> std::io::Result<()> {
             }
         }
         let (sm, tm) = (strict.max_count(), tie.max_count().saturating_sub(1));
-        println!(
-            "{distinct_rows:>6} {sm:>11} {tm:>15} {strict_writes:>14} {tie_writes:>11}"
-        );
+        println!("{distinct_rows:>6} {sm:>11} {tm:>15} {strict_writes:>14} {tie_writes:>11}");
         w.row(&[
             distinct_rows.to_string(),
             sm.to_string(),

@@ -8,8 +8,11 @@ use crate::csv::{f, CsvWriter};
 use crate::harness::parallel;
 
 /// Attack window in memory cycles (125 µs at 3200 MHz — long enough for
-/// hundreds of alert/RFM round trips).
-const WINDOW: u64 = 400_000;
+/// hundreds of alert/RFM round trips). `QPRAC_ATTACK_WINDOW` overrides
+/// (the smoke tests shrink it).
+fn window() -> u64 {
+    sim::env_u64("QPRAC_ATTACK_WINDOW", 400_000)
+}
 /// Banks hammered simultaneously.
 const ATTACK_BANKS: usize = 8;
 
@@ -19,28 +22,43 @@ pub fn fig19() -> std::io::Result<()> {
     let nbos = [16u32, 32, 64, 128];
     let variants: Vec<(&str, MitigationKind, RfmKind)> = vec![
         ("QPRAC-RFMab", MitigationKind::Qprac, RfmKind::AllBank),
-        ("QPRAC-RFMab+Proactive", MitigationKind::QpracProactive, RfmKind::AllBank),
-        ("QPRAC-RFMsb+Proactive", MitigationKind::QpracProactive, RfmKind::SameBank),
-        ("QPRAC-RFMpb+Proactive", MitigationKind::QpracProactive, RfmKind::PerBank),
+        (
+            "QPRAC-RFMab+Proactive",
+            MitigationKind::QpracProactive,
+            RfmKind::AllBank,
+        ),
+        (
+            "QPRAC-RFMsb+Proactive",
+            MitigationKind::QpracProactive,
+            RfmKind::SameBank,
+        ),
+        (
+            "QPRAC-RFMpb+Proactive",
+            MitigationKind::QpracProactive,
+            RfmKind::PerBank,
+        ),
     ];
     let mut w = CsvWriter::create("fig19", &["nbo", "variant", "bw_reduction_pct"])?;
-    let jobs: Vec<(u32, usize)> = nbos
-        .iter()
-        .flat_map(|&n| (0..variants.len()).map(move |v| (n, v)))
-        .collect();
-    let rows = parallel(jobs.len(), |i| {
-        let (nbo, v) = jobs[i];
-        let (label, kind, rfm) = variants[v];
+    // One unmitigated baseline per N_BO, shared by all four variants
+    // (recomputing it per job would double the figure's runtime).
+    let baselines = parallel(nbos.len(), |i| {
         let base_cfg = SystemConfig::paper_default()
             .with_mitigation(MitigationKind::None)
-            .with_nbo(nbo);
-        let base = run_bandwidth_attack(&base_cfg, ATTACK_BANKS, WINDOW);
+            .with_nbo(nbos[i]);
+        run_bandwidth_attack(&base_cfg, ATTACK_BANKS, window())
+    });
+    let jobs: Vec<(usize, usize)> = (0..nbos.len())
+        .flat_map(|n| (0..variants.len()).map(move |v| (n, v)))
+        .collect();
+    let rows = parallel(jobs.len(), |i| {
+        let (n, v) = jobs[i];
+        let (label, kind, rfm) = variants[v];
         let cfg = SystemConfig::paper_default()
             .with_mitigation(kind)
-            .with_nbo(nbo)
+            .with_nbo(nbos[n])
             .with_alert_rfm_kind(rfm);
-        let s = run_bandwidth_attack(&cfg, ATTACK_BANKS, WINDOW);
-        (nbo, label, s.reduction_vs(&base))
+        let s = run_bandwidth_attack(&cfg, ATTACK_BANKS, window());
+        (nbos[n], label, s.reduction_vs(&baselines[n]))
     });
     println!("{:>6} {:<26} {:>14}", "N_BO", "variant", "BW reduction");
     for (nbo, label, red) in rows {

@@ -57,11 +57,27 @@ pub fn fig14_15(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
     let rows = run_fig14(workloads);
     let mut w14 = CsvWriter::create(
         "fig14",
-        &["workload", "rbmpki", "noop", "qprac", "proactive", "proactive_ea", "ideal"],
+        &[
+            "workload",
+            "rbmpki",
+            "noop",
+            "qprac",
+            "proactive",
+            "proactive_ea",
+            "ideal",
+        ],
     )?;
     let mut w15 = CsvWriter::create(
         "fig15",
-        &["workload", "rbmpki", "noop", "qprac", "proactive", "proactive_ea", "ideal"],
+        &[
+            "workload",
+            "rbmpki",
+            "noop",
+            "qprac",
+            "proactive",
+            "proactive_ea",
+            "ideal",
+        ],
     )?;
     println!("Fig 14: normalized performance (N_BO=32, PRAC-1) vs insecure baseline");
     println!(
@@ -88,15 +104,18 @@ pub fn fig14_15(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             .collect();
         println!(
             "{label:<28} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            sel.len(), gm[0], gm[1], gm[2], gm[3], gm[4]
+            sel.len(),
+            gm[0],
+            gm[1],
+            gm[2],
+            gm[3],
+            gm[4]
         );
         let mut row = vec![label.to_string(), sel.len().to_string()];
         row.extend(gm.iter().map(|v| f(*v)));
         w14.row(&row)?;
         let am: Vec<f64> = (0..FIG14_CONFIGS.len())
-            .map(|c| {
-                sel.iter().map(|r| r.alerts[c]).sum::<f64>() / sel.len().max(1) as f64
-            })
+            .map(|c| sel.iter().map(|r| r.alerts[c]).sum::<f64>() / sel.len().max(1) as f64)
             .collect();
         let mut row = vec![format!("mean({label})"), sel.len().to_string()];
         row.extend(am.iter().map(|v| f(*v)));
@@ -136,9 +155,7 @@ fn sweep(
     let mut w = CsvWriter::create(name, header)?;
     let mut out = Vec::new();
     for (c, (label, _)) in configs.iter().enumerate() {
-        let gm = geomean(
-            (0..workloads.len()).map(|wi| perfs[c * workloads.len() + wi]),
-        );
+        let gm = geomean((0..workloads.len()).map(|wi| perfs[c * workloads.len() + wi]));
         let slowdown_pct = (1.0 - gm) * 100.0;
         println!("{label:<44} perf={gm:.4}  slowdown={slowdown_pct:.2}%");
         w.row(&[label.clone(), f(gm), f(slowdown_pct)])?;
@@ -160,11 +177,18 @@ pub fn fig16(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
         ] {
             configs.push((
                 format!("PRAC-{nmit} {label}"),
-                SystemConfig::paper_default().with_mitigation(kind).with_nmit(nmit),
+                SystemConfig::paper_default()
+                    .with_mitigation(kind)
+                    .with_nmit(nmit),
             ));
         }
     }
-    sweep("fig16", &["config", "norm_perf", "slowdown_pct"], workloads, &configs)?;
+    sweep(
+        "fig16",
+        &["config", "norm_perf", "slowdown_pct"],
+        workloads,
+        &configs,
+    )?;
     println!("(paper: QPRAC 0.8-0.9% across PRAC levels; proactive variants 0%)\n");
     Ok(())
 }
@@ -190,7 +214,12 @@ pub fn fig17(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             ));
         }
     }
-    sweep("fig17", &["config", "norm_perf", "slowdown_pct"], workloads, &configs)?;
+    sweep(
+        "fig17",
+        &["config", "norm_perf", "slowdown_pct"],
+        workloads,
+        &configs,
+    )?;
     println!("(paper: <1% overhead across all queue sizes)\n");
     Ok(())
 }
@@ -208,11 +237,18 @@ pub fn fig18(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
         ] {
             configs.push((
                 format!("N_BO={nbo} {label}"),
-                SystemConfig::paper_default().with_mitigation(kind).with_nbo(nbo),
+                SystemConfig::paper_default()
+                    .with_mitigation(kind)
+                    .with_nbo(nbo),
             ));
         }
     }
-    sweep("fig18", &["config", "norm_perf", "slowdown_pct"], workloads, &configs)?;
+    sweep(
+        "fig18",
+        &["config", "norm_perf", "slowdown_pct"],
+        workloads,
+        &configs,
+    )?;
     println!("(paper: QPRAC 2.3% at N_BO=16, 0.8% at 32, ~0 above; proactive ~0%)\n");
     Ok(())
 }
@@ -248,7 +284,12 @@ pub fn fig20(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
                 .with_nbo(nbo),
         ));
     }
-    sweep("fig20", &["config", "norm_perf", "slowdown_pct"], workloads, &configs)?;
+    sweep(
+        "fig20",
+        &["config", "norm_perf", "slowdown_pct"],
+        workloads,
+        &configs,
+    )?;
     println!("(paper: Mithril 69%..10% and PrIDE 54%..7% slowdown from T_RH 64..512;");
     println!(" QPRAC ~0% across all thresholds)\n");
     Ok(())
@@ -279,15 +320,21 @@ pub fn fig21_22(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
         let base = SystemConfig::paper_default().with_nbo(nbo);
         configs.push((
             format!("N_BO={nbo} MOAT"),
-            base.clone().with_mitigation(MitigationKind::Moat).with_proactive_per_refs(0),
+            base.clone()
+                .with_mitigation(MitigationKind::Moat)
+                .with_proactive_per_refs(0),
         ));
         configs.push((
             format!("N_BO={nbo} MOAT+Pro 1/4tREFI"),
-            base.clone().with_mitigation(MitigationKind::Moat).with_proactive_per_refs(4),
+            base.clone()
+                .with_mitigation(MitigationKind::Moat)
+                .with_proactive_per_refs(4),
         ));
         configs.push((
             format!("N_BO={nbo} MOAT+Pro 1/tREFI"),
-            base.clone().with_mitigation(MitigationKind::Moat).with_proactive_per_refs(1),
+            base.clone()
+                .with_mitigation(MitigationKind::Moat)
+                .with_proactive_per_refs(1),
         ));
         configs.push((
             format!("N_BO={nbo} QPRAC"),
@@ -306,17 +353,24 @@ pub fn fig21_22(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
                 .with_proactive_per_refs(1),
         ));
     }
+    // One unmitigated baseline per workload, shared by all 20 configs:
+    // N_BO and the proactive cadence are tracker-side knobs that cannot
+    // affect a MitigationKind::None run (same redundancy fixed in fig19).
+    let baselines = parallel(workloads.len(), |wi| {
+        let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+        run_workload(&base_cfg, &workloads[wi])
+    });
     // One pass computing both metrics.
     let jobs: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
         .collect();
     let results: Vec<(f64, f64)> = parallel(jobs.len(), |i| {
         let (c, wi) = jobs[i];
-        let cfg = &configs[c].1;
-        let base_cfg = SystemConfig { mitigation: MitigationKind::None, ..cfg.clone() };
-        let base = run_workload(&base_cfg, &workloads[wi]);
-        let s = run_workload(cfg, &workloads[wi]);
-        (s.normalized_perf(&base), s.energy.overhead_vs(&base.energy))
+        let s = run_workload(&configs[c].1, &workloads[wi]);
+        (
+            s.normalized_perf(&baselines[wi]),
+            s.energy.overhead_vs(&baselines[wi].energy),
+        )
     });
     let mut w21 = CsvWriter::create("fig21", &["config", "norm_perf", "slowdown_pct"])?;
     let mut w22 = CsvWriter::create("fig22", &["config", "energy_overhead_pct"])?;
@@ -347,12 +401,23 @@ pub fn table03(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
     ];
     let mut w = CsvWriter::create(
         "table03",
-        &["prac_level", "qprac_pct", "proactive_pct", "proactive_ea_pct"],
+        &[
+            "prac_level",
+            "qprac_pct",
+            "proactive_pct",
+            "proactive_ea_pct",
+        ],
     )?;
     println!(
         "{:<8} {:>8} {:>17} {:>20}",
         "level", "QPRAC", "QPRAC+Proactive", "QPRAC+Proactive-EA"
     );
+    // One unmitigated baseline per workload, shared across every
+    // (nmit, kind) cell: neither affects a MitigationKind::None run.
+    let baselines = parallel(workloads.len(), |wi| {
+        let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+        run_workload(&base_cfg, &workloads[wi])
+    });
     for nmit in [1u8, 2, 4] {
         let jobs: Vec<(usize, usize)> = (0..kinds.len())
             .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
@@ -362,10 +427,8 @@ pub fn table03(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             let cfg = SystemConfig::paper_default()
                 .with_mitigation(kinds[k].1)
                 .with_nmit(nmit);
-            let base_cfg = SystemConfig { mitigation: MitigationKind::None, ..cfg.clone() };
-            let base = run_workload(&base_cfg, &workloads[wi]);
             let s = run_workload(&cfg, &workloads[wi]);
-            s.energy.overhead_vs(&base.energy)
+            s.energy.overhead_vs(&baselines[wi].energy)
         });
         let n = workloads.len();
         let avg: Vec<f64> = (0..kinds.len())

@@ -1,12 +1,10 @@
 //! Security figures: Fig 2, 3, 6, 7, 8, 11, 12, 13, 23 plus the wave
 //! validation (§IV-B).
 
-use attack_engine::{blocked_tbit, fill_escape, toggle_forget, wave};
 use attack_engine::engine::EngineConfig;
+use attack_engine::{blocked_tbit, fill_escape, toggle_forget, wave};
 use qprac::{Qprac, QpracConfig};
-use security_model::{
-    max_r1, n_online, secure_trh, setup, trh_curve, PracModel,
-};
+use security_model::{max_r1, n_online, secure_trh, setup, trh_curve, PracModel};
 
 use crate::csv::{f, CsvWriter};
 use crate::harness::parallel;
@@ -17,7 +15,10 @@ pub fn fig02() -> std::io::Result<()> {
     let tbits = [6u32, 8, 10];
     let mut w = CsvWriter::create("fig02", &["queue_size", "tbit", "max_unmitigated_acts"])?;
     println!("Fig 2: Panopticon Toggle+Forget — max unmitigated ACTs to a row");
-    println!("{:>10} {:>6} {:>22}", "queue", "t-bit", "max unmitigated ACTs");
+    println!(
+        "{:>10} {:>6} {:>22}",
+        "queue", "t-bit", "max unmitigated ACTs"
+    );
     let jobs: Vec<(usize, u32)> = queues
         .iter()
         .flat_map(|&q| tbits.iter().map(move |&t| (q, t)))
@@ -38,9 +39,15 @@ pub fn fig02() -> std::io::Result<()> {
 pub fn fig03() -> std::io::Result<()> {
     let thresholds = [64u32, 128, 256, 512, 1024, 2048, 4096];
     let queues = [4usize, 8, 16, 32, 64];
-    let mut w = CsvWriter::create("fig03", &["queue_size", "threshold", "max_unmitigated_acts"])?;
+    let mut w = CsvWriter::create(
+        "fig03",
+        &["queue_size", "threshold", "max_unmitigated_acts"],
+    )?;
     println!("Fig 3: Fill+Escape on FIFO service queues — max unmitigated ACTs");
-    println!("{:>8} {:>10} {:>22}", "queue", "threshold", "max unmitigated ACTs");
+    println!(
+        "{:>8} {:>10} {:>22}",
+        "queue", "threshold", "max unmitigated ACTs"
+    );
     let jobs: Vec<(usize, u32)> = queues
         .iter()
         .flat_map(|&q| thresholds.iter().map(move |&m| (q, m)))
@@ -61,14 +68,24 @@ pub fn fig03() -> std::io::Result<()> {
 pub fn fig06() -> std::io::Result<()> {
     let mut w = CsvWriter::create("fig06", &["r1", "prac1", "prac2", "prac4"])?;
     println!("Fig 6: online-phase activations N_online vs starting pool R1");
-    println!("{:>8} {:>7} {:>7} {:>7}", "R1", "PRAC-1", "PRAC-2", "PRAC-4");
-    for r1 in [4u64, 1024, 4096, 20_480, 40_960, 61_440, 81_920, 102_400, 131_072] {
+    println!(
+        "{:>8} {:>7} {:>7} {:>7}",
+        "R1", "PRAC-1", "PRAC-2", "PRAC-4"
+    );
+    for r1 in [
+        4u64, 1024, 4096, 20_480, 40_960, 61_440, 81_920, 102_400, 131_072,
+    ] {
         let n: Vec<u64> = [1u32, 2, 4]
             .iter()
             .map(|&m| n_online(&PracModel::prac(m, 1), r1))
             .collect();
         println!("{r1:>8} {:>7} {:>7} {:>7}", n[0], n[1], n[2]);
-        w.row(&[r1.to_string(), n[0].to_string(), n[1].to_string(), n[2].to_string()])?;
+        w.row(&[
+            r1.to_string(),
+            n[0].to_string(),
+            n[1].to_string(),
+            n[2].to_string(),
+        ])?;
     }
     println!("(paper: maxima 46 / 30 / 23 at 128K)\n");
     Ok(())
@@ -78,14 +95,22 @@ pub fn fig06() -> std::io::Result<()> {
 pub fn fig07() -> std::io::Result<()> {
     let mut w = CsvWriter::create("fig07", &["nbo", "prac1", "prac2", "prac4"])?;
     println!("Fig 7: maximum starting pool R1 vs Back-Off threshold N_BO");
-    println!("{:>6} {:>8} {:>8} {:>8}", "N_BO", "PRAC-1", "PRAC-2", "PRAC-4");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8}",
+        "N_BO", "PRAC-1", "PRAC-2", "PRAC-4"
+    );
     for nbo in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
         let r: Vec<u64> = [1u32, 2, 4]
             .iter()
             .map(|&m| max_r1(&PracModel::prac(m, nbo)))
             .collect();
         println!("{nbo:>6} {:>8} {:>8} {:>8}", r[0], r[1], r[2]);
-        w.row(&[nbo.to_string(), r[0].to_string(), r[1].to_string(), r[2].to_string()])?;
+        w.row(&[
+            nbo.to_string(),
+            r[0].to_string(),
+            r[1].to_string(),
+            r[2].to_string(),
+        ])?;
     }
     println!("(paper: 50K-62K at N_BO=1, ~2K at N_BO=256)\n");
     Ok(())
@@ -96,7 +121,10 @@ pub fn fig08() -> std::io::Result<()> {
     let nbos = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut w = CsvWriter::create("fig08", &["nbo", "prac1", "prac2", "prac4"])?;
     println!("Fig 8: minimum secure T_RH vs Back-Off threshold N_BO");
-    println!("{:>6} {:>7} {:>7} {:>7}", "N_BO", "PRAC-1", "PRAC-2", "PRAC-4");
+    println!(
+        "{:>6} {:>7} {:>7} {:>7}",
+        "N_BO", "PRAC-1", "PRAC-2", "PRAC-4"
+    );
     let curves: Vec<Vec<(u32, u64)>> = [1u32, 2, 4]
         .iter()
         .map(|&m| trh_curve(m, &nbos, false))
@@ -104,7 +132,12 @@ pub fn fig08() -> std::io::Result<()> {
     for (i, &nbo) in nbos.iter().enumerate() {
         let t: Vec<u64> = curves.iter().map(|c| c[i].1).collect();
         println!("{nbo:>6} {:>7} {:>7} {:>7}", t[0], t[1], t[2]);
-        w.row(&[nbo.to_string(), t[0].to_string(), t[1].to_string(), t[2].to_string()])?;
+        w.row(&[
+            nbo.to_string(),
+            t[0].to_string(),
+            t[1].to_string(),
+            t[2].to_string(),
+        ])?;
     }
     println!("(paper: 44/29/22 at N_BO=1; 71/58/52 at 32; 289/279/274 at 256)\n");
     Ok(())
@@ -115,7 +148,15 @@ pub fn fig11() -> std::io::Result<()> {
     let nbos = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut w = CsvWriter::create(
         "fig11",
-        &["nbo", "prac1", "prac1_pro", "prac2", "prac2_pro", "prac4", "prac4_pro"],
+        &[
+            "nbo",
+            "prac1",
+            "prac1_pro",
+            "prac2",
+            "prac2_pro",
+            "prac4",
+            "prac4_pro",
+        ],
     )?;
     println!("Fig 11: maximum R1 with/without proactive mitigation");
     println!(
@@ -224,7 +265,12 @@ pub fn fig23() -> std::io::Result<()> {
     let queues = [4usize, 16, 64];
     let mut w = CsvWriter::create(
         "fig23",
-        &["queue_size", "threshold", "engine_per_bank", "analytic_channel"],
+        &[
+            "queue_size",
+            "threshold",
+            "engine_per_bank",
+            "analytic_channel",
+        ],
     )?;
     println!("Fig 23: Panopticon with blocked t-bit toggling during ABO windows");
     println!(
@@ -243,7 +289,12 @@ pub fn fig23() -> std::io::Result<()> {
         let m = 1u64 << t;
         let analytic = security_model::panopticon::blocked_tbit_max_acts(q as u64, m);
         println!("{q:>8} {m:>10} {engine:>16} {analytic:>18}");
-        w.row(&[q.to_string(), m.to_string(), engine.to_string(), analytic.to_string()])?;
+        w.row(&[
+            q.to_string(),
+            m.to_string(),
+            engine.to_string(),
+            analytic.to_string(),
+        ])?;
     }
     println!("(paper: ~1800 unmitigated ACTs at threshold 1024 — still insecure)\n");
     Ok(())
@@ -272,15 +323,18 @@ pub fn wave_validate() -> std::io::Result<()> {
         ));
         let sim = wave::run_with_setup(cfg, tracker, r1, nbo - 1).max_unmitigated as u64;
         let model = (nbo as u64 - 1)
-            + n_online(&PracModel::prac(nmit, nbo), setup::surviving_pool(
+            + n_online(
                 &PracModel::prac(nmit, nbo),
-                r1,
-            ));
+                setup::surviving_pool(&PracModel::prac(nmit, nbo), r1),
+            );
         (nmit, nbo, r1, sim, model)
     });
     for (nmit, nbo, r1, sim, model) in rows {
         let err = (sim as f64 - model as f64).abs() / model as f64;
-        println!("{nmit:>5} {nbo:>5} {r1:>7} {sim:>10} {model:>7} {:>7.1}%", err * 100.0);
+        println!(
+            "{nmit:>5} {nbo:>5} {r1:>7} {sim:>10} {model:>7} {:>7.1}%",
+            err * 100.0
+        );
         w.row(&[
             nmit.to_string(),
             nbo.to_string(),

@@ -1,0 +1,89 @@
+//! Smoke coverage for the figure/table binaries: each one must run end
+//! to end — construct its configs, drive its (shrunken) experiment, and
+//! write its CSVs — without panicking. `QPRAC_INSTR` /
+//! `QPRAC_ATTACK_WINDOW` shrink the simulations so the whole suite
+//! stays fast; the numbers are meaningless at these lengths and are not
+//! checked, only the exit status.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Instructions per core for the shrunken runs.
+const SMOKE_INSTR: &str = "400";
+/// Memory-cycle window for the shrunken bandwidth attacks.
+const SMOKE_WINDOW: &str = "20000";
+
+fn results_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qprac-smoke-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn run_bin(exe: &str, test: &str) {
+    let dir = results_dir(test);
+    let out = Command::new(exe)
+        .env("QPRAC_INSTR", SMOKE_INSTR)
+        .env("QPRAC_ATTACK_WINDOW", SMOKE_WINDOW)
+        .env("QPRAC_RESULTS_DIR", &dir)
+        .output()
+        .expect("spawn figure binary");
+    assert!(
+        out.status.success(),
+        "{exe} failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    // Every figure binary reports its series on stdout.
+    assert!(!out.stdout.is_empty(), "{exe} printed nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+macro_rules! bin_smoke {
+    ($($name:ident),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run_bin(
+                env!(concat!("CARGO_BIN_EXE_", stringify!($name))),
+                stringify!($name),
+            );
+        }
+    )+};
+}
+
+bin_smoke!(
+    fig02,
+    fig03,
+    fig06,
+    fig07,
+    fig08,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    table01,
+    table02,
+    table03,
+    table04,
+    wave_validate,
+    ablations,
+);
+
+/// `run_all` re-runs every experiment above, so this adds ~45 s of pure
+/// duplication on a single-core runner — ignored by default, but kept
+/// runnable (`cargo test -p qprac-bench --test bin_smoke -- --ignored`)
+/// because it is the binary users reach for first.
+#[test]
+#[ignore = "duplicates every other smoke test; run explicitly with --ignored"]
+fn run_all() {
+    run_bin(env!("CARGO_BIN_EXE_run_all"), "run_all");
+}

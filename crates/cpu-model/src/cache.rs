@@ -101,10 +101,21 @@ impl Llc {
     /// Build an LLC from the configuration.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.size_bytes / cfg.line_bytes / cfg.ways as u64;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Llc {
             sets: vec![
-                vec![Way { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.ways];
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    cfg.ways
+                ];
                 num_sets as usize
             ],
             num_sets,
@@ -205,7 +216,10 @@ impl Llc {
             dirty: m.store_pending,
             lru: self.tick,
         };
-        FillOutcome { waiters: m.waiters, writeback }
+        FillOutcome {
+            waiters: m.waiters,
+            writeback,
+        }
     }
 
     /// Outstanding misses.
@@ -335,10 +349,7 @@ mod proptests {
         fn stats_partition_accesses(ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..200)) {
             let mut c = tiny();
             for &(l, st) in &ops {
-                match c.access(l, st, 0) {
-                    LlcAccess::MissFetch => { c.fill(l); }
-                    _ => {}
-                }
+                if c.access(l, st, 0) == LlcAccess::MissFetch { c.fill(l); }
             }
             let s = *c.stats();
             prop_assert_eq!(

@@ -247,7 +247,12 @@ mod tests {
 
     impl StubMem {
         fn new(latency: u64) -> Self {
-            StubMem { latency, now: 0, events: Vec::new(), accept: true }
+            StubMem {
+                latency,
+                now: 0,
+                events: Vec::new(),
+                accept: true,
+            }
         }
         fn step(&mut self, core: &mut Core) {
             self.now += 1;
@@ -305,7 +310,10 @@ mod tests {
     fn memory_bound_ipc_tracks_latency_and_mlp() {
         // Zero bubbles, latency 100, MLP 16: throughput is bounded by
         // outstanding/latency = 0.16 loads/cycle.
-        let cfg = CoreConfig { max_outstanding_loads: 16, ..CoreConfig::paper_default() };
+        let cfg = CoreConfig {
+            max_outstanding_loads: 16,
+            ..CoreConfig::paper_default()
+        };
         let mut core = Core::new(cfg, 0, bubble_trace(0));
         let mut mem = StubMem::new(100);
         run(&mut core, &mut mem, 20_000);
@@ -317,7 +325,10 @@ mod tests {
     #[test]
     fn mlp_limit_serializes_loads() {
         // MLP 1 models pointer chasing: one load per latency.
-        let cfg = CoreConfig { max_outstanding_loads: 1, ..CoreConfig::paper_default() };
+        let cfg = CoreConfig {
+            max_outstanding_loads: 1,
+            ..CoreConfig::paper_default()
+        };
         let mut core = Core::new(cfg, 0, bubble_trace(0));
         let mut mem = StubMem::new(50);
         run(&mut core, &mut mem, 20_000);
@@ -355,7 +366,11 @@ mod tests {
 
     #[test]
     fn rob_fills_under_slow_memory() {
-        let cfg = CoreConfig { rob: 8, width: 4, max_outstanding_loads: 16 };
+        let cfg = CoreConfig {
+            rob: 8,
+            width: 4,
+            max_outstanding_loads: 16,
+        };
         let mut core = Core::new(cfg, 0, bubble_trace(0));
         let mut mem = StubMem::new(10_000);
         run(&mut core, &mut mem, 100);

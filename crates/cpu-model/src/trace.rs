@@ -120,8 +120,16 @@ mod tests {
     #[test]
     fn loop_trace_wraps_around() {
         let mut t = LoopTrace::new(vec![
-            TraceEntry { bubbles: 1, line: 10, is_store: false },
-            TraceEntry { bubbles: 2, line: 20, is_store: true },
+            TraceEntry {
+                bubbles: 1,
+                line: 10,
+                is_store: false,
+            },
+            TraceEntry {
+                bubbles: 2,
+                line: 20,
+                is_store: true,
+            },
         ]);
         assert_eq!(t.next_entry().line, 10);
         assert_eq!(t.next_entry().line, 20);

@@ -73,7 +73,10 @@ impl WorkloadSpec {
     /// Instantiate the trace generator for this spec, offset by a
     /// per-core salt so homogeneous copies do not alias.
     pub fn source(&self, core_id: u64) -> SyntheticTrace {
-        SyntheticTrace::new(self.params, self.seed ^ (core_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        SyntheticTrace::new(
+            self.params,
+            self.seed ^ (core_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        )
     }
 
     /// Look up a workload by its `suite/name` identifier.
@@ -156,7 +159,11 @@ impl TraceSource for SyntheticTrace {
         };
         let line = self.next_line();
         let is_store = self.rng.gen_bool(self.params.store_ratio);
-        TraceEntry { bubbles, line, is_store }
+        TraceEntry {
+            bubbles,
+            line,
+            is_store,
+        }
     }
 }
 
@@ -187,14 +194,21 @@ fn spec(
 /// The full 57-workload suite (10 SPEC2006 + 12 SPEC2017 + 8 TPC +
 /// 8 Hadoop + 9 MediaBench + 10 YCSB).
 pub fn all57() -> Vec<WorkloadSpec> {
-    let hc = |hf, hp| Pattern::HotCold { hot_frac: hf, hot_prob: hp };
+    let hc = |hf, hp| Pattern::HotCold {
+        hot_frac: hf,
+        hot_prob: hp,
+    };
     let st = |s| Pattern::Stream { stride: s };
     let ph = |l| Pattern::Phased { phase_len: l };
-    // Hot sets are sized to clearly exceed the 8 MB LLC (so they reach
-    // DRAM) while concentrating on a few thousand 8 KB rows (so per-row
-    // activation counts accumulate at the paper's rates even in scaled
-    // runs): e.g. a 128 MB footprint with hot_frac 1/8 has a 16 MB /
-    // ~2 K-row hot set.
+    // Hot sets must reach DRAM *and* concentrate: cold traffic over the
+    // large footprint keeps thrashing the 8 MB LLC, so even a hot set
+    // smaller than the cache keeps missing, and a smaller hot set spans
+    // fewer DRAM rows, accumulating per-row activation counts at the
+    // paper's rates even in scaled runs. With the MOP-interleaved
+    // mapping a 1 MB hot set (hot_frac 1/128 of 128 MB) covers ~4 rows
+    // in each of the 32 banks — hot enough to cross N_BO = 32 within
+    // ~50 K instructions — while 4 MB+ hot sets spread across 16+ rows
+    // per bank and plateau below the alert threshold.
     vec![
         // --- SPEC2006-like: the memory-intensive classics ---
         spec("spec06/mcf_like", 192, 4, 0.15, hc(0.02, 0.6), 4, 101),
@@ -202,7 +216,15 @@ pub fn all57() -> Vec<WorkloadSpec> {
         spec("spec06/libquantum_like", 256, 5, 0.10, st(1), 16, 103),
         spec("spec06/milc_like", 256, 8, 0.25, ph(4096), 8, 104),
         spec("spec06/soplex_like", 192, 7, 0.20, hc(0.03, 0.5), 8, 105),
-        spec("spec06/omnetpp_like", 128, 10, 0.30, hc(0.03125, 0.7), 4, 106),
+        spec(
+            "spec06/omnetpp_like",
+            128,
+            10,
+            0.30,
+            hc(0.03125, 0.7),
+            4,
+            106,
+        ),
         spec("spec06/gcc_like", 96, 22, 0.25, ph(1024), 8, 107),
         spec("spec06/sphinx3_like", 160, 9, 0.05, hc(0.025, 0.65), 8, 108),
         spec("spec06/gobmk_like", 24, 45, 0.20, hc(0.5, 0.8), 8, 109),
@@ -213,15 +235,39 @@ pub fn all57() -> Vec<WorkloadSpec> {
         spec("spec17/cactu_like", 384, 7, 0.35, st(7), 12, 203),
         spec("spec17/fotonik3d_like", 320, 6, 0.30, st(2), 16, 204),
         spec("spec17/roms_like", 256, 8, 0.30, ph(8192), 12, 205),
-        spec("spec17/xalancbmk17_like", 128, 14, 0.20, hc(0.03125, 0.7), 4, 206),
-        spec("spec17/omnetpp17_like", 128, 11, 0.30, hc(0.03125, 0.7), 4, 207),
+        spec(
+            "spec17/xalancbmk17_like",
+            128,
+            14,
+            0.20,
+            hc(0.03125, 0.7),
+            4,
+            206,
+        ),
+        spec(
+            "spec17/omnetpp17_like",
+            128,
+            11,
+            0.30,
+            hc(0.03125, 0.7),
+            4,
+            207,
+        ),
         spec("spec17/xz_like", 160, 12, 0.35, ph(2048), 8, 208),
         spec("spec17/wrf_like", 256, 10, 0.30, st(5), 12, 209),
-        spec("spec17/deepsjeng_like", 16, 55, 0.15, Pattern::Random, 8, 210),
+        spec(
+            "spec17/deepsjeng_like",
+            16,
+            55,
+            0.15,
+            Pattern::Random,
+            8,
+            210,
+        ),
         spec("spec17/leela_like", 8, 70, 0.10, hc(0.15, 0.85), 8, 211),
         spec("spec17/nab_like", 48, 30, 0.20, ph(512), 8, 212),
         // --- TPC-like: transactional hot-page traffic ---
-        spec("tpc/tpcc64_like", 128, 6, 0.35, hc(0.03125, 0.75), 4, 301),
+        spec("tpc/tpcc64_like", 128, 6, 0.35, hc(0.0078125, 0.75), 4, 301),
         spec("tpc/tpch1_like", 512, 5, 0.05, st(1), 16, 302),
         spec("tpc/tpch6_like", 448, 5, 0.05, st(2), 16, 303),
         spec("tpc/tpch17_like", 320, 7, 0.10, ph(4096), 8, 304),
@@ -356,10 +402,12 @@ mod tests {
         // footprint) and memory-bound (tiny bubbles, huge footprint)
         // points, like the paper's mix.
         let all = all57();
-        assert!(all.iter().any(|w| w.params.mean_bubbles >= 50
-            && w.params.footprint_lines <= 32 * MB_LINES));
-        assert!(all.iter().any(|w| w.params.mean_bubbles <= 5
-            && w.params.footprint_lines >= 256 * MB_LINES));
+        assert!(all
+            .iter()
+            .any(|w| w.params.mean_bubbles >= 50 && w.params.footprint_lines <= 32 * MB_LINES));
+        assert!(all
+            .iter()
+            .any(|w| w.params.mean_bubbles <= 5 && w.params.footprint_lines >= 256 * MB_LINES));
         // And a dependence-limited pointer chaser.
         assert!(all.iter().any(|w| w.params.mlp == 1));
     }

@@ -137,10 +137,7 @@ impl RankState {
 
     /// Whether rank-level constraints allow an ACT to `group` at `now`.
     pub fn can_activate(&self, group: usize, now: Cycle, t: &Timing) -> bool {
-        if now < self.busy_until
-            || now < self.next_act_any
-            || now < self.next_act_group[group]
-        {
+        if now < self.busy_until || now < self.next_act_any || now < self.next_act_group[group] {
             return false;
         }
         // Four-activate window: the 4th-most-recent ACT must be at least
@@ -279,7 +276,7 @@ mod tests {
 
     #[test]
     fn refresh_blocking_stalls_bank_and_rank() {
-        let t = timing();
+        let _t = timing();
         let mut b = BankTiming::new();
         let mut r = RankState::new(8);
         b.block_until(1000);

@@ -169,11 +169,13 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let row = RowId((x >> 33) as u32 % 64);
             indexed.increment(row);
             plain.increment(row);
-            if x % 17 == 0 {
+            if x.is_multiple_of(17) {
                 indexed.reset(row);
                 plain.reset(row);
             }
@@ -224,10 +226,7 @@ mod proptests {
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u32..32).prop_map(Op::Inc),
-            (0u32..32).prop_map(Op::Reset),
-        ]
+        prop_oneof![(0u32..32).prop_map(Op::Inc), (0u32..32).prop_map(Op::Reset),]
     }
 
     proptest! {

@@ -297,7 +297,10 @@ impl DramDevice {
         for b in affected {
             let unit = &mut self.banks[b.0 as usize];
             let alerting = unit.tracker.needs_alert();
-            let ctx = RfmContext { alerting, alert_service };
+            let ctx = RfmContext {
+                alerting,
+                alert_service,
+            };
             if let Some(row) = unit.tracker.on_rfm(&mut unit.counters, ctx) {
                 let cause = match (alert_service, alerting) {
                     (true, true) => MitigationCause::Alert,
@@ -376,7 +379,11 @@ impl DramDevice {
 
     /// Maximum PRAC counter value across all banks (security metric).
     pub fn max_counter(&self) -> u32 {
-        self.banks.iter().map(|u| u.counters.max_count()).max().unwrap_or(0)
+        self.banks
+            .iter()
+            .map(|u| u.counters.max_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Read access to a bank's counters (tests, experiment probes).
@@ -430,7 +437,10 @@ mod tests {
 
     fn device_with_threshold(threshold: u32) -> DramDevice {
         DramDevice::new(DramConfig::tiny_test(), move |_| {
-            Box::new(ThresholdTracker { threshold, hot: None })
+            Box::new(ThresholdTracker {
+                threshold,
+                hot: None,
+            })
         })
     }
 
@@ -502,7 +512,10 @@ mod tests {
             ..DramConfig::tiny_test()
         };
         let mut dev = DramDevice::new(cfg, |_| {
-            Box::new(ThresholdTracker { threshold: 2, hot: None })
+            Box::new(ThresholdTracker {
+                threshold: 2,
+                hot: None,
+            })
         });
         let mut now = 0;
         hammer(&mut dev, BankId(0), RowId(1), 2, &mut now);
@@ -595,12 +608,12 @@ mod tests {
                 "opportunist-test"
             }
             fn on_activate(&mut self, row: RowId, count: u32) {
-                if self.top.map_or(true, |(_, c)| count > c) {
+                if self.top.is_none_or(|(_, c)| count > c) {
                     self.top = Some((row, count));
                 }
             }
             fn needs_alert(&self) -> bool {
-                self.top.map_or(false, |(_, c)| c >= self.threshold)
+                self.top.is_some_and(|(_, c)| c >= self.threshold)
             }
             fn on_rfm(&mut self, _c: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
                 self.top.take().map(|(r, _)| r)
@@ -610,7 +623,10 @@ mod tests {
             }
         }
         let mut dev = DramDevice::new(DramConfig::tiny_test(), |_| {
-            Box::new(Opportunist { threshold: 4, top: None })
+            Box::new(Opportunist {
+                threshold: 4,
+                top: None,
+            })
         });
         let mut now = 0;
         hammer(&mut dev, BankId(1), RowId(7), 1, &mut now); // bank 1 warm

@@ -55,7 +55,10 @@ impl AddressMapper {
 
     /// Total cache lines addressable in the channel.
     pub fn num_lines(&self) -> u64 {
-        self.ranks as u64 * self.groups as u64 * self.banks as u64 * self.rows as u64
+        self.ranks as u64
+            * self.groups as u64
+            * self.banks as u64
+            * self.rows as u64
             * self.cols as u64
     }
 
@@ -95,7 +98,11 @@ impl AddressMapper {
         let row = x as u32;
         DramAddr {
             channel: 0,
-            coord: BankCoord { rank, bank_group: group, bank },
+            coord: BankCoord {
+                rank,
+                bank_group: group,
+                bank,
+            },
             row: RowId(row),
             col,
         }
@@ -227,7 +234,11 @@ mod tests {
         for rank in 0..cfg.ranks {
             for group in 0..cfg.bank_groups {
                 for bank in 0..cfg.banks_per_group {
-                    let f = m.flat_bank(&BankCoord { rank, bank_group: group, bank });
+                    let f = m.flat_bank(&BankCoord {
+                        rank,
+                        bank_group: group,
+                        bank,
+                    });
                     assert!((f as usize) < cfg.num_banks());
                     assert!(seen.insert(f), "duplicate flat bank {f}");
                 }

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(
             m.on_rfm(
                 &mut ctrs,
-                RfmContext { alerting: false, alert_service: true }
+                RfmContext {
+                    alerting: false,
+                    alert_service: true
+                }
             ),
             None
         );

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn alerts_per_trefi_normalizes() {
-        let s = DeviceStats { alerts: 10, ..Default::default() };
+        let s = DeviceStats {
+            alerts: 10,
+            ..Default::default()
+        };
         // 10 alerts over exactly 5 tREFI -> 2 per tREFI.
         assert!((s.alerts_per_trefi(5 * 12480, 12480) - 2.0).abs() < 1e-12);
     }

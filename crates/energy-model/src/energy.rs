@@ -94,8 +94,7 @@ impl EnergyBreakdown {
 
     /// Total energy in nanojoules.
     pub fn total_nj(&self) -> f64 {
-        self.demand_nj + self.refresh_nj + self.mitigation_nj + self.tracker_nj
-            + self.background_nj
+        self.demand_nj + self.refresh_nj + self.mitigation_nj + self.tracker_nj + self.background_nj
     }
 
     /// Energy overhead of this run relative to a baseline run
@@ -128,8 +127,7 @@ mod tests {
     fn breakdown_is_additive() {
         let p = EnergyParams::default();
         let b = EnergyBreakdown::from_stats(&stats(1000, 10, 40, 10), &p, 1e6);
-        let sum = b.demand_nj + b.refresh_nj + b.mitigation_nj + b.tracker_nj
-            + b.background_nj;
+        let sum = b.demand_nj + b.refresh_nj + b.mitigation_nj + b.tracker_nj + b.background_nj;
         assert!((b.total_nj() - sum).abs() < 1e-9);
     }
 

@@ -194,7 +194,13 @@ impl MemoryController {
         }
         let id = ReqId(self.next_id);
         self.next_id += 1;
-        let req = MemRequest { id, kind, addr, arrived: now, tag };
+        let req = MemRequest {
+            id,
+            kind,
+            addr,
+            arrived: now,
+            tag,
+        };
         match kind {
             ReqKind::Read => {
                 self.read_q[bank].push_back(req);
@@ -238,9 +244,7 @@ impl MemoryController {
         let kind = self.cfg.alert_rfm_kind;
         // For sb/pb kinds the (modified, §VI-E) interface identifies the
         // alerting bank; RFMab ignores the target.
-        let target = self
-            .alerting_bank()
-            .unwrap_or(BankId(0));
+        let target = self.alerting_bank().unwrap_or(BankId(0));
         if self.device.can_rfm(kind, target, now) {
             self.device.rfm(kind, target, RfmCause::AlertService, now);
             return;
@@ -294,7 +298,8 @@ impl MemoryController {
             return false;
         };
         if self.device.can_rfm(RfmKind::PerBank, bank, now) {
-            self.device.rfm(RfmKind::PerBank, bank, RfmCause::Periodic, now);
+            self.device
+                .rfm(RfmKind::PerBank, bank, RfmCause::Periodic, now);
             self.rfm_owed.pop_front();
             return true;
         }
@@ -343,11 +348,12 @@ impl MemoryController {
             }
             let open = self.device.open_row(BankId(bank as u16));
             let Some(open_row) = open else { continue };
-            let scan = |q: &VecDeque<MemRequest>, is_write: bool,
+            let scan = |q: &VecDeque<MemRequest>,
+                        is_write: bool,
                         best: &mut Option<(Cycle, usize, usize, bool)>| {
                 for (i, r) in q.iter().enumerate() {
                     if r.addr.row == open_row {
-                        if best.map_or(true, |(a, ..)| r.arrived < a) {
+                        if best.is_none_or(|(a, ..)| r.arrived < a) {
                             *best = Some((r.arrived, bank, i, is_write));
                         }
                         break;
@@ -361,7 +367,7 @@ impl MemoryController {
             }
             if prefer_writes {
                 scan(&self.write_q[bank], true, &mut best);
-                if best.map_or(true, |(_, b, _, w)| !(b == bank && w)) {
+                if best.is_none_or(|(_, b, _, w)| !(b == bank && w)) {
                     scan(&self.read_q[bank], false, &mut best);
                 }
             } else {
@@ -420,7 +426,7 @@ impl MemoryController {
             match self.device.open_row(BankId(bank as u16)) {
                 None => {
                     if self.device.can_activate(BankId(bank as u16), now)
-                        && act.map_or(true, |(a, ..)| head.arrived < a)
+                        && act.is_none_or(|(a, ..)| head.arrived < a)
                     {
                         act = Some((head.arrived, bank, head.addr.row));
                     }
@@ -431,7 +437,7 @@ impl MemoryController {
                         || self.write_q[bank].iter().any(|r| r.addr.row == open_row);
                     if !has_hit
                         && self.device.can_precharge(BankId(bank as u16), now)
-                        && pre.map_or(true, |(a, _)| head.arrived < a)
+                        && pre.is_none_or(|(a, _)| head.arrived < a)
                     {
                         pre = Some((head.arrived, bank));
                     }
@@ -458,9 +464,10 @@ mod tests {
     };
 
     fn controller(cfg: McConfig) -> MemoryController {
-        MemoryController::new(cfg, DramDevice::new(DramConfig::tiny_test(), |_| {
-            Box::new(NoMitigation)
-        }))
+        MemoryController::new(
+            cfg,
+            DramDevice::new(DramConfig::tiny_test(), |_| Box::new(NoMitigation)),
+        )
     }
 
     fn addr_of(line: u64) -> dram_core::DramAddr {
@@ -468,7 +475,11 @@ mod tests {
         m.decode(line)
     }
 
-    fn run_until_idle(mc: &mut MemoryController, mut now: Cycle, max: u64) -> (Cycle, Vec<Completion>) {
+    fn run_until_idle(
+        mc: &mut MemoryController,
+        mut now: Cycle,
+        max: u64,
+    ) -> (Cycle, Vec<Completion>) {
         let mut done = Vec::new();
         let deadline = now + max;
         while (!mc.idle() || !mc.completions.is_empty()) && now < deadline {
@@ -500,14 +511,19 @@ mod tests {
         // Two requests to the same row, one to a different row of the
         // same bank. The same-row pair must complete before the conflict.
         let base = addr_of(0);
-        let hit = dram_core::DramAddr { col: base.col + 1, ..base };
-        let conflict = dram_core::DramAddr { row: RowId(base.row.0 + 1), ..base };
+        let hit = dram_core::DramAddr {
+            col: base.col + 1,
+            ..base
+        };
+        let conflict = dram_core::DramAddr {
+            row: RowId(base.row.0 + 1),
+            ..base
+        };
         mc.enqueue(ReqKind::Read, base, 0, 0).unwrap();
         mc.enqueue(ReqKind::Read, conflict, 1, 0).unwrap();
         mc.enqueue(ReqKind::Read, hit, 2, 0).unwrap();
         let (_, done) = run_until_idle(&mut mc, 0, 100_000);
-        let pos =
-            |tag: u64| done.iter().position(|c| c.tag == tag).expect("completed");
+        let pos = |tag: u64| done.iter().position(|c| c.tag == tag).expect("completed");
         assert!(pos(2) < pos(1), "row hit must beat the row conflict");
     }
 
@@ -529,7 +545,10 @@ mod tests {
         let mut now = 0;
         let mut completed = 0u64;
         for i in 0..200u64 {
-            while mc.enqueue(ReqKind::Read, addr_of(i * 131), i, now).is_none() {
+            while mc
+                .enqueue(ReqKind::Read, addr_of(i * 131), i, now)
+                .is_none()
+            {
                 mc.tick(now);
                 completed += mc.drain_completions().len() as u64;
                 now += 1;
@@ -565,7 +584,10 @@ mod tests {
 
     #[test]
     fn full_read_queue_rejects() {
-        let mut mc = controller(McConfig { read_queue_cap: 2, ..Default::default() });
+        let mut mc = controller(McConfig {
+            read_queue_cap: 2,
+            ..Default::default()
+        });
         let a = addr_of(0);
         assert!(mc.enqueue(ReqKind::Read, a, 0, 0).is_some());
         assert!(mc.enqueue(ReqKind::Read, a, 1, 0).is_some());
@@ -602,7 +624,10 @@ mod tests {
     #[test]
     fn alert_is_serviced_with_rfm_and_traffic_resumes() {
         let dev = DramDevice::new(DramConfig::tiny_test(), |_| {
-            Box::new(AlertAt { threshold: 3, hot: None })
+            Box::new(AlertAt {
+                threshold: 3,
+                hot: None,
+            })
         });
         let mut mc = MemoryController::new(McConfig::default(), dev);
         // Alternate row conflicts in one bank: each round re-activates
@@ -613,14 +638,22 @@ mod tests {
         let mut done = 0;
         let rounds = 8;
         for round in 0..rounds {
-            let other = dram_core::DramAddr { row: RowId(base.row.0 + 1), ..base };
+            let other = dram_core::DramAddr {
+                row: RowId(base.row.0 + 1),
+                ..base
+            };
             mc.enqueue(ReqKind::Read, base, round * 2, now).unwrap();
-            mc.enqueue(ReqKind::Read, other, round * 2 + 1, now).unwrap();
+            mc.enqueue(ReqKind::Read, other, round * 2 + 1, now)
+                .unwrap();
             let (t, d) = run_until_idle(&mut mc, now, 200_000);
             now = t;
             done += d.len();
         }
-        assert_eq!(done as u64, rounds * 2, "all requests completed despite alerts");
+        assert_eq!(
+            done as u64,
+            rounds * 2,
+            "all requests completed despite alerts"
+        );
         assert!(mc.device().stats().alerts >= 1);
         assert!(mc.device().stats().rfm_ab >= 1);
         assert!(mc.device().stats().mitigations_alert >= 1);
@@ -638,7 +671,10 @@ mod tests {
         let mut now = 0;
         // 6 row-conflict pairs -> 6 ACTs to the bank -> 3 periodic RFMs.
         for i in 0..6u32 {
-            let a = dram_core::DramAddr { row: RowId(base.row.0 + i), ..base };
+            let a = dram_core::DramAddr {
+                row: RowId(base.row.0 + i),
+                ..base
+            };
             mc.enqueue(ReqKind::Read, a, i as u64, now).unwrap();
             let (t, _) = run_until_idle(&mut mc, now, 200_000);
             now = t;

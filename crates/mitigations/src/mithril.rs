@@ -91,7 +91,10 @@ impl Mithril {
         // decrement-all step, done lazily via the spill counter).
         let (&min_count, _) = self.by_count.iter().next().expect("non-empty table");
         if min_count <= self.spill {
-            let victim = self.by_count.get(&min_count).and_then(|v| v.last().copied());
+            let victim = self
+                .by_count
+                .get(&min_count)
+                .and_then(|v| v.last().copied());
             if let Some(victim) = victim {
                 self.bucket_remove(min_count, victim);
                 self.table.remove(&victim);
@@ -145,7 +148,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx() -> RfmContext {
-        RfmContext { alerting: false, alert_service: false }
+        RfmContext {
+            alerting: false,
+            alert_service: false,
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Moat {
     /// `eth = nbo / 2` and `ath = nbo`; `proactive_per_refs = 0` disables
     /// proactive mitigation.
     pub fn new(eth: u32, ath: u32, proactive_per_refs: u32) -> Self {
-        assert!(eth <= ath, "enqueue threshold cannot exceed alert threshold");
+        assert!(
+            eth <= ath,
+            "enqueue threshold cannot exceed alert threshold"
+        );
         assert!(eth >= 1);
         Moat {
             eth,
@@ -78,7 +81,7 @@ impl InDramMitigation for Moat {
     }
 
     fn needs_alert(&self) -> bool {
-        self.entry.map_or(false, |(_, c)| c >= self.ath)
+        self.entry.is_some_and(|(_, c)| c >= self.ath)
     }
 
     fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, ctx: RfmContext) -> Option<RowId> {
@@ -96,7 +99,10 @@ impl InDramMitigation for Moat {
             return None;
         }
         self.refs_seen += 1;
-        if self.refs_seen % self.proactive_per_refs as u64 != 0 {
+        if !self
+            .refs_seen
+            .is_multiple_of(self.proactive_per_refs as u64)
+        {
             return None;
         }
         self.entry.take().map(|(r, _)| r)
@@ -114,7 +120,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx(alerting: bool) -> RfmContext {
-        RfmContext { alerting, alert_service: true }
+        RfmContext {
+            alerting,
+            alert_service: true,
+        }
     }
 
     fn drive(t: &mut Moat, c: &mut PracCounters, row: RowId, n: u32) {

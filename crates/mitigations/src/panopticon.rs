@@ -102,7 +102,7 @@ impl InDramMitigation for Panopticon {
     fn on_activate(&mut self, row: RowId, count: u32) {
         match self.variant {
             PanopticonVariant::TbitToggle => {
-                if count % self.threshold == 0 {
+                if count.is_multiple_of(self.threshold) {
                     self.try_insert(row);
                 }
             }
@@ -112,7 +112,7 @@ impl InDramMitigation for Panopticon {
                 }
             }
             PanopticonVariant::BlockedToggle => {
-                if count % self.threshold == 0 && !self.alert_window {
+                if count.is_multiple_of(self.threshold) && !self.alert_window {
                     self.try_insert(row);
                 }
             }
@@ -148,7 +148,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx() -> RfmContext {
-        RfmContext { alerting: true, alert_service: true }
+        RfmContext {
+            alerting: true,
+            alert_service: true,
+        }
     }
 
     fn drive(t: &mut Panopticon, c: &mut PracCounters, row: RowId, n: u32) {

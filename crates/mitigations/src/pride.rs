@@ -87,7 +87,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx() -> RfmContext {
-        RfmContext { alerting: false, alert_service: false }
+        RfmContext {
+            alerting: false,
+            alert_service: false,
+        }
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx() -> RfmContext {
-        RfmContext { alerting: true, alert_service: true }
+        RfmContext {
+            alerting: true,
+            alert_service: true,
+        }
     }
 
     fn drive(t: &mut UpracFifo, c: &mut PracCounters, row: RowId, n: u32) {

@@ -89,7 +89,9 @@ impl QpracConfig {
     pub fn with_nbo(mut self, nbo: u32) -> Self {
         self.nbo = nbo;
         if let ProactivePolicy::EnergyAware { .. } = self.proactive {
-            self.proactive = ProactivePolicy::EnergyAware { npro: (nbo / 2).max(1) };
+            self.proactive = ProactivePolicy::EnergyAware {
+                npro: (nbo / 2).max(1),
+            };
         }
         self
     }

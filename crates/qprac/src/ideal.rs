@@ -82,7 +82,10 @@ impl InDramMitigation for QpracIdeal {
 
     fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
         self.refs_seen += 1;
-        if self.refs_seen % self.cfg.proactive_per_refs as u64 != 0 {
+        if !self
+            .refs_seen
+            .is_multiple_of(self.cfg.proactive_per_refs as u64)
+        {
             return None;
         }
         match self.cfg.proactive {
@@ -118,7 +121,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx(alerting: bool) -> RfmContext {
-        RfmContext { alerting, alert_service: true }
+        RfmContext {
+            alerting,
+            alert_service: true,
+        }
     }
 
     #[test]

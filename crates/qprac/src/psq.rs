@@ -264,6 +264,145 @@ mod tests {
         q.offer(RowId(2), 9);
         assert_eq!((q.min_count(), q.max_count()), (3, 9));
     }
+
+    // --- edge cases beyond the doctest ---
+
+    #[test]
+    fn capacity_one_behaves_like_moat_slot() {
+        // A 1-entry PSQ degenerates to a single max-tracking slot.
+        let mut q = Psq::new(1);
+        assert!(q.offer(RowId(1), 5));
+        assert!(!q.offer(RowId(2), 5), "equal count must not displace");
+        assert!(!q.offer(RowId(2), 4), "lower count must not displace");
+        assert!(q.contains(RowId(1)));
+        assert!(q.offer(RowId(2), 6), "higher count must displace");
+        assert!(!q.contains(RowId(1)));
+        assert_eq!(
+            q.peek_max().unwrap(),
+            PsqEntry {
+                row: RowId(2),
+                count: 6
+            }
+        );
+        // Hit-update still works at capacity 1.
+        assert!(q.offer(RowId(2), 9));
+        assert_eq!(q.max_count(), 9);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn hit_update_can_change_which_entry_is_min() {
+        let mut q = Psq::new(3);
+        q.offer(RowId(1), 10);
+        q.offer(RowId(2), 20);
+        q.offer(RowId(3), 30);
+        assert_eq!(q.min_count(), 10);
+        // Row 1's in-place update overtakes rows 2 and 3: the min shifts.
+        q.offer(RowId(1), 25);
+        assert_eq!(q.min_count(), 20);
+        // Now an offer beating 20 must evict row 2, not row 1.
+        assert!(q.offer(RowId(4), 21));
+        assert!(!q.contains(RowId(2)));
+        assert!(q.contains(RowId(1)));
+        assert!(q.contains(RowId(3)));
+    }
+
+    #[test]
+    fn hit_update_can_change_which_entry_is_max() {
+        let mut q = Psq::new(3);
+        q.offer(RowId(1), 10);
+        q.offer(RowId(2), 20);
+        q.offer(RowId(3), 30);
+        assert_eq!(q.peek_max().unwrap().row, RowId(3));
+        q.offer(RowId(1), 40);
+        assert_eq!(
+            q.peek_max().unwrap(),
+            PsqEntry {
+                row: RowId(1),
+                count: 40
+            }
+        );
+        // pop_max drains the updated ordering: 40, 30, 20.
+        assert_eq!(q.pop_max().unwrap().row, RowId(1));
+        assert_eq!(q.pop_max().unwrap().row, RowId(3));
+        assert_eq!(q.pop_max().unwrap().row, RowId(2));
+    }
+
+    #[test]
+    fn eviction_tie_on_equal_min_counts_removes_lowest_row_id() {
+        // Two entries tie for the minimum; min_entry breaks the tie
+        // toward the lower row id, so that entry is the one evicted.
+        let mut q = Psq::new(3);
+        q.offer(RowId(7), 5);
+        q.offer(RowId(3), 5);
+        q.offer(RowId(9), 8);
+        assert!(q.offer(RowId(1), 6));
+        assert!(!q.contains(RowId(3)), "tie must evict the lower row id");
+        assert!(q.contains(RowId(7)));
+        assert!(q.contains(RowId(9)));
+        assert!(q.contains(RowId(1)));
+    }
+
+    #[test]
+    fn peek_max_tie_on_equal_counts_prefers_higher_row_id() {
+        let mut q = Psq::new(3);
+        q.offer(RowId(2), 9);
+        q.offer(RowId(5), 9);
+        assert_eq!(q.peek_max().unwrap().row, RowId(5));
+        // pop_max uses the same deterministic tie-break.
+        assert_eq!(q.pop_max().unwrap().row, RowId(5));
+        assert_eq!(q.peek_max().unwrap().row, RowId(2));
+    }
+
+    #[test]
+    fn peek_and_contains_consistent_after_eviction() {
+        let mut q = Psq::new(2);
+        q.offer(RowId(1), 5);
+        q.offer(RowId(2), 9);
+        q.offer(RowId(3), 7); // evicts row 1
+        assert!(!q.contains(RowId(1)));
+        assert!(q.contains(RowId(2)));
+        assert!(q.contains(RowId(3)));
+        assert_eq!(
+            q.peek_max().unwrap(),
+            PsqEntry {
+                row: RowId(2),
+                count: 9
+            }
+        );
+        assert_eq!(q.len(), 2);
+        // The evicted row can re-enter by beating the new minimum.
+        assert!(q.offer(RowId(1), 8));
+        assert!(!q.contains(RowId(3)));
+        assert_eq!(q.min_count(), 8);
+    }
+
+    #[test]
+    fn full_queue_never_loses_the_hot_row() {
+        // §IV-B: the hot row's count only grows, so no burst of colder
+        // traffic — including rows that enter by eviction — can displace
+        // it from a full queue.
+        let hot = RowId(1000);
+        let mut q = Psq::new(4);
+        let mut hot_count = 0u32;
+        for wave in 0u32..64 {
+            hot_count += 1;
+            q.offer(hot, hot_count);
+            // Noise: rotating rows whose counts approach but never reach
+            // the hot count, repeatedly filling the other three slots.
+            for n in 0..8u32 {
+                let noise_count = hot_count.saturating_sub(1).max(1);
+                q.offer(RowId(wave * 8 + n), noise_count);
+            }
+            assert!(q.contains(hot), "hot row lost at wave {wave}");
+            assert_eq!(
+                q.peek_max().unwrap().row,
+                hot,
+                "hot row not max at wave {wave}"
+            );
+            assert_eq!(q.max_count(), hot_count);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -87,7 +87,10 @@ impl InDramMitigation for Qprac {
 
     fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
         self.refs_seen += 1;
-        if self.refs_seen % self.cfg.proactive_per_refs as u64 != 0 {
+        if !self
+            .refs_seen
+            .is_multiple_of(self.cfg.proactive_per_refs as u64)
+        {
             return None;
         }
         match self.cfg.proactive {
@@ -114,7 +117,10 @@ mod tests {
     use dram_core::PracCounters;
 
     fn ctx(alerting: bool) -> RfmContext {
-        RfmContext { alerting, alert_service: true }
+        RfmContext {
+            alerting,
+            alert_service: true,
+        }
     }
 
     /// Drive `n` activations of `row` through counters + tracker.
@@ -219,7 +225,10 @@ mod tests {
     fn names_reflect_variant() {
         assert_eq!(Qprac::new(QpracConfig::paper_default()).name(), "qprac");
         assert_eq!(Qprac::new(QpracConfig::noop()).name(), "qprac-noop");
-        assert_eq!(Qprac::new(QpracConfig::proactive()).name(), "qprac+proactive");
+        assert_eq!(
+            Qprac::new(QpracConfig::proactive()).name(),
+            "qprac+proactive"
+        );
         assert_eq!(
             Qprac::new(QpracConfig::proactive_ea()).name(),
             "qprac+proactive-ea"

@@ -180,8 +180,7 @@ mod tests {
     fn duration_accounts_acts_and_rfms() {
         let m = PracModel::prac(1, 1);
         let o = rounds(&m, 1000);
-        let expected =
-            o.total_acts as f64 * m.trc_ns + o.total_mitigations as f64 * m.trfm_ns;
+        let expected = o.total_acts as f64 * m.trc_ns + o.total_mitigations as f64 * m.trfm_ns;
         assert!((o.duration_ns - expected).abs() < 1e-6);
     }
 }

@@ -66,7 +66,10 @@ impl PracModel {
 
     /// Enable proactive mitigation on every REF (QPRAC+Proactive).
     pub fn with_proactive(mut self) -> Self {
-        self.proactive = Some(ProactiveModel { per_refs: 1, npro: None });
+        self.proactive = Some(ProactiveModel {
+            per_refs: 1,
+            npro: None,
+        });
         self
     }
 

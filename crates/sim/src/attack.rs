@@ -66,7 +66,7 @@ pub fn run_bandwidth_attack(
 
     for now in 0..mem_cycles {
         // Keep every attacked bank's queue primed.
-        for b in 0..attack_banks {
+        for (b, cursor) in row_cursor.iter_mut().enumerate() {
             let coord = BankCoord {
                 rank: (b / banks_per_rank) as u8,
                 bank_group: ((b % banks_per_rank) / dram_cfg.banks_per_group as usize) as u8,
@@ -74,10 +74,15 @@ pub fn run_bandwidth_attack(
             };
             // Rows spaced beyond the blast radius so mitigations of one
             // attack row cannot transitively boost another.
-            let row = RowId((row_cursor[b] % rows_cycle) * 8 % dram_cfg.rows_per_bank);
-            let addr = DramAddr { channel: 0, coord, row, col: 0 };
+            let row = RowId((*cursor % rows_cycle) * 8 % dram_cfg.rows_per_bank);
+            let addr = DramAddr {
+                channel: 0,
+                coord,
+                row,
+                col: 0,
+            };
             if mc.enqueue(ReqKind::Read, addr, b as u64, now).is_some() {
-                row_cursor[b] = (row_cursor[b] + 1) % rows_cycle;
+                *cursor = (*cursor + 1) % rows_cycle;
             }
         }
         mc.tick(now);

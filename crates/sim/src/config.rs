@@ -1,7 +1,9 @@
 //! Full-system configuration: which mitigation runs where, with which
 //! PRAC parameters (paper §V "Evaluated Designs" and Table II).
 
-use dram_core::{DramConfig, InDramMitigation, MappingScheme, NoMitigation, RfmKind, Timing, TimingNs};
+use dram_core::{
+    DramConfig, InDramMitigation, MappingScheme, NoMitigation, RfmKind, Timing, TimingNs,
+};
 use mem_ctrl::McConfig;
 use mitigations::{mithril_interval, pride_interval, Mithril, Moat, Pride};
 use qprac::{Qprac, QpracConfig, QpracIdeal};
@@ -68,16 +70,24 @@ pub struct SystemConfig {
     pub seed: u64,
 }
 
+/// Read a `u64` simulation knob from the environment, falling back to
+/// `default` when the variable is unset or fails to parse. Shared by
+/// every `QPRAC_*` knob (the examples and the bench figure binaries)
+/// so the silent-fallback policy lives in one place.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 impl SystemConfig {
     /// Paper defaults: 4 cores, N_BO = 32, PRAC-1, 5-entry PSQ, RFMab,
     /// QPRAC+Proactive-EA. The instruction limit defaults to 100 K per
     /// core and can be overridden with the `QPRAC_INSTR` environment
     /// variable (DESIGN.md §3.6 documents the scaling argument).
     pub fn paper_default() -> Self {
-        let instr = std::env::var("QPRAC_INSTR")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(100_000);
+        let instr = env_u64("QPRAC_INSTR", 100_000);
         SystemConfig {
             cores: 4,
             instr_limit: instr,
@@ -182,11 +192,15 @@ impl SystemConfig {
                 ..base
             })),
             MitigationKind::QpracProactiveEa => Box::new(Qprac::new(QpracConfig {
-                proactive: qprac::ProactivePolicy::EnergyAware { npro: (self.nbo / 2).max(1) },
+                proactive: qprac::ProactivePolicy::EnergyAware {
+                    npro: (self.nbo / 2).max(1),
+                },
                 ..base
             })),
             MitigationKind::QpracIdeal => Box::new(QpracIdeal::new(QpracConfig {
-                proactive: qprac::ProactivePolicy::EnergyAware { npro: (self.nbo / 2).max(1) },
+                proactive: qprac::ProactivePolicy::EnergyAware {
+                    npro: (self.nbo / 2).max(1),
+                },
                 ..base
             })),
             MitigationKind::Moat => Box::new(Moat::new(
@@ -195,9 +209,7 @@ impl SystemConfig {
                 self.proactive_per_refs,
             )),
             MitigationKind::Mithril { .. } => Box::new(Mithril::new(5300)),
-            MitigationKind::Pride { .. } => {
-                Box::new(Pride::paper(self.seed ^ bank as u64))
-            }
+            MitigationKind::Pride { .. } => Box::new(Pride::paper(self.seed ^ bank as u64)),
         }
     }
 
@@ -241,8 +253,7 @@ mod tests {
 
     #[test]
     fn rate_based_kinds_set_periodic_rfms() {
-        let c = SystemConfig::paper_default()
-            .with_mitigation(MitigationKind::Pride { trh: 250 });
+        let c = SystemConfig::paper_default().with_mitigation(MitigationKind::Pride { trh: 250 });
         let interval = c.mc_config().periodic_rfm_interval.unwrap();
         assert!((8..=12).contains(&interval), "PrIDE@250 -> {interval}");
         let c = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
@@ -271,7 +282,10 @@ mod tests {
     #[test]
     fn plain_timing_is_faster() {
         let prac = SystemConfig::paper_default();
-        let plain = SystemConfig { plain_timing: true, ..prac.clone() };
+        let plain = SystemConfig {
+            plain_timing: true,
+            ..prac.clone()
+        };
         assert!(plain.dram_config().timing.trc < prac.dram_config().timing.trc);
     }
 

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod system;
 
 pub use attack::{run_bandwidth_attack, BwAttackStats};
-pub use config::{MitigationKind, SystemConfig};
+pub use config::{env_u64, MitigationKind, SystemConfig};
 pub use stats::{geomean, RunStats};
 pub use system::System;
 

@@ -58,7 +58,8 @@ impl RunStats {
 
     /// Alerts per tREFI (Fig 15's y-axis).
     pub fn alerts_per_trefi(&self) -> f64 {
-        self.device.alerts_per_trefi(self.mem_cycles, self.trefi_cycles)
+        self.device
+            .alerts_per_trefi(self.mem_cycles, self.trefi_cycles)
     }
 
     /// Row-buffer misses (activations) per kilo-instruction — the
@@ -102,10 +103,18 @@ mod tests {
             cpu_cycles: 1000,
             mem_cycles: 800,
             core_ipc: ipc.to_vec(),
-            cpu: CoreStats { retired: 4000, cycles: 1000, ..Default::default() },
+            cpu: CoreStats {
+                retired: 4000,
+                cycles: 1000,
+                ..Default::default()
+            },
             cache: CacheStats::default(),
             mc: McStats::default(),
-            device: DeviceStats { acts: 40, alerts: 2, ..Default::default() },
+            device: DeviceStats {
+                acts: 40,
+                alerts: 2,
+                ..Default::default()
+            },
             energy: EnergyBreakdown::default(),
             runtime_ns: 250.0,
             trefi_cycles: 400,

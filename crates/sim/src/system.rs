@@ -5,9 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use cpu_model::{
-    CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource,
-};
+use cpu_model::{CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource};
 use dram_core::{AddressMapper, DramDevice};
 use energy_model::{EnergyBreakdown, EnergyParams};
 use mem_ctrl::{MemoryController, ReqKind};
@@ -134,9 +132,7 @@ impl System {
         for k in 0..n {
             let i = (start + k) % n;
             self.cores[i].tick(&mut self.mem);
-            if self.finished_at[i].is_none()
-                && self.cores[i].retired() >= self.cfg.instr_limit
-            {
+            if self.finished_at[i].is_none() && self.cores[i].retired() >= self.cfg.instr_limit {
                 self.finished_at[i] = Some(self.cpu_cycle);
             }
         }
@@ -154,7 +150,11 @@ impl System {
         // Feed pending LLC misses/writebacks into the controller.
         while let Some(&(line, is_write)) = self.mem.pending_issue.front() {
             let addr = self.mapper.decode(line % self.mapper.num_lines());
-            let kind = if is_write { ReqKind::Write } else { ReqKind::Read };
+            let kind = if is_write {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            };
             if self.mc.enqueue(kind, addr, line, self.mem_cycle).is_some() {
                 self.mem.pending_issue.pop_front();
             } else {
@@ -184,7 +184,7 @@ impl System {
         let debug = std::env::var("QPRAC_DEBUG_PROGRESS").is_ok();
         while self.finished_at.iter().any(Option::is_none) {
             self.step();
-            if debug && self.cpu_cycle % 2_000_000 == 0 {
+            if debug && self.cpu_cycle.is_multiple_of(2_000_000) {
                 let per_core: Vec<(u64, usize, usize)> = self
                     .cores
                     .iter()
@@ -229,8 +229,7 @@ impl System {
         let device = self.mc.device().stats().clone();
         let dram_cfg = self.mc.device().cfg();
         let runtime_ns = self.mem_cycle as f64 * 1000.0 / dram_cfg.freq_mhz as f64;
-        let energy =
-            EnergyBreakdown::from_stats(&device, &EnergyParams::default(), runtime_ns);
+        let energy = EnergyBreakdown::from_stats(&device, &EnergyParams::default(), runtime_ns);
         RunStats {
             cpu_cycles: self.cpu_cycle,
             mem_cycles: self.mem_cycle,

@@ -37,7 +37,7 @@ impl InDramMitigation for HottestRow {
     }
 
     fn needs_alert(&self) -> bool {
-        self.entry.map_or(false, |(_, c)| c >= self.threshold)
+        self.entry.is_some_and(|(_, c)| c >= self.threshold)
     }
 
     fn on_rfm(&mut self, _c: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
@@ -65,7 +65,10 @@ fn alternating_hammer(tracker: Box<dyn InDramMitigation>) -> u32 {
 }
 
 fn main() {
-    let naive = alternating_hammer(Box::new(HottestRow { threshold: 32, entry: None }));
+    let naive = alternating_hammer(Box::new(HottestRow {
+        threshold: 32,
+        entry: None,
+    }));
     let qprac = alternating_hammer(Box::new(Qprac::new(QpracConfig::paper_default())));
     println!("worst unmitigated activation count under a two-row hammer:");
     println!("  hottest-row tracker : {naive}");

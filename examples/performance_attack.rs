@@ -10,7 +10,8 @@ use dram_core::RfmKind;
 use sim::{run_bandwidth_attack, MitigationKind, SystemConfig};
 
 fn main() {
-    let window = 400_000; // 125 us at 3200 MHz
+    // 125 us at 3200 MHz; QPRAC_ATTACK_WINDOW (memory cycles) overrides.
+    let window = sim::env_u64("QPRAC_ATTACK_WINDOW", 400_000);
     let banks = 8;
     let nbo = 32;
 
@@ -26,9 +27,21 @@ fn main() {
 
     for (label, kind, rfm) in [
         ("QPRAC-RFMab", MitigationKind::Qprac, RfmKind::AllBank),
-        ("QPRAC-RFMab+Pro", MitigationKind::QpracProactive, RfmKind::AllBank),
-        ("QPRAC-RFMsb+Pro", MitigationKind::QpracProactive, RfmKind::SameBank),
-        ("QPRAC-RFMpb+Pro", MitigationKind::QpracProactive, RfmKind::PerBank),
+        (
+            "QPRAC-RFMab+Pro",
+            MitigationKind::QpracProactive,
+            RfmKind::AllBank,
+        ),
+        (
+            "QPRAC-RFMsb+Pro",
+            MitigationKind::QpracProactive,
+            RfmKind::SameBank,
+        ),
+        (
+            "QPRAC-RFMpb+Pro",
+            MitigationKind::QpracProactive,
+            RfmKind::PerBank,
+        ),
     ] {
         let cfg = SystemConfig::paper_default()
             .with_mitigation(kind)

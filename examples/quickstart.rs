@@ -13,10 +13,12 @@ fn main() {
     println!("workload: {} (4 homogeneous copies)", workload.name);
 
     // The paper's default design: QPRAC with energy-aware proactive
-    // mitigation, N_BO = 32, one RFM per alert, 5-entry PSQ.
+    // mitigation, N_BO = 32, one RFM per alert, 5-entry PSQ. 50 K
+    // instructions keeps the example snappy; QPRAC_INSTR overrides.
+    let instr = sim::env_u64("QPRAC_INSTR", 50_000);
     let cfg = SystemConfig::paper_default()
         .with_mitigation(MitigationKind::QpracProactiveEa)
-        .with_instruction_limit(50_000);
+        .with_instruction_limit(instr);
     let baseline_cfg = cfg.clone().with_mitigation(MitigationKind::None);
 
     let baseline = run_workload(&baseline_cfg, &workload);

@@ -11,7 +11,10 @@ use security_model::{max_r1, secure_trh, PracModel};
 
 fn main() {
     println!("minimum secure T_RH (QPRAC / QPRAC+Proactive)\n");
-    println!("{:>6} | {:^15} | {:^15} | {:^15}", "N_BO", "PRAC-1", "PRAC-2", "PRAC-4");
+    println!(
+        "{:>6} | {:^15} | {:^15} | {:^15}",
+        "N_BO", "PRAC-1", "PRAC-2", "PRAC-4"
+    );
     println!("{:->6}-+-{:-^15}-+-{:-^15}-+-{:-^15}", "", "", "", "");
     for nbo in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
         let mut cells = Vec::new();
@@ -20,14 +23,21 @@ fn main() {
             let pro = secure_trh(&PracModel::prac(nmit, nbo).with_proactive());
             cells.push(format!("{plain:>5} / {pro:<5}"));
         }
-        println!("{nbo:>6} | {:^15} | {:^15} | {:^15}", cells[0], cells[1], cells[2]);
+        println!(
+            "{nbo:>6} | {:^15} | {:^15} | {:^15}",
+            cells[0], cells[1], cells[2]
+        );
     }
 
     println!("\nattack feasibility: largest starting pool R1 (wave attack)");
     for nbo in [16u32, 32, 64, 128, 256] {
         let plain = max_r1(&PracModel::prac(1, nbo));
         let pro = max_r1(&PracModel::prac(1, nbo).with_proactive());
-        let verdict = if pro == 0 { "attack defeated" } else { "attack feasible" };
+        let verdict = if pro == 0 {
+            "attack defeated"
+        } else {
+            "attack feasible"
+        };
         println!("  N_BO={nbo:>3}: R1={plain:>6} plain, {pro:>6} with proactive ({verdict})");
     }
 }

@@ -1,0 +1,79 @@
+//! Smoke coverage for the five `examples/`: each must run end to end
+//! without panicking. The sim-heavy ones are shrunk via `QPRAC_INSTR`
+//! and `QPRAC_ATTACK_WINDOW` so this stays fast in debug builds.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate a compiled example binary next to this test executable
+/// (`target/<profile>/deps/<test>` -> `target/<profile>/examples/<name>`).
+/// Cargo builds all examples before running the test suite, so the
+/// binary is guaranteed to exist whenever this test runs under cargo.
+fn example_bin(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop(); // <test binary>
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("examples");
+    p.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        p.exists(),
+        "example binary {} not found at {} (run under `cargo test`)",
+        name,
+        p.display()
+    );
+    p
+}
+
+fn run_example(name: &str) -> String {
+    let out = Command::new(example_bin(name))
+        .env("QPRAC_INSTR", "2000")
+        .env("QPRAC_ATTACK_WINDOW", "20000")
+        .output()
+        .expect("spawn example");
+    assert!(
+        out.status.success(),
+        "example {name} failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart");
+    assert!(out.contains("QPRAC+EA"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn security_sweep_runs() {
+    let out = run_example("security_sweep");
+    assert!(
+        out.contains("minimum secure T_RH"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
+fn wave_attack_runs() {
+    let out = run_example("wave_attack");
+    assert!(out.contains("Wave attack"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn performance_attack_runs() {
+    let out = run_example("performance_attack");
+    assert!(out.contains("QPRAC-RFMab"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn custom_mitigation_runs() {
+    let out = run_example("custom_mitigation");
+    assert!(
+        out.contains("QPRAC (5-entry PSQ)"),
+        "unexpected output:\n{out}"
+    );
+}

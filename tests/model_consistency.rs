@@ -22,9 +22,12 @@ fn timing_device_sustains_the_modeled_act_rate() {
             dev.activate(BankId(0), RowId(row), now);
             row += 1;
             acts += 1;
-            let pre_at = now + t.tras;
-            while !dev.can_precharge(BankId(0), pre_at + 0) {
-                now += 1;
+            // Advance the precharge time, not `now`: the device state is
+            // fixed here, so waiting on a fixed `pre_at` could never
+            // terminate if a timing change made it ineligible once.
+            let mut pre_at = now + t.tras;
+            while !dev.can_precharge(BankId(0), pre_at) {
+                pre_at += 1;
             }
             dev.precharge(BankId(0), pre_at);
         }

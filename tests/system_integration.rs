@@ -95,17 +95,14 @@ fn lower_nbo_does_not_speed_up() {
     let w = WorkloadSpec::by_name("spec06/libquantum_like").unwrap();
     let instr = 40_000;
     let base = run_workload(&cfg(MitigationKind::None, instr), &w);
-    let p16 = run_workload(
-        &cfg(MitigationKind::Qprac, instr).with_nbo(16),
-        &w,
-    )
-    .normalized_perf(&base);
-    let p128 = run_workload(
-        &cfg(MitigationKind::Qprac, instr).with_nbo(128),
-        &w,
-    )
-    .normalized_perf(&base);
-    assert!(p16 <= p128 + 0.005, "N_BO=16 {p16:.3} vs N_BO=128 {p128:.3}");
+    let p16 =
+        run_workload(&cfg(MitigationKind::Qprac, instr).with_nbo(16), &w).normalized_perf(&base);
+    let p128 =
+        run_workload(&cfg(MitigationKind::Qprac, instr).with_nbo(128), &w).normalized_perf(&base);
+    assert!(
+        p16 <= p128 + 0.005,
+        "N_BO=16 {p16:.3} vs N_BO=128 {p128:.3}"
+    );
 }
 
 /// Fig 19 shape: per-bank RFMs contain the bandwidth attack better than
@@ -134,7 +131,10 @@ fn rfm_granularity_ordering_under_attack() {
     let red_ab = ab.reduction_vs(&base);
     let red_pb = pb.reduction_vs(&base);
     assert!(red_ab > 0.2, "RFMab attack must bite: {red_ab:.2}");
-    assert!(red_pb < red_ab, "RFMpb {red_pb:.2} must beat RFMab {red_ab:.2}");
+    assert!(
+        red_pb < red_ab,
+        "RFMpb {red_pb:.2} must beat RFMab {red_ab:.2}"
+    );
 }
 
 /// DESIGN.md §3.6: the mitigation ordering is stable across trace

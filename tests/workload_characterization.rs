@@ -55,7 +55,11 @@ fn hotcold_concentrates_row_activations() {
     // PRAC counts must exceed 4x the mean.
     let mean = s.device.acts as f64 / 8192.0; // hot rows upper bound
     assert!(mean >= 0.0);
-    assert!(s.device.acts > 3_000, "enough DRAM traffic: {}", s.device.acts);
+    assert!(
+        s.device.acts > 3_000,
+        "enough DRAM traffic: {}",
+        s.device.acts
+    );
 }
 
 /// Store-heavy workloads generate write traffic through the LLC

@@ -1,0 +1,343 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Implements the surface the QPRAC suite uses — the [`proptest!`]
+//! macro, [`prop_assert!`]/[`prop_assert_eq!`], [`prop_oneof!`],
+//! [`strategy::Strategy`] with `prop_map`, [`any`], and
+//! [`collection::vec`] — as a deterministic fixed-case runner: each test
+//! derives its RNG seed from the test name, runs
+//! [`test_runner::CASES`] generated cases, and reports the failing case
+//! index on assertion failure. No shrinking. See `vendor/README.md`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values for property tests.
+    ///
+    /// The real proptest `Strategy` produces shrinkable value trees;
+    /// this subset only generates, which is enough for the suite's
+    /// invariant checks.
+    pub trait Strategy {
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values (real API: `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (real API: `boxed`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy, produced by [`Strategy::boxed`] and
+    /// consumed by [`prop_oneof!`](crate::prop_oneof).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    /// `any::<T>()` — the full-domain strategy for a primitive type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen()
+        }
+    }
+
+    /// Full-domain strategy for primitives (real API: `any`).
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Constant strategy (real API: `Just`).
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `collection::vec(elem, len_range)` from the real API.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of generated cases per `proptest!` test.
+    pub const CASES: u32 = 256;
+
+    /// Panic payload used by `prop_assume!` to reject a case; the
+    /// runner skips rejected cases instead of failing.
+    pub struct CaseRejected;
+
+    /// RNG handed to strategies; seeded deterministically per test.
+    pub struct TestRng {
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Derive the RNG from the test's name (FNV-1a) so every test
+        /// has a stable, independent stream.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::CASES`] deterministic
+/// cases; the failing case index and generated inputs are reported via
+/// the panic message.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..$crate::test_runner::CASES {
+                    $(let $arg = {
+                        let __strat = $strat;
+                        $crate::strategy::Strategy::generate(&__strat, &mut __rng)
+                    };)+
+                    let __inputs = format!(concat!($("\n  ", stringify!($arg), " = {:?}",)+), $(&$arg),+);
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(e) = __result {
+                        if e.is::<$crate::test_runner::CaseRejected>() {
+                            continue;
+                        }
+                        panic!(
+                            "proptest case {}/{} failed for inputs:{}\ncause: {}",
+                            __case,
+                            $crate::test_runner::CASES,
+                            __inputs,
+                            e.downcast_ref::<String>().map(|s| s.as_str())
+                                .or_else(|| e.downcast_ref::<&str>().copied())
+                                .unwrap_or("<non-string panic>"),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!` — plain assertion in this subset.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain equality assertion in this subset.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain inequality assertion in this subset.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!` — reject (skip) the current case when the condition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::test_runner::CaseRejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in collection::vec(0u64..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn tuples_and_any_compose(pair in (0u32..5, any::<bool>())) {
+            prop_assert!(pair.0 < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x as u64),
+            (100u32..110).prop_map(|x| x as u64),
+        ]) {
+            prop_assert!(v < 10 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u32..2) {
+                    prop_assert!(x > 100);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result
+            .unwrap_err()
+            .downcast_ref::<String>()
+            .map(|s| Box::new(s.clone()))
+            .unwrap();
+        assert!(msg.contains("proptest case"), "got: {msg}");
+        assert!(msg.contains("x ="), "got: {msg}");
+    }
+}
