@@ -2,6 +2,31 @@
 //! write-allocate, with MSHR-based miss tracking (paper Table II).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for line addresses (the MSHR map is keyed by
+/// `u64` lines; SipHash is overkill on this per-miss path).
+#[derive(Default)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn finish(&self) -> u64 {
+        // Fibonacci multiply-shift: spreads sequential line addresses.
+        self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 
 /// LLC configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,9 +115,13 @@ pub struct CacheStats {
 #[derive(Debug, Clone)]
 pub struct Llc {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways, one contiguous allocation: set `s` occupies
+    /// `ways[s * cfg.ways .. (s + 1) * cfg.ways]` (a per-set `Vec` would
+    /// cost one allocation per set — 16 K for the paper geometry — and a
+    /// pointer chase per access).
+    ways: Vec<Way>,
     num_sets: u64,
-    mshrs: HashMap<u64, Mshr>,
+    mshrs: LineMap<Mshr>,
     tick: u64,
     stats: CacheStats,
 }
@@ -106,21 +135,18 @@ impl Llc {
             "set count must be a power of two"
         );
         Llc {
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        valid: false,
-                        dirty: false,
-                        lru: 0
-                    };
-                    cfg.ways
-                ];
-                num_sets as usize
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                num_sets as usize * cfg.ways
             ],
             num_sets,
             cfg,
-            mshrs: HashMap::new(),
+            mshrs: LineMap::default(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -152,7 +178,8 @@ impl Llc {
         self.tick += 1;
         let set = self.set_of(line);
         let tag = self.tag_of(line);
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+        let ways = &mut self.ways[set * self.cfg.ways..(set + 1) * self.cfg.ways];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = self.tick;
             if is_store {
                 w.dirty = true;
@@ -195,14 +222,15 @@ impl Llc {
         self.tick += 1;
         let set = self.set_of(line);
         let tag = self.tag_of(line);
+        let ways = &mut self.ways[set * self.cfg.ways..(set + 1) * self.cfg.ways];
         // Choose victim: invalid way or LRU.
-        let victim = self.sets[set]
+        let victim = ways
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("non-empty set");
-        let old = self.sets[set][victim];
+        let old = ways[victim];
         let writeback = if old.valid && old.dirty {
             self.stats.writebacks += 1;
             // Reconstruct the victim's line address.
@@ -210,7 +238,7 @@ impl Llc {
         } else {
             None
         };
-        self.sets[set][victim] = Way {
+        ways[victim] = Way {
             tag,
             valid: true,
             dirty: m.store_pending,

@@ -54,6 +54,18 @@ impl BankTiming {
         self.next_act
     }
 
+    /// Earliest cycle at which a PRE could be legal (meaningful while a
+    /// row is open).
+    pub fn next_pre_at(&self) -> Cycle {
+        self.next_pre
+    }
+
+    /// Earliest cycle at which a RD/WR could be legal (meaningful while a
+    /// row is open).
+    pub fn next_col_at(&self) -> Cycle {
+        self.next_col
+    }
+
     /// Apply an ACT at `now`.
     ///
     /// # Panics
@@ -182,6 +194,34 @@ impl RankState {
     pub fn busy_at(&self, now: Cycle) -> bool {
         now < self.busy_until
     }
+
+    /// The cycle the current REF/RFM busy window ends (0 if never busy).
+    pub fn busy_until_at(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Earliest cycle at which the rank-level ACT constraints (tRRD_S/L,
+    /// tFAW, busy window) would admit an ACT to `group`. The exact dual
+    /// of [`can_activate`](Self::can_activate):
+    /// `can_activate(g, now, t) == (now >= act_ready_at(g, t))`.
+    pub fn act_ready_at(&self, group: usize, t: &Timing) -> Cycle {
+        let mut ready = self
+            .busy_until
+            .max(self.next_act_any)
+            .max(self.next_act_group[group]);
+        if self.recent_acts.len() == 4 {
+            if let Some(&oldest) = self.recent_acts.front() {
+                ready = ready.max(oldest + t.tfaw);
+            }
+        }
+        ready
+    }
+
+    /// Earliest cycle at which the rank-level column constraints would
+    /// admit a RD/WR to `group` (dual of [`can_column`](Self::can_column)).
+    pub fn col_ready_at(&self, group: usize) -> Cycle {
+        self.busy_until.max(self.next_col_group[group])
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +337,53 @@ mod tests {
         b.precharge(t.tras, &t);
         assert!(!b.ready_for_refresh(t.tras));
         assert!(b.ready_for_refresh(t.trc.max(t.tras + t.trp)));
+    }
+
+    #[test]
+    fn next_command_getters_are_duals_of_can_checks() {
+        let t = timing();
+        let mut b = BankTiming::new();
+        b.activate(RowId(2), 0, &t);
+        b.read(t.trcd, &t);
+        for now in 0..2 * t.trc {
+            assert_eq!(b.can_column(now), now >= b.next_col_at(), "col @ {now}");
+            assert_eq!(b.can_precharge(now), now >= b.next_pre_at(), "pre @ {now}");
+        }
+        b.precharge(b.next_pre_at(), &t);
+        for now in 0..2 * t.trc {
+            assert_eq!(b.can_activate(now), now >= b.next_act_at(), "act @ {now}");
+        }
+    }
+
+    #[test]
+    fn rank_ready_at_is_dual_of_can_activate() {
+        let t = timing();
+        let mut r = RankState::new(8);
+        // Load the rank with 4 ACTs so the tFAW term is live, plus a busy
+        // window.
+        let mut now = 0;
+        for g in 0..4 {
+            now = now.max(r.act_ready_at(g, &t));
+            r.activate(g, now, &t);
+            now += 1;
+        }
+        r.block_until(now + 17);
+        r.column(5, now, &t);
+        for g in [0usize, 4, 5] {
+            for c in 0..now + 3 * t.tfaw {
+                assert_eq!(
+                    r.can_activate(g, c, &t),
+                    c >= r.act_ready_at(g, &t),
+                    "act group {g} @ {c}"
+                );
+                assert_eq!(
+                    r.can_column(g, c),
+                    c >= r.col_ready_at(g),
+                    "col group {g} @ {c}"
+                );
+            }
+        }
+        assert_eq!(r.busy_until_at(), now + 17);
     }
 
     #[test]

@@ -27,14 +27,23 @@ pub trait CounterAccess {
     fn top_n(&self, n: usize) -> Vec<(RowId, u32)>;
 }
 
-/// Dense per-row counters with an optional ordered index.
+/// Rows per lazily-allocated counter page (16 KB of `u32`s). A bank has
+/// 128 K rows in the paper geometry, but short runs touch only a few
+/// thousand; lazy pages keep construction O(pages) instead of zeroing
+/// 512 KB per bank (32 MB per channel) up front, and keep the touched
+/// working set small enough to stay cache-resident.
+const PAGE_ROWS: usize = 4096;
+
+/// Dense per-row counters with an optional ordered index, stored as
+/// lazily-allocated fixed-size pages.
 ///
 /// The ordered index (`BTreeSet<(count, row)>`) costs O(log rows) per
 /// update and is only needed by oracle trackers (QPRAC-Ideal / UPRAC) that
 /// must know the global top-N; it is disabled by default.
 #[derive(Debug, Clone)]
 pub struct PracCounters {
-    counts: Vec<u32>,
+    pages: Vec<Option<Box<[u32]>>>,
+    rows: u32,
     ordered: Option<BTreeSet<(u32, u32)>>,
     total_acts: u64,
 }
@@ -43,7 +52,8 @@ impl PracCounters {
     /// Create counters for a bank with `rows` rows.
     pub fn new(rows: u32, track_order: bool) -> Self {
         PracCounters {
-            counts: vec![0; rows as usize],
+            pages: vec![None; (rows as usize).div_ceil(PAGE_ROWS)],
+            rows,
             ordered: track_order.then(BTreeSet::new),
             total_acts: 0,
         }
@@ -53,9 +63,13 @@ impl PracCounters {
     /// and return the post-increment value.
     pub fn increment(&mut self, row: RowId) -> u32 {
         let idx = row.0 as usize;
-        let old = self.counts[idx];
+        assert!(idx < self.rows as usize, "row out of range");
+        let page = self.pages[idx / PAGE_ROWS]
+            .get_or_insert_with(|| vec![0; PAGE_ROWS].into_boxed_slice());
+        let slot = &mut page[idx % PAGE_ROWS];
+        let old = *slot;
         let new = old.saturating_add(1);
-        self.counts[idx] = new;
+        *slot = new;
         self.total_acts += 1;
         if let Some(ordered) = &mut self.ordered {
             if old > 0 {
@@ -76,39 +90,53 @@ impl PracCounters {
         if let Some(ordered) = &self.ordered {
             ordered.iter().next_back().map_or(0, |&(c, _)| c)
         } else {
-            self.counts.iter().copied().max().unwrap_or(0)
+            self.pages
+                .iter()
+                .flatten()
+                .flat_map(|page| page.iter().copied())
+                .max()
+                .unwrap_or(0)
         }
     }
 
     /// Iterate over all `(row, count)` pairs with non-zero counts.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (RowId, u32)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (RowId(i as u32), c))
+        self.pages.iter().enumerate().flat_map(|(p, page)| {
+            page.iter()
+                .flat_map(|counts| counts.iter().enumerate())
+                .filter(|(_, &c)| c > 0)
+                .map(move |(i, &c)| (RowId((p * PAGE_ROWS + i) as u32), c))
+        })
     }
 }
 
 impl CounterAccess for PracCounters {
     fn count(&self, row: RowId) -> u32 {
-        self.counts[row.0 as usize]
+        let idx = row.0 as usize;
+        assert!(idx < self.rows as usize, "row out of range");
+        self.pages[idx / PAGE_ROWS]
+            .as_ref()
+            .map_or(0, |page| page[idx % PAGE_ROWS])
     }
 
     fn reset(&mut self, row: RowId) {
         let idx = row.0 as usize;
-        let old = self.counts[idx];
+        assert!(idx < self.rows as usize, "row out of range");
+        let Some(page) = self.pages[idx / PAGE_ROWS].as_mut() else {
+            return;
+        };
+        let old = page[idx % PAGE_ROWS];
         if old == 0 {
             return;
         }
-        self.counts[idx] = 0;
+        page[idx % PAGE_ROWS] = 0;
         if let Some(ordered) = &mut self.ordered {
             ordered.remove(&(old, row.0));
         }
     }
 
     fn num_rows(&self) -> u32 {
-        self.counts.len() as u32
+        self.rows
     }
 
     fn top_n(&self, n: usize) -> Vec<(RowId, u32)> {

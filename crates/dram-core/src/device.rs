@@ -17,7 +17,7 @@ use crate::config::DramConfig;
 use crate::counters::{CounterAccess, PracCounters};
 use crate::mitigation::{InDramMitigation, RfmContext};
 use crate::stats::DeviceStats;
-use crate::types::{BankId, Cycle, MitigationCause, RfmCause, RfmKind, RowId};
+use crate::types::{BankBitSet, BankId, Cycle, MitigationCause, RfmCause, RfmKind, RowId};
 
 /// One bank: timing state, PRAC counters and the hosted tracker.
 #[derive(Debug)]
@@ -39,6 +39,44 @@ struct AboState {
     rfms_toward_alert: u8,
 }
 
+/// Precomputed affected-bank lists for each RFM kind, so the alert
+/// service and RFM legality checks never allocate on the hot path.
+#[derive(Debug)]
+struct RfmLists {
+    /// Every bank in the channel (RFMab); bank `i` sits at index `i`, so
+    /// RFMpb hands out one-element subslices of it.
+    all: Vec<BankId>,
+    /// One list per intra-group bank index (RFMsb).
+    same: Vec<Vec<BankId>>,
+}
+
+impl RfmLists {
+    fn new(cfg: &DramConfig) -> Self {
+        let per_group = cfg.banks_per_group as u16;
+        let all: Vec<BankId> = (0..cfg.num_banks() as u16).map(BankId).collect();
+        let same = (0..per_group)
+            .map(|idx| {
+                all.iter()
+                    .copied()
+                    .filter(|b| b.0 % per_group == idx)
+                    .collect()
+            })
+            .collect();
+        RfmLists { all, same }
+    }
+
+    fn of(&self, kind: RfmKind, target: BankId, banks_per_group: u16) -> &[BankId] {
+        match kind {
+            RfmKind::AllBank => &self.all,
+            RfmKind::SameBank => &self.same[(target.0 % banks_per_group) as usize],
+            RfmKind::PerBank => {
+                let i = target.0 as usize;
+                &self.all[i..=i]
+            }
+        }
+    }
+}
+
 /// A single-channel DRAM device.
 pub struct DramDevice {
     cfg: DramConfig,
@@ -52,9 +90,16 @@ pub struct DramDevice {
     bus_free_at: Cycle,
     abo: AboState,
     stats: DeviceStats,
-    /// Banks whose tracker currently requests an alert (incremental
-    /// count so the per-ACT alert check is O(1)).
+    /// Number of banks whose tracker currently requests an alert
+    /// (incremental count so the per-ACT alert check is O(1)).
     alerting_banks: u32,
+    /// One bit per bank mirroring `tracker.needs_alert()`, so the
+    /// controller can find the alerting bank without scanning trackers.
+    alert_bits: BankBitSet,
+    /// Precomputed per-kind RFM target lists.
+    rfm_lists: RfmLists,
+    /// Reusable buffer for the banks affected by an in-flight RFM.
+    rfm_scratch: Vec<BankId>,
 }
 
 impl std::fmt::Debug for DramDevice {
@@ -90,8 +135,8 @@ impl DramDevice {
         let bank_grp = (0..cfg.num_banks())
             .map(|b| ((b % per_rank) / per_group) as u8)
             .collect();
-        DramDevice {
-            cfg,
+        let rfm_lists = RfmLists::new(&cfg);
+        let mut dev = DramDevice {
             banks,
             ranks,
             bank_rank,
@@ -104,7 +149,14 @@ impl DramDevice {
             },
             stats: DeviceStats::default(),
             alerting_banks: 0,
-        }
+            alert_bits: BankBitSet::new(cfg.num_banks()),
+            rfm_lists,
+            rfm_scratch: Vec::with_capacity(cfg.num_banks()),
+            cfg,
+        };
+        // Trackers may be constructed already wanting an alert.
+        dev.resync_alert_flags();
+        dev
     }
 
     /// Device configuration.
@@ -126,14 +178,40 @@ impl DramDevice {
     }
 
     /// Re-evaluate one bank tracker's alert request and maintain the
-    /// incremental alerting-bank count.
+    /// incremental alerting-bank count and bitset.
     fn refresh_alert_flag(&mut self, bank: usize, was: bool) {
         let now_wants = self.banks[bank].tracker.needs_alert();
         match (was, now_wants) {
-            (false, true) => self.alerting_banks += 1,
-            (true, false) => self.alerting_banks -= 1,
+            (false, true) => {
+                self.alerting_banks += 1;
+                self.alert_bits.insert(bank);
+            }
+            (true, false) => {
+                self.alerting_banks -= 1;
+                self.alert_bits.remove(bank);
+            }
             _ => {}
         }
+    }
+
+    /// Rebuild the alert bookkeeping from every tracker. Needed after
+    /// `on_alert_state` broadcasts, which may mutate arbitrary trackers.
+    fn resync_alert_flags(&mut self) {
+        self.alerting_banks = 0;
+        self.alert_bits.clear();
+        for (i, unit) in self.banks.iter().enumerate() {
+            if unit.tracker.needs_alert() {
+                self.alerting_banks += 1;
+                self.alert_bits.insert(i);
+            }
+        }
+    }
+
+    /// The lowest-indexed bank whose tracker currently requests an alert.
+    /// O(banks/64) — the controller's per-cycle alert service uses this
+    /// instead of scanning every tracker.
+    pub fn first_alerting_bank(&self) -> Option<BankId> {
+        self.alert_bits.first().map(|b| BankId(b as u16))
     }
 
     /// Currently open row in `bank`.
@@ -250,28 +328,24 @@ impl DramDevice {
         self.stats.refs += 1;
     }
 
+    /// The banks affected by an RFM of `kind` targeted at `target`, as a
+    /// precomputed slice (allocation-free; the hot alert-service path).
+    pub fn rfm_banks_of(&self, kind: RfmKind, target: BankId) -> &[BankId] {
+        self.rfm_lists
+            .of(kind, target, self.cfg.banks_per_group as u16)
+    }
+
     /// The banks affected by an RFM of `kind` targeted at `target`.
+    /// Allocating convenience wrapper around
+    /// [`rfm_banks_of`](Self::rfm_banks_of).
     pub fn rfm_banks(&self, kind: RfmKind, target: BankId) -> Vec<BankId> {
-        match kind {
-            RfmKind::AllBank => (0..self.cfg.num_banks() as u16).map(BankId).collect(),
-            RfmKind::SameBank => {
-                // One bank (same intra-group index as `target`) in every
-                // bank group of every rank.
-                let per_group = self.cfg.banks_per_group as u16;
-                let idx_in_group = target.0 % per_group;
-                (0..self.cfg.num_banks() as u16)
-                    .filter(|b| b % per_group == idx_in_group)
-                    .map(BankId)
-                    .collect()
-            }
-            RfmKind::PerBank => vec![target],
-        }
+        self.rfm_banks_of(kind, target).to_vec()
     }
 
     /// Whether an RFM of `kind` can issue at `now` (all affected banks
     /// closed and settled).
     pub fn can_rfm(&self, kind: RfmKind, target: BankId, now: Cycle) -> bool {
-        self.rfm_banks(kind, target).into_iter().all(|b| {
+        self.rfm_banks_of(kind, target).iter().all(|&b| {
             !self.ranks[self.rank_of(b)].busy_at(now)
                 && self.banks[b.0 as usize].timing.ready_for_refresh(now)
         })
@@ -284,7 +358,11 @@ impl DramDevice {
     pub fn rfm(&mut self, kind: RfmKind, target: BankId, cause: RfmCause, now: Cycle) {
         debug_assert!(self.can_rfm(kind, target, now), "illegal RFM");
         let until = now + self.cfg.timing.trfm;
-        let affected = self.rfm_banks(kind, target);
+        // Reuse the scratch buffer: `apply_mitigation` below needs `&mut
+        // self`, so the precomputed list is copied rather than borrowed.
+        let mut affected = std::mem::take(&mut self.rfm_scratch);
+        affected.clear();
+        affected.extend_from_slice(self.rfm_banks_of(kind, target));
         let alert_service = cause == RfmCause::AlertService;
         for b in &affected {
             self.banks[b.0 as usize].timing.block_until(until);
@@ -294,7 +372,7 @@ impl DramDevice {
                 self.ranks[r].block_until(until);
             }
         }
-        for b in affected {
+        for &b in &affected {
             let unit = &mut self.banks[b.0 as usize];
             let alerting = unit.tracker.needs_alert();
             let ctx = RfmContext {
@@ -311,6 +389,7 @@ impl DramDevice {
             }
             self.refresh_alert_flag(b.0 as usize, alerting);
         }
+        self.rfm_scratch = affected;
         self.stats.record_rfm(kind);
         if alert_service {
             self.abo.rfms_toward_alert += 1;
@@ -321,6 +400,7 @@ impl DramDevice {
                 for unit in &mut self.banks {
                     unit.tracker.on_alert_state(false);
                 }
+                self.resync_alert_flags();
             }
         }
     }
@@ -362,12 +442,81 @@ impl DramDevice {
             for unit in &mut self.banks {
                 unit.tracker.on_alert_state(true);
             }
+            self.resync_alert_flags();
         }
     }
 
     /// When the current Alert_n assertion began, if asserted.
     pub fn alert_since(&self) -> Option<Cycle> {
         self.abo.alert_since
+    }
+
+    /// Earliest cycle an ACT to `bank` could become legal, combining the
+    /// bank's tRC with the rank's tRRD/tFAW/busy constraints. Meaningful
+    /// while the bank is precharged (an open bank needs a PRE first);
+    /// for a closed bank, `can_activate(b, c)` iff `c >=
+    /// next_activate_at(b)`.
+    pub fn next_activate_at(&self, bank: BankId) -> Cycle {
+        let rank = self.rank_of(bank);
+        let group = self.group_of(bank);
+        self.banks[bank.0 as usize]
+            .timing
+            .next_act_at()
+            .max(self.ranks[rank].act_ready_at(group, &self.cfg.timing))
+    }
+
+    /// Earliest cycle a RD/WR to `bank` could become legal (bank tRCD,
+    /// rank tCCD/busy, and data-bus occupancy). Meaningful while a row is
+    /// open: `can_column(b, w, c)` iff `c >= next_column_at(b, w)`.
+    pub fn next_column_at(&self, bank: BankId, write: bool) -> Cycle {
+        let rank = self.rank_of(bank);
+        let group = self.group_of(bank);
+        let t = &self.cfg.timing;
+        let lat = if write { t.tcwl } else { t.tcl };
+        self.banks[bank.0 as usize]
+            .timing
+            .next_col_at()
+            .max(self.ranks[rank].col_ready_at(group))
+            .max(self.bus_free_at.saturating_sub(lat))
+    }
+
+    /// Earliest cycle a PRE to `bank` could become legal. Meaningful
+    /// while a row is open: `can_precharge(b, c)` iff `c >=
+    /// next_precharge_at(b)`.
+    pub fn next_precharge_at(&self, bank: BankId) -> Cycle {
+        self.banks[bank.0 as usize].timing.next_pre_at()
+    }
+
+    /// Earliest cycle a REF to `rank` could become legal, or
+    /// [`Cycle::MAX`] while any bank of the rank still has an open row
+    /// (a PRE must happen first; track that via
+    /// [`next_precharge_at`](Self::next_precharge_at)).
+    pub fn next_refresh_at(&self, rank: u8) -> Cycle {
+        let mut ready = self.ranks[rank as usize].busy_until_at();
+        for b in self.bank_ids_of_rank(rank) {
+            let timing = &self.banks[b.0 as usize].timing;
+            if timing.open_row.is_some() {
+                return Cycle::MAX;
+            }
+            ready = ready.max(timing.next_act_at());
+        }
+        ready
+    }
+
+    /// Earliest cycle an RFM of `kind` at `target` could become legal, or
+    /// [`Cycle::MAX`] while any affected bank still has an open row.
+    pub fn next_rfm_at(&self, kind: RfmKind, target: BankId) -> Cycle {
+        let mut ready = 0;
+        for &b in self.rfm_banks_of(kind, target) {
+            let timing = &self.banks[b.0 as usize].timing;
+            if timing.open_row.is_some() {
+                return Cycle::MAX;
+            }
+            ready = ready
+                .max(timing.next_act_at())
+                .max(self.ranks[self.rank_of(b)].busy_until_at());
+        }
+        ready
     }
 
     /// Iterator over the bank ids of `rank`.
@@ -592,6 +741,102 @@ mod tests {
         }
         let done2 = dev.column(BankId(2), false, col_t2);
         assert!(done2 >= done0 + t.tbl, "bursts must not overlap");
+    }
+
+    #[test]
+    fn next_command_queries_are_duals_of_can_checks() {
+        let mut dev = device_with_threshold(1000);
+        let t = dev.cfg().timing;
+        let mut now = 0;
+        // Exercise ACT/RD/PRE on two banks and a REF to load every
+        // constraint, then sweep the duals.
+        dev.activate(BankId(0), RowId(1), now);
+        now += t.trrd_l;
+        while !dev.can_activate(BankId(1), now) {
+            now += 1;
+        }
+        dev.activate(BankId(1), RowId(2), now);
+        let mut col = now + t.trcd;
+        while !dev.can_column(BankId(0), false, col) {
+            col += 1;
+        }
+        dev.column(BankId(0), false, col);
+        let horizon = col + 3 * t.trc;
+        for c in 0..horizon {
+            for bank in [BankId(0), BankId(1)] {
+                if dev.open_row(bank).is_some() {
+                    assert_eq!(
+                        dev.can_column(bank, false, c),
+                        c >= dev.next_column_at(bank, false),
+                        "col {bank} @ {c}"
+                    );
+                    assert_eq!(
+                        dev.can_column(bank, true, c),
+                        c >= dev.next_column_at(bank, true),
+                        "wr {bank} @ {c}"
+                    );
+                    assert_eq!(
+                        dev.can_precharge(bank, c),
+                        c >= dev.next_precharge_at(bank),
+                        "pre {bank} @ {c}"
+                    );
+                }
+            }
+            // Bank 2 stays closed throughout: ACT dual holds.
+            assert_eq!(
+                dev.can_activate(BankId(2), c),
+                c >= dev.next_activate_at(BankId(2)),
+                "act bank2 @ {c}"
+            );
+        }
+        // REF/RFM duals: blocked while rows are open...
+        assert_eq!(dev.next_refresh_at(0), Cycle::MAX);
+        assert_eq!(dev.next_rfm_at(RfmKind::AllBank, BankId(0)), Cycle::MAX);
+        // ...and exact once everything is precharged.
+        for bank in [BankId(0), BankId(1)] {
+            let at = dev.next_precharge_at(bank);
+            dev.precharge(bank, at);
+            now = now.max(at);
+        }
+        let ref_at = dev.next_refresh_at(0);
+        assert_ne!(ref_at, Cycle::MAX);
+        assert!(!dev.can_refresh(0, ref_at - 1));
+        assert!(dev.can_refresh(0, ref_at));
+        let rfm_at = dev.next_rfm_at(RfmKind::AllBank, BankId(0));
+        assert!(!dev.can_rfm(RfmKind::AllBank, BankId(0), rfm_at - 1));
+        assert!(dev.can_rfm(RfmKind::AllBank, BankId(0), rfm_at));
+    }
+
+    #[test]
+    fn first_alerting_bank_tracks_tracker_state() {
+        let mut dev = device_with_threshold(3);
+        assert_eq!(dev.first_alerting_bank(), None);
+        let mut now = 0;
+        hammer(&mut dev, BankId(2), RowId(9), 3, &mut now);
+        assert_eq!(dev.first_alerting_bank(), Some(BankId(2)));
+        hammer(&mut dev, BankId(1), RowId(4), 3, &mut now);
+        assert_eq!(dev.first_alerting_bank(), Some(BankId(1)));
+        // Servicing the alert drains both trackers (RFMab touches every
+        // bank) and clears the bookkeeping.
+        now += dev.cfg().timing.trc;
+        while !dev.can_rfm(RfmKind::AllBank, BankId(0), now) {
+            now += 1;
+        }
+        dev.rfm(RfmKind::AllBank, BankId(0), RfmCause::AlertService, now);
+        assert_eq!(dev.first_alerting_bank(), None);
+    }
+
+    #[test]
+    fn rfm_banks_slice_matches_vec_api() {
+        let dev = device_with_threshold(1000);
+        for kind in [RfmKind::AllBank, RfmKind::SameBank, RfmKind::PerBank] {
+            for target in 0..dev.cfg().num_banks() as u16 {
+                assert_eq!(
+                    dev.rfm_banks_of(kind, BankId(target)),
+                    dev.rfm_banks(kind, BankId(target)).as_slice()
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,5 +44,6 @@ pub use mapping::{AddressMapper, MappingScheme};
 pub use mitigation::{InDramMitigation, NoMitigation, RfmContext};
 pub use stats::DeviceStats;
 pub use types::{
-    BankCoord, BankId, Cycle, DramAddr, DramCommand, MitigationCause, RfmCause, RfmKind, RowId,
+    BankBitSet, BankCoord, BankId, Cycle, DramAddr, DramCommand, MitigationCause, RfmCause,
+    RfmKind, RowId,
 };

@@ -137,6 +137,62 @@ pub enum MitigationCause {
     Periodic,
 }
 
+/// Dense set of flat bank indices backed by `u64` words, iterated in
+/// ascending order. Shared by the device's alerting-bank bookkeeping and
+/// the memory controller's queue-occupancy tracking, so the hot per-cycle
+/// scans touch one word per 64 banks instead of scanning per bank.
+#[derive(Debug, Clone, Default)]
+pub struct BankBitSet {
+    words: Vec<u64>,
+}
+
+impl BankBitSet {
+    /// An empty set sized for `banks` banks.
+    pub fn new(banks: usize) -> Self {
+        BankBitSet {
+            words: vec![0; banks.div_ceil(64)],
+        }
+    }
+
+    /// Add `bank` to the set.
+    pub fn insert(&mut self, bank: usize) {
+        self.words[bank / 64] |= 1u64 << (bank % 64);
+    }
+
+    /// Remove `bank` from the set.
+    pub fn remove(&mut self, bank: usize) {
+        self.words[bank / 64] &= !(1u64 << (bank % 64));
+    }
+
+    /// Whether `bank` is in the set.
+    pub fn contains(&self, bank: usize) -> bool {
+        self.words[bank / 64] & (1u64 << (bank % 64)) != 0
+    }
+
+    /// Remove every bank.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The lowest bank index in the set, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find_map(|(w, &word)| (word != 0).then(|| w * 64 + word.trailing_zeros() as usize))
+    }
+
+    /// Set members in ascending order (matches a `0..banks` scan, so
+    /// scheduler tie-breaking over this iteration is order-stable).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            std::iter::successors(Some(word), |&x| Some(x & x.wrapping_sub(1)))
+                .take_while(|&x| x != 0)
+                .map(move |x| w * 64 + x.trailing_zeros() as usize)
+        })
+    }
+}
+
 /// Convert nanoseconds to (ceil) memory cycles at the given frequency.
 ///
 /// ```
@@ -185,6 +241,25 @@ mod tests {
         assert_eq!(RfmKind::AllBank.to_string(), "RFMab");
         assert_eq!(RfmKind::SameBank.to_string(), "RFMsb");
         assert_eq!(RfmKind::PerBank.to_string(), "RFMpb");
+    }
+
+    #[test]
+    fn bank_bitset_round_trips_and_iterates_in_order() {
+        let mut s = BankBitSet::new(130);
+        for b in [0usize, 3, 63, 64, 65, 129] {
+            s.insert(b);
+            assert!(s.contains(b));
+        }
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 63, 64, 65, 129]);
+        s.remove(0);
+        s.remove(64);
+        assert!(!s.contains(0));
+        assert_eq!(s.first(), Some(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 63, 65, 129]);
+        s.clear();
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
     }
 
     #[test]

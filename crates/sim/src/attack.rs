@@ -45,10 +45,29 @@ impl BwAttackStats {
 
 /// Run the multi-bank hammer for `mem_cycles` cycles, attacking
 /// `attack_banks` banks (round-robin row conflicts in each).
+/// Fast-forwards over cycles where every attacked queue is full and the
+/// controller cannot issue (identical statistics either way; disable
+/// with `QPRAC_NO_FASTFORWARD=1`).
 pub fn run_bandwidth_attack(
     cfg: &SystemConfig,
     attack_banks: usize,
     mem_cycles: u64,
+) -> BwAttackStats {
+    run_bandwidth_attack_with(
+        cfg,
+        attack_banks,
+        mem_cycles,
+        crate::system::fast_forward_default(),
+    )
+}
+
+/// [`run_bandwidth_attack`] with an explicit fast-forward mode (the
+/// differential tests exercise both).
+pub fn run_bandwidth_attack_with(
+    cfg: &SystemConfig,
+    attack_banks: usize,
+    mem_cycles: u64,
+    fast_forward: bool,
 ) -> BwAttackStats {
     let dram_cfg = cfg.dram_config();
     let banks_per_rank = dram_cfg.banks_per_rank();
@@ -64,8 +83,10 @@ pub fn run_bandwidth_attack(
     let rows_cycle = 24u32;
     let mut row_cursor = vec![0u32; attack_banks];
 
-    for now in 0..mem_cycles {
+    let mut now = 0;
+    while now < mem_cycles {
         // Keep every attacked bank's queue primed.
+        let mut enqueued_any = false;
         for (b, cursor) in row_cursor.iter_mut().enumerate() {
             let coord = BankCoord {
                 rank: (b / banks_per_rank) as u8,
@@ -83,10 +104,20 @@ pub fn run_bandwidth_attack(
             };
             if mc.enqueue(ReqKind::Read, addr, b as u64, now).is_some() {
                 *cursor = (*cursor + 1) % rows_cycle;
+                enqueued_any = true;
             }
         }
-        mc.tick(now);
+        let next_event = mc.tick(now);
         mc.drain_completions();
+        if fast_forward && !enqueued_any {
+            // Every attacked queue is full, so nothing changes until the
+            // controller can issue its next command: jump straight there.
+            let jump_to = next_event.min(mem_cycles);
+            mc.account_idle_cycles(jump_to - now - 1);
+            now = jump_to;
+        } else {
+            now += 1;
+        }
     }
 
     let s = mc.device().stats();

@@ -30,7 +30,7 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
-pub use attack::{run_bandwidth_attack, BwAttackStats};
+pub use attack::{run_bandwidth_attack, run_bandwidth_attack_with, BwAttackStats};
 pub use config::{env_u64, MitigationKind, SystemConfig};
 pub use stats::{geomean, RunStats};
 pub use system::System;

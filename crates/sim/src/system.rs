@@ -1,12 +1,25 @@
 //! The full system: cores + shared LLC + memory controller + DRAM with a
 //! hosted mitigation, clocked at the paper's 4 GHz core / 3.2 GHz memory
 //! ratio (exact 4:5 rational stepping).
+//!
+//! ## Event-driven fast-forwarding
+//!
+//! The run loop is cycle-accurate but not cycle-*stepped*: whenever every
+//! core is provably stalled on outstanding loads
+//! ([`cpu_model::Core::stalled_on_memory`]) the simulator asks the memory
+//! controller for the next cycle at which anything can happen
+//! ([`mem_ctrl::MemoryController::next_event`]), combines it with the
+//! earliest pending LLC-hit wakeup, and jumps the CPU/memory clocks
+//! straight there — keeping the 4:5 clock ratio, the rotating core
+//! arbitration and every statistic bit-exact with the cycle-by-cycle
+//! loop (a differential test enforces this). Set `QPRAC_NO_FASTFORWARD=1`
+//! to force the plain loop.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use cpu_model::{CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource};
-use dram_core::{AddressMapper, DramDevice};
+use dram_core::{AddressMapper, DramAddr, DramDevice};
 use energy_model::{EnergyBreakdown, EnergyParams};
 use mem_ctrl::{MemoryController, ReqKind};
 
@@ -16,14 +29,38 @@ use crate::stats::RunStats;
 /// CPU-cycle cost of moving a filled line from the LLC to the core.
 const FILL_TO_USE: u64 = 10;
 
+/// Whether event-driven fast-forwarding is enabled for this process
+/// (`QPRAC_NO_FASTFORWARD=1` opts out; the differential test relies on
+/// both paths producing identical statistics).
+pub(crate) fn fast_forward_default() -> bool {
+    !std::env::var("QPRAC_NO_FASTFORWARD").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A line waiting to enter the memory controller, decoded once at miss
+/// time instead of on every (possibly blocked) memory tick.
+struct PendingAccess {
+    addr: DramAddr,
+    line: u64,
+    write: bool,
+}
+
 /// The memory side visible to cores: LLC + issue/wakeup plumbing.
 struct MemSide {
     llc: Llc,
+    mapper: AddressMapper,
     /// `(due_cpu_cycle, token)` load completions.
     ready: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Lines waiting to enter the memory controller: `(line, is_write)`.
-    pending_issue: VecDeque<(u64, bool)>,
+    /// Accesses waiting to enter the memory controller.
+    pending_issue: VecDeque<PendingAccess>,
     cpu_cycle: u64,
+}
+
+impl MemSide {
+    fn queue_access(&mut self, line: u64, write: bool) {
+        let addr = self.mapper.decode(line % self.mapper.num_lines());
+        self.pending_issue
+            .push_back(PendingAccess { addr, line, write });
+    }
 }
 
 impl CoreMem for MemSide {
@@ -35,7 +72,7 @@ impl CoreMem for MemSide {
                 true
             }
             LlcAccess::MissFetch => {
-                self.pending_issue.push_back((line, false));
+                self.queue_access(line, false);
                 true
             }
             LlcAccess::MissMerged => true,
@@ -47,7 +84,7 @@ impl CoreMem for MemSide {
         match self.llc.access(line, true, u64::MAX) {
             LlcAccess::Hit | LlcAccess::MissMerged => true,
             LlcAccess::MissFetch => {
-                self.pending_issue.push_back((line, false));
+                self.queue_access(line, false);
                 true
             }
             LlcAccess::Blocked => false,
@@ -64,10 +101,20 @@ pub struct System {
     finished_at: Vec<Option<u64>>,
     mem: MemSide,
     mc: MemoryController,
-    mapper: AddressMapper,
     cpu_cycle: u64,
     mem_cycle: u64,
     clock_acc: u64,
+    /// Skip dead cycles (see the module docs); identical results either
+    /// way, enforced by the differential test.
+    fast_forward: bool,
+    /// Cached `mc.next_event` result: the controller provably cannot act
+    /// before this memory cycle (assuming no enqueues, which reset it to
+    /// 0 = unknown). Lets `mem_tick` elide whole controller ticks and
+    /// `skip_dead_cycles` reuse the aggregation instead of recomputing.
+    mc_next_event: u64,
+    ff_attempts: u64,
+    ff_jumps: u64,
+    ff_skipped: u64,
 }
 
 impl System {
@@ -96,17 +143,29 @@ impl System {
             finished_at: vec![None; n],
             mem: MemSide {
                 llc: Llc::new(CacheConfig::paper_default()),
+                mapper,
                 ready: BinaryHeap::new(),
                 pending_issue: VecDeque::new(),
                 cpu_cycle: 0,
             },
             mc,
-            mapper,
             cpu_cycle: 0,
             mem_cycle: 0,
             clock_acc: 0,
+            fast_forward: fast_forward_default(),
+            mc_next_event: 0,
+            ff_attempts: 0,
+            ff_jumps: 0,
+            ff_skipped: 0,
             cfg,
         }
+    }
+
+    /// Override the fast-forwarding mode (defaults to on unless
+    /// `QPRAC_NO_FASTFORWARD=1`); the differential tests run both.
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Advance one CPU cycle (cores) plus the proportional memory work.
@@ -131,6 +190,13 @@ impl System {
         let start = (self.cpu_cycle as usize) % n;
         for k in 0..n {
             let i = (start + k) % n;
+            if self.fast_forward && self.cores[i].stalled_on_memory() {
+                // A provably stalled tick is a no-op apart from the cycle
+                // counters; eliding it keeps results bit-exact (no
+                // retirement, so no finish transition either).
+                self.cores[i].skip_stalled_cycles(1);
+                continue;
+            }
             self.cores[i].tick(&mut self.mem);
             if self.finished_at[i].is_none() && self.cores[i].retired() >= self.cfg.instr_limit {
                 self.finished_at[i] = Some(self.cpu_cycle);
@@ -147,21 +213,39 @@ impl System {
     }
 
     fn mem_tick(&mut self) {
-        // Feed pending LLC misses/writebacks into the controller.
-        while let Some(&(line, is_write)) = self.mem.pending_issue.front() {
-            let addr = self.mapper.decode(line % self.mapper.num_lines());
-            let kind = if is_write {
+        // Feed pending LLC misses/writebacks into the controller. The
+        // capacity pre-check keeps a blocked head-of-queue from churning
+        // the controller's rejection statistics every memory cycle (and
+        // keeps blocked cycles side-effect-free for fast-forwarding).
+        while let Some(p) = self.mem.pending_issue.front() {
+            let kind = if p.write {
                 ReqKind::Write
             } else {
                 ReqKind::Read
             };
-            if self.mc.enqueue(kind, addr, line, self.mem_cycle).is_some() {
-                self.mem.pending_issue.pop_front();
-            } else {
+            if !self.mc.can_accept(kind, self.mc.bank_index(&p.addr)) {
                 break;
             }
+            if self
+                .mc
+                .enqueue(kind, p.addr, p.line, self.mem_cycle)
+                .is_none()
+            {
+                debug_assert!(false, "can_accept promised capacity");
+                break;
+            }
+            self.mem.pending_issue.pop_front();
+            self.mc_next_event = 0;
         }
-        self.mc.tick(self.mem_cycle);
+        if self.fast_forward && self.mc_next_event > self.mem_cycle {
+            // The controller provably cannot issue this cycle; eliding
+            // its tick changes nothing but the alert-window statistic,
+            // which `account_idle_cycles` keeps in step. No completions
+            // can appear from a tick that issues nothing.
+            self.mc.account_idle_cycles(1);
+            return;
+        }
+        self.mc_next_event = self.mc.tick(self.mem_cycle);
         for done in self.mc.drain_completions() {
             if !done.was_read {
                 continue;
@@ -172,9 +256,69 @@ impl System {
                 self.mem.ready.push(Reverse((due, token)));
             }
             if let Some(victim) = out.writeback {
-                self.mem.pending_issue.push_back((victim, true));
+                self.mem.queue_access(victim, true);
             }
         }
+    }
+
+    /// If every core is provably stalled on loads, jump the clocks to the
+    /// next cycle at which anything can happen: the earliest pending LLC
+    /// wakeup, the next memory cycle that can accept the blocked
+    /// head-of-queue access, or the controller's next possible command.
+    /// All skipped cycles are proven no-ops, so statistics stay
+    /// bit-exact with cycle-by-cycle stepping.
+    fn skip_dead_cycles(&mut self) {
+        if !self.cores.iter().all(Core::stalled_on_memory) {
+            return;
+        }
+        self.ff_attempts += 1;
+        let mut target = match self.mem.ready.peek() {
+            Some(&Reverse((due, _))) => due,
+            None => u64::MAX,
+        };
+        let mem_event = match self.mem.pending_issue.front() {
+            Some(p)
+                if self.mc.can_accept(
+                    if p.write {
+                        ReqKind::Write
+                    } else {
+                        ReqKind::Read
+                    },
+                    self.mc.bank_index(&p.addr),
+                ) =>
+            {
+                // The very next memory tick will enqueue it.
+                self.mem_cycle + 1
+            }
+            _ if self.mc_next_event > self.mem_cycle => self.mc_next_event,
+            _ => self.mc.next_event(self.mem_cycle),
+        };
+        if mem_event != u64::MAX {
+            // First CPU cycle whose step performs memory tick
+            // `mem_event`, preserving the exact 4:5 cadence
+            // (mem_cycle = floor(4 * cpu_cycle / 5)).
+            target = target.min(mem_event.saturating_mul(5).div_ceil(4));
+        }
+        assert!(
+            target != u64::MAX,
+            "every core is stalled on loads but no memory event is pending — deadlock"
+        );
+        // step() advances one cycle itself; skip only the cycles before
+        // `target` so the next step lands exactly on it.
+        let skip = (target - 1).saturating_sub(self.cpu_cycle);
+        if skip == 0 {
+            return;
+        }
+        self.ff_skipped += skip;
+        self.ff_jumps += 1;
+        self.cpu_cycle += skip;
+        for core in &mut self.cores {
+            core.skip_stalled_cycles(skip);
+        }
+        let new_mem_cycle = 4 * self.cpu_cycle / 5;
+        self.mc.account_idle_cycles(new_mem_cycle - self.mem_cycle);
+        self.mem_cycle = new_mem_cycle;
+        self.clock_acc = 4 * self.cpu_cycle % 5;
     }
 
     /// Run until every core retires the configured instruction limit.
@@ -183,6 +327,9 @@ impl System {
         let safety_cap = self.cfg.instr_limit.saturating_mul(4000).max(10_000_000);
         let debug = std::env::var("QPRAC_DEBUG_PROGRESS").is_ok();
         while self.finished_at.iter().any(Option::is_none) {
+            if self.fast_forward {
+                self.skip_dead_cycles();
+            }
             self.step();
             if debug && self.cpu_cycle.is_multiple_of(2_000_000) {
                 let per_core: Vec<(u64, usize, usize)> = self
@@ -209,6 +356,16 @@ impl System {
     }
 
     fn collect(self) -> RunStats {
+        if std::env::var("QPRAC_FF_STATS").is_ok() {
+            eprintln!(
+                "[sim] ff: cycles={} stepped={} skipped={} attempts={} jumps={}",
+                self.cpu_cycle,
+                self.cpu_cycle - self.ff_skipped,
+                self.ff_skipped,
+                self.ff_attempts,
+                self.ff_jumps,
+            );
+        }
         let core_ipc: Vec<f64> = self
             .finished_at
             .iter()

@@ -148,6 +148,13 @@ impl Bencher {
     }
 }
 
+/// Whether the binary was invoked in criterion's `--test` smoke mode
+/// (`cargo bench -- --test`): run every benchmark once, untimed, so CI
+/// can prove the bench code still executes without paying for sampling.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     id: &str,
     sample_size: usize,
@@ -155,6 +162,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
     warm_up_time: Duration,
     f: &mut F,
 ) {
+    if test_mode() {
+        run_one_smoke(id, f);
+        return;
+    }
     // Warm-up: also calibrates how many iterations fit in one sample.
     let warm_start = Instant::now();
     let mut warm_iters: u64 = 0;
@@ -198,6 +209,17 @@ fn run_one<F: FnMut(&mut Bencher)>(
         fmt_ns(mean),
         fmt_ns(max)
     );
+}
+
+/// `--test` mode body: one untimed iteration, criterion-style output.
+fn run_one_smoke<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_samples: 1,
+    };
+    f(&mut b);
+    println!("Testing {id}: ok");
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -253,6 +275,14 @@ mod tests {
         let mut ran = 0u64;
         c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_benchmark_once() {
+        let mut runs = 0u64;
+        let mut f = |b: &mut Bencher| b.iter(|| runs += 1);
+        run_one_smoke("smoke_once", &mut f);
+        assert_eq!(runs, 1, "--test mode must execute exactly one iteration");
     }
 
     #[test]
