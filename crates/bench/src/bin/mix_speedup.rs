@@ -1,0 +1,9 @@
+//! Heterogeneous-mix sweep (beyond the paper): weighted speedup and
+//! alerts per tREFI for the 8 shipped workload mixes at 1/2/4 memory
+//! channels under the insecure baseline, QPRAC and QPRAC+Proactive-EA.
+//! Shrink with `QPRAC_INSTR` for smoke runs.
+use qprac_bench::experiments::mix;
+
+fn main() -> std::io::Result<()> {
+    mix::mix_speedup()
+}

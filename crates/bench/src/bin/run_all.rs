@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation in one
 //! pass. Results land in `results/*.csv`; progress prints to stdout.
 use qprac_bench::experiments::{
-    ablations, attack_figs, full_suite, perf_figs, security_figs, sensitivity_suite, tables,
+    ablations, attack_figs, full_suite, mix, perf_figs, security_figs, sensitivity_suite, tables,
 };
 
 fn main() -> std::io::Result<()> {
@@ -30,6 +30,7 @@ fn main() -> std::io::Result<()> {
     perf_figs::table03(&sens)?;
     perf_figs::fig14_15(&full_suite())?;
     ablations::run_all(&sens)?;
+    mix::mix_speedup()?;
     println!(
         "=== complete in {:.1} min ===",
         t0.elapsed().as_secs_f64() / 60.0

@@ -18,8 +18,16 @@ impl CsvWriter {
     /// `QPRAC_RESULTS_DIR` when set), writing the given header row.
     pub fn create(name: &str, header: &[&str]) -> io::Result<Self> {
         let dir = std::env::var("QPRAC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-        fs::create_dir_all(&dir)?;
-        let path = Path::new(&dir).join(format!("{name}.csv"));
+        Self::create_in(Path::new(&dir), name, header)
+    }
+
+    /// Create `<dir>/<name>.csv`, writing the given header row. The
+    /// explicit-directory form exists so tests can write to a temp dir
+    /// without mutating `QPRAC_RESULTS_DIR` (process environment is
+    /// shared across `cargo test` threads).
+    pub fn create_in(dir: &Path, name: &str, header: &[&str]) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
         let mut file = File::create(&path)?;
         writeln!(file, "{}", header.join(","))?;
         Ok(CsvWriter { path, file })
@@ -47,14 +55,17 @@ mod tests {
 
     #[test]
     fn writes_header_and_rows() {
-        let dir = std::env::temp_dir().join("qprac-csv-test");
-        std::env::set_var("QPRAC_RESULTS_DIR", &dir);
-        let mut w = CsvWriter::create("unit", &["a", "b"]).unwrap();
+        // `create_in` keeps the test off `QPRAC_RESULTS_DIR`: mutating
+        // process env here raced against any concurrently running test
+        // (or figure-binary smoke child) reading it.
+        let dir = std::env::temp_dir().join(format!("qprac-csv-test-{}", std::process::id()));
+        let mut w = CsvWriter::create_in(&dir, "unit", &["a", "b"]).unwrap();
         w.row(&["1".into(), "2".into()]).unwrap();
+        assert_eq!(w.path(), dir.join("unit.csv"));
         drop(w);
         let text = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
-        std::env::remove_var("QPRAC_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

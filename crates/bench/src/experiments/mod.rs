@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod attack_figs;
+pub mod mix;
 pub mod perf_figs;
 pub mod security_figs;
 pub mod tables;
@@ -18,9 +19,7 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
 /// subset spans the same intensity range at a fraction of the runtime).
 /// Set `QPRAC_FULL_SUITE=1` to use all 57 workloads instead.
 pub fn sensitivity_suite() -> Vec<WorkloadSpec> {
-    // Enabled by `QPRAC_FULL_SUITE=1` (any value except "" / "0");
-    // plain `is_ok()` would treat `QPRAC_FULL_SUITE=0` as enabled.
-    if std::env::var("QPRAC_FULL_SUITE").is_ok_and(|v| !v.is_empty() && v != "0") {
+    if sim::env_flag("QPRAC_FULL_SUITE") {
         return full_suite();
     }
     let picks = [

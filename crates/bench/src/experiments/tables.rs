@@ -61,8 +61,8 @@ pub fn table02() -> std::io::Result<()> {
         (
             "Organization".to_string(),
             format!(
-                "{} banks x {} groups x {} ranks x 1 channel",
-                d.banks_per_group, d.bank_groups, d.ranks
+                "{} banks x {} groups x {} ranks x {} channel(s)",
+                d.banks_per_group, d.bank_groups, d.ranks, d.channels
             ),
         ),
         (

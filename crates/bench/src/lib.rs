@@ -3,7 +3,8 @@
 //! Benchmark harness and figure/table regeneration for the QPRAC
 //! reproduction. One binary per paper figure/table lives in `src/bin/`
 //! (`fig02` ... `fig23`, `table01` ... `table04`, `wave_validate`,
-//! `run_all`); Criterion micro-benchmarks live in `benches/`.
+//! `run_all`), plus the beyond-paper `mix_speedup` heterogeneous-mix
+//! sweep; Criterion micro-benchmarks live in `benches/`.
 //!
 //! All binaries print the regenerated series and write CSVs to
 //! `results/` (override with `QPRAC_RESULTS_DIR`). Simulation length is

@@ -76,6 +76,7 @@ bin_smoke!(
     table04,
     wave_validate,
     ablations,
+    mix_speedup,
 );
 
 /// `run_all` re-runs every experiment above, so this adds ~45 s of pure

@@ -10,17 +10,21 @@
 //! - [`trace`] — the Ramulator2-style trace format (synthetic and file
 //!   sources);
 //! - [`workloads`] — the 57-workload synthetic suite standing in for the
-//!   paper's SPEC/TPC/Hadoop/MediaBench/YCSB traces (DESIGN.md §3.6).
+//!   paper's SPEC/TPC/Hadoop/MediaBench/YCSB traces (DESIGN.md §3.6);
+//! - [`mix`] — named heterogeneous 4-slot mixes over that suite, scored
+//!   by weighted speedup in the `mix_speedup` experiment.
 //!
 //! The full-system binding (cores + LLC + memory controller + DRAM)
 //! lives in the `sim` crate.
 
 pub mod cache;
 pub mod core;
+pub mod mix;
 pub mod trace;
 pub mod workloads;
 
 pub use crate::core::{Core, CoreConfig, CoreMem, CoreStats};
 pub use cache::{CacheConfig, CacheStats, FillOutcome, Llc, LlcAccess};
+pub use mix::{mixes8, WorkloadMix};
 pub use trace::{LoopTrace, TraceEntry, TraceSource};
 pub use workloads::{all57, GenParams, Pattern, SyntheticTrace, WorkloadSpec};

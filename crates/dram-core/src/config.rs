@@ -206,6 +206,11 @@ impl Default for PracParams {
 /// Full device configuration (geometry + timing + PRAC).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
+    /// Independent channels in the memory system. Each channel gets its
+    /// own device, controller and command/data buses; every per-channel
+    /// field below (ranks, banks, rows) describes *one* channel. Must be
+    /// a power of two (the channel-select address fold relies on it).
+    pub channels: u8,
     /// Ranks per channel.
     pub ranks: u8,
     /// Bank groups per rank.
@@ -236,6 +241,7 @@ impl DramConfig {
     pub fn paper_default() -> Self {
         let freq_mhz = 3200;
         DramConfig {
+            channels: 1,
             ranks: 2,
             bank_groups: 8,
             banks_per_group: 4,
@@ -276,9 +282,14 @@ impl DramConfig {
         self.row_bytes / self.line_bytes
     }
 
-    /// Channel capacity in bytes.
+    /// Capacity of one channel in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.num_banks() as u64 * self.rows_per_bank as u64 * self.row_bytes as u64
+    }
+
+    /// Capacity of the whole memory system (all channels) in bytes.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.channels as u64 * self.capacity_bytes()
     }
 
     /// Upper bound on activations a single bank can absorb per tREFI
@@ -308,8 +319,22 @@ mod tests {
     #[test]
     fn paper_capacity_is_64_gib() {
         let cfg = DramConfig::paper_default();
+        assert_eq!(cfg.channels, 1);
         assert_eq!(cfg.num_banks(), 64);
         assert_eq!(cfg.capacity_bytes(), 64 << 30);
+        assert_eq!(cfg.total_capacity_bytes(), 64 << 30);
+    }
+
+    #[test]
+    fn channels_scale_total_capacity_only() {
+        let cfg = DramConfig {
+            channels: 4,
+            ..DramConfig::paper_default()
+        };
+        // Per-channel geometry is unchanged; only the system total grows.
+        assert_eq!(cfg.num_banks(), 64);
+        assert_eq!(cfg.capacity_bytes(), 64 << 30);
+        assert_eq!(cfg.total_capacity_bytes(), 256 << 30);
     }
 
     #[test]

@@ -10,8 +10,18 @@
 //!   bank groups/banks/ranks and XORs low row bits into the bank index to
 //!   spread conflicts. This is the scheme used for all paper experiments.
 //!
-//! Both mappings are bijective over the channel capacity, which the
-//! property tests verify.
+//! When the configuration has more than one channel, both schemes gain a
+//! channel-select digit directly above the lowest column digit, so
+//! consecutive chunks interleave across channels before they interleave
+//! across banks. Under [`MappingScheme::MopXor`] the channel digit is
+//! additionally XOR-folded with low row bits (the same self-inverse fold
+//! the scheme applies to the bank group), decorrelating channel choice
+//! from row-strided patterns. With `channels = 1` the digit is constant
+//! zero and both schemes decode exactly as the single-channel mapper
+//! always has.
+//!
+//! Both mappings are bijective over the total (all-channel) capacity,
+//! which the property tests verify.
 
 use crate::config::DramConfig;
 use crate::types::{BankCoord, DramAddr, RowId};
@@ -30,6 +40,7 @@ pub enum MappingScheme {
 #[derive(Debug, Clone)]
 pub struct AddressMapper {
     scheme: MappingScheme,
+    channels: u32,
     ranks: u32,
     groups: u32,
     banks: u32,
@@ -42,8 +53,14 @@ pub struct AddressMapper {
 impl AddressMapper {
     /// Build a mapper for the given device configuration.
     pub fn new(cfg: &DramConfig, scheme: MappingScheme) -> Self {
+        assert!(
+            cfg.channels >= 1 && (cfg.channels as u32).is_power_of_two(),
+            "channel count must be a power of two for the XOR channel fold, got {}",
+            cfg.channels
+        );
         AddressMapper {
             scheme,
+            channels: cfg.channels as u32,
             ranks: cfg.ranks as u32,
             groups: cfg.bank_groups as u32,
             banks: cfg.banks_per_group as u32,
@@ -53,9 +70,15 @@ impl AddressMapper {
         }
     }
 
-    /// Total cache lines addressable in the channel.
+    /// Number of channels this mapper interleaves across.
+    pub fn num_channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Total cache lines addressable across all channels.
     pub fn num_lines(&self) -> u64 {
-        self.ranks as u64
+        self.channels as u64
+            * self.ranks as u64
             * self.groups as u64
             * self.banks as u64
             * self.rows as u64
@@ -89,6 +112,8 @@ impl AddressMapper {
         let mut x = line;
         let col = (x % self.cols as u64) as u16;
         x /= self.cols as u64;
+        let channel = (x % self.channels as u64) as u8;
+        x /= self.channels as u64;
         let bank = (x % self.banks as u64) as u8;
         x /= self.banks as u64;
         let group = (x % self.groups as u64) as u8;
@@ -97,7 +122,7 @@ impl AddressMapper {
         x /= self.ranks as u64;
         let row = x as u32;
         DramAddr {
-            channel: 0,
+            channel,
             coord: BankCoord {
                 rank,
                 bank_group: group,
@@ -113,16 +138,20 @@ impl AddressMapper {
         x = x * self.ranks as u64 + a.coord.rank as u64;
         x = x * self.groups as u64 + a.coord.bank_group as u64;
         x = x * self.banks as u64 + a.coord.bank as u64;
+        x = x * self.channels as u64 + a.channel as u64;
         x * self.cols as u64 + a.col as u64
     }
 
     /// MOP layout, line-address digits from least significant:
-    /// `[mop-chunk col] [bank group] [bank] [rank] [col hi] [row]`,
-    /// with the bank-group digit XOR-folded with low row bits.
+    /// `[mop-chunk col] [channel] [bank group] [bank] [rank] [col hi]
+    /// [row]`, with the channel and bank-group digits XOR-folded with
+    /// low row bits.
     fn decode_mop(&self, line: u64) -> DramAddr {
         let mut x = line;
         let col_lo = (x % self.mop as u64) as u32;
         x /= self.mop as u64;
+        let channel_raw = (x % self.channels as u64) as u32;
+        x /= self.channels as u64;
         let group_raw = (x % self.groups as u64) as u32;
         x /= self.groups as u64;
         let bank = (x % self.banks as u64) as u8;
@@ -133,12 +162,14 @@ impl AddressMapper {
         let col_hi = (x % col_hi_digits) as u32;
         x /= col_hi_digits;
         let row = x as u32;
-        // XOR-fold low row bits into the bank group to decorrelate
-        // row-conflicts from stride patterns (self-inverse, so encode uses
-        // the same fold).
+        // XOR-fold low row bits into the bank group (and the channel,
+        // when there is more than one) to decorrelate row-conflicts from
+        // stride patterns (self-inverse, so encode uses the same folds;
+        // both digit counts are powers of two, keeping the fold closed).
         let group = (group_raw ^ (row % self.groups)) % self.groups;
+        let channel = (channel_raw ^ (row % self.channels)) % self.channels;
         DramAddr {
-            channel: 0,
+            channel: channel as u8,
             coord: BankCoord {
                 rank,
                 bank_group: group as u8,
@@ -152,6 +183,7 @@ impl AddressMapper {
     fn encode_mop(&self, a: &DramAddr) -> u64 {
         let row = a.row.0;
         let group_raw = (a.coord.bank_group as u32 ^ (row % self.groups)) % self.groups;
+        let channel_raw = (a.channel as u32 ^ (row % self.channels)) % self.channels;
         let col_lo = a.col as u64 % self.mop as u64;
         let col_hi = a.col as u64 / self.mop as u64;
         let col_hi_digits = (self.cols / self.mop) as u64;
@@ -160,6 +192,7 @@ impl AddressMapper {
         x = x * self.ranks as u64 + a.coord.rank as u64;
         x = x * self.banks as u64 + a.coord.bank as u64;
         x = x * self.groups as u64 + group_raw as u64;
+        x = x * self.channels as u64 + channel_raw as u64;
         x * self.mop as u64 + col_lo
     }
 
@@ -226,6 +259,64 @@ mod tests {
         }
     }
 
+    fn with_channels(channels: u8) -> DramConfig {
+        DramConfig {
+            channels,
+            ..DramConfig::tiny_test()
+        }
+    }
+
+    #[test]
+    fn multi_channel_round_trip_both_schemes() {
+        for channels in [2u8, 4] {
+            for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
+                let m = AddressMapper::new(&with_channels(channels), scheme);
+                for line in 0..200_000u64 {
+                    let a = m.decode(line);
+                    assert!(a.channel < channels, "{scheme:?} line {line}");
+                    assert_eq!(m.encode(&a), line, "{scheme:?} line {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mop_interleaves_consecutive_chunks_across_channels() {
+        let m = AddressMapper::new(&with_channels(2), MappingScheme::MopXor);
+        let a = m.decode(0);
+        let b = m.decode(4); // next 4-line chunk
+        assert_ne!(a.channel, b.channel, "next MOP chunk must switch channel");
+    }
+
+    #[test]
+    fn channels_balance_under_dense_sweep() {
+        let channels = 4u8;
+        let m = AddressMapper::new(&with_channels(channels), MappingScheme::MopXor);
+        let mut counts = vec![0u64; channels as usize];
+        for line in 0..40_000u64 {
+            counts[m.decode(line).channel as usize] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert_eq!(n, 10_000, "channel {c} unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_channel_decodes_to_channel_zero() {
+        for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
+            let m = mapper(scheme);
+            for line in (0..m.num_lines()).step_by(7919) {
+                assert_eq!(m.decode(line).channel, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_channels_rejected() {
+        let _ = AddressMapper::new(&with_channels(3), MappingScheme::MopXor);
+    }
+
     #[test]
     fn flat_bank_is_dense_and_unique() {
         let cfg = DramConfig::tiny_test();
@@ -257,10 +348,13 @@ mod proptests {
         #[test]
         fn mapping_is_bijective(line in 0u64..AddressMapper::new(
             &DramConfig::tiny_test(), MappingScheme::MopXor).num_lines()) {
-            for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
-                let m = AddressMapper::new(&DramConfig::tiny_test(), scheme);
-                let a = m.decode(line);
-                prop_assert_eq!(m.encode(&a), line);
+            for channels in [1u8, 2, 4] {
+                let cfg = DramConfig { channels, ..DramConfig::tiny_test() };
+                for scheme in [MappingScheme::RowBankCol, MappingScheme::MopXor] {
+                    let m = AddressMapper::new(&cfg, scheme);
+                    let a = m.decode(line);
+                    prop_assert_eq!(m.encode(&a), line);
+                }
             }
         }
 

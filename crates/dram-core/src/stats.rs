@@ -54,6 +54,43 @@ impl DeviceStats {
         }
     }
 
+    /// Accumulate another channel's counters into this one (used to
+    /// aggregate per-channel device statistics into a system total).
+    pub fn absorb(&mut self, other: &DeviceStats) {
+        let DeviceStats {
+            acts,
+            pres,
+            reads,
+            writes,
+            refs,
+            rfm_ab,
+            rfm_sb,
+            rfm_pb,
+            alerts,
+            mitigations_alert,
+            mitigations_opportunistic,
+            mitigations_proactive,
+            mitigations_periodic,
+            victim_refreshes,
+            aggressor_resets,
+        } = other;
+        self.acts += acts;
+        self.pres += pres;
+        self.reads += reads;
+        self.writes += writes;
+        self.refs += refs;
+        self.rfm_ab += rfm_ab;
+        self.rfm_sb += rfm_sb;
+        self.rfm_pb += rfm_pb;
+        self.alerts += alerts;
+        self.mitigations_alert += mitigations_alert;
+        self.mitigations_opportunistic += mitigations_opportunistic;
+        self.mitigations_proactive += mitigations_proactive;
+        self.mitigations_periodic += mitigations_periodic;
+        self.victim_refreshes += victim_refreshes;
+        self.aggressor_resets += aggressor_resets;
+    }
+
     /// Total RFM commands of any kind.
     pub fn rfms(&self) -> u64 {
         self.rfm_ab + self.rfm_sb + self.rfm_pb
@@ -105,6 +142,43 @@ mod tests {
         assert_eq!(s.mitigations_proactive, 1);
         assert_eq!(s.mitigations_periodic, 1);
         assert_eq!(s.mitigations(), 5);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = DeviceStats {
+            acts: 1,
+            alerts: 2,
+            ..Default::default()
+        };
+        let b = DeviceStats {
+            acts: 10,
+            pres: 20,
+            reads: 30,
+            writes: 40,
+            refs: 50,
+            rfm_ab: 1,
+            rfm_sb: 2,
+            rfm_pb: 3,
+            alerts: 4,
+            mitigations_alert: 5,
+            mitigations_opportunistic: 6,
+            mitigations_proactive: 7,
+            mitigations_periodic: 8,
+            victim_refreshes: 9,
+            aggressor_resets: 11,
+        };
+        a.absorb(&b);
+        assert_eq!(a.acts, 11);
+        assert_eq!(a.alerts, 6);
+        assert_eq!(a.rfms(), 6);
+        assert_eq!(a.mitigations(), 26);
+        assert_eq!(a.victim_refreshes, 9);
+        assert_eq!(a.aggressor_resets, 11);
+        // Absorbing a default must be the identity.
+        let before = a.clone();
+        a.absorb(&DeviceStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -55,10 +55,11 @@ pub struct BankCoord {
     pub bank: u8,
 }
 
-/// A fully decoded DRAM address within one channel.
+/// A fully decoded DRAM address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramAddr {
-    /// Channel index (the default system has a single channel).
+    /// Channel index, selected by the address mapper's channel-select
+    /// stage (always 0 in the default single-channel configuration).
     pub channel: u8,
     /// Rank, bank-group and bank coordinates.
     pub coord: BankCoord,

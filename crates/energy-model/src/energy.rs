@@ -92,6 +92,25 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Field-wise accumulate: per-channel breakdowns sum to the system
+    /// total. Summing (rather than computing from aggregated command
+    /// counts) keeps the background term honest — every channel's
+    /// device draws standby power for the whole run.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        let EnergyBreakdown {
+            demand_nj,
+            refresh_nj,
+            mitigation_nj,
+            tracker_nj,
+            background_nj,
+        } = other;
+        self.demand_nj += demand_nj;
+        self.refresh_nj += refresh_nj;
+        self.mitigation_nj += mitigation_nj;
+        self.tracker_nj += tracker_nj;
+        self.background_nj += background_nj;
+    }
+
     /// Total energy in nanojoules.
     pub fn total_nj(&self) -> f64 {
         self.demand_nj + self.refresh_nj + self.mitigation_nj + self.tracker_nj + self.background_nj
@@ -154,6 +173,20 @@ mod tests {
         // §VI-F: PSQ operations cost ~0.05% of activation energy.
         let p = EnergyParams::default();
         assert!(p.psq_logic_nj / p.act_pre_nj < 0.001);
+    }
+
+    #[test]
+    fn accumulate_sums_fields_and_default_is_identity() {
+        let p = EnergyParams::default();
+        let a = EnergyBreakdown::from_stats(&stats(100, 1, 4, 1), &p, 50.0);
+        let b = EnergyBreakdown::from_stats(&stats(300, 2, 0, 0), &p, 50.0);
+        let mut sum = EnergyBreakdown::default();
+        sum.accumulate(&a);
+        assert_eq!(sum, a, "accumulating into default must be exact");
+        sum.accumulate(&b);
+        assert!((sum.total_nj() - (a.total_nj() + b.total_nj())).abs() < 1e-9);
+        // Two devices powered for the same runtime: background doubles.
+        assert!((sum.background_nj - 2.0 * p.background_w * 50.0).abs() < 1e-9);
     }
 
     #[test]

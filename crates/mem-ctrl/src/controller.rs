@@ -79,6 +79,23 @@ impl McStats {
             self.read_latency_sum as f64 / self.reads as f64
         }
     }
+
+    /// Accumulate another channel controller's counters into this one
+    /// (used to aggregate per-channel statistics into a system total).
+    pub fn absorb(&mut self, other: &McStats) {
+        let McStats {
+            reads,
+            writes,
+            read_latency_sum,
+            alert_service_cycles,
+            rejected,
+        } = other;
+        self.reads += reads;
+        self.writes += writes;
+        self.read_latency_sum += read_latency_sum;
+        self.alert_service_cycles += alert_service_cycles;
+        self.rejected += rejected;
+    }
 }
 
 /// The memory controller for one channel.

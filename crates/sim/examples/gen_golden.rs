@@ -1,0 +1,43 @@
+//! Regenerates `tests/golden/single_channel.txt`, the byte-exact
+//! statistics snapshot the `golden_single_channel` differential test
+//! compares `channels = 1` runs against.
+//!
+//! The checked-in file was captured from the single-channel simulator
+//! *before* the multi-channel refactor; regenerate it only when a
+//! deliberate behaviour change invalidates the snapshot (which turns
+//! the test into a pin of the new behaviour):
+//!
+//! ```text
+//! cargo run -p sim --release --example gen_golden \
+//!     > crates/sim/tests/golden/single_channel.txt
+//! ```
+
+use cpu_model::{TraceSource, WorkloadSpec};
+use sim::{MitigationKind, System, SystemConfig};
+
+/// The workload x mitigation grid and instruction budget the golden test
+/// replays (kept small so the test stays fast).
+pub const GOLDEN_WORKLOADS: [&str; 3] = ["ycsb/a_like", "media/gsm_like", "tpc/tpcc64_like"];
+pub const GOLDEN_KINDS: [MitigationKind; 3] = [
+    MitigationKind::None,
+    MitigationKind::Qprac,
+    MitigationKind::QpracProactive,
+];
+pub const GOLDEN_INSTRS: u64 = 6_000;
+
+fn main() {
+    for workload in GOLDEN_WORKLOADS {
+        for kind in GOLDEN_KINDS {
+            let cfg = SystemConfig::paper_default()
+                .with_mitigation(kind)
+                .with_instruction_limit(GOLDEN_INSTRS);
+            let spec = WorkloadSpec::by_name(workload).unwrap();
+            let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+                .map(|i| Box::new(spec.source(i as u64)) as Box<dyn TraceSource>)
+                .collect();
+            let stats = System::new(cfg, traces, spec.params.mlp).run();
+            println!("=== {workload} {kind:?} ===");
+            println!("{}", stats.golden_repr());
+        }
+    }
+}

@@ -69,6 +69,15 @@ pub fn run_bandwidth_attack_with(
     mem_cycles: u64,
     fast_forward: bool,
 ) -> BwAttackStats {
+    // The attack drives one controller directly with channel-0
+    // addresses; silently modeling one channel of a multi-channel
+    // config would mislabel the results (per-channel ABO state is
+    // independent, so run the attack once per channel instead).
+    assert_eq!(
+        cfg.channels, 1,
+        "run_bandwidth_attack models a single channel; \
+         attack each channel of a multi-channel system separately"
+    );
     let dram_cfg = cfg.dram_config();
     let banks_per_rank = dram_cfg.banks_per_rank();
     assert!(attack_banks >= 1 && attack_banks <= dram_cfg.num_banks());

@@ -46,6 +46,10 @@ pub enum MitigationKind {
 pub struct SystemConfig {
     /// Number of cores (paper: 4 homogeneous copies).
     pub cores: usize,
+    /// Independent memory channels, each with its own controller, DRAM
+    /// device and PRAC trackers (paper: 1). Must be a power of two; the
+    /// address mapper interleaves line addresses across channels.
+    pub channels: usize,
     /// Instructions each core must retire before the run ends.
     pub instr_limit: u64,
     /// Hosted mitigation.
@@ -81,6 +85,23 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Read a boolean flag from the environment: set to anything except the
+/// empty string or `"0"` means *on*; unset, empty or `"0"` means *off*.
+///
+/// Every `QPRAC_*` on/off switch (`QPRAC_DEBUG_PROGRESS`,
+/// `QPRAC_FF_STATS`, `QPRAC_NO_FASTFORWARD`, `QPRAC_FULL_SUITE`) goes
+/// through this helper; a bare `env::var(..).is_ok()` would treat
+/// `FLAG=0` as enabled, which has bitten twice now.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| flag_value_enables(&v))
+}
+
+/// The value-parsing half of [`env_flag`], split out so the semantics
+/// are unit-testable without mutating process environment.
+pub(crate) fn flag_value_enables(value: &str) -> bool {
+    !value.is_empty() && value != "0"
+}
+
 impl SystemConfig {
     /// Paper defaults: 4 cores, N_BO = 32, PRAC-1, 5-entry PSQ, RFMab,
     /// QPRAC+Proactive-EA. The instruction limit defaults to 100 K per
@@ -90,6 +111,7 @@ impl SystemConfig {
         let instr = env_u64("QPRAC_INSTR", 100_000);
         SystemConfig {
             cores: 4,
+            channels: 1,
             instr_limit: instr,
             mitigation: MitigationKind::QpracProactiveEa,
             nbo: 32,
@@ -106,6 +128,16 @@ impl SystemConfig {
     /// Select the mitigation.
     pub fn with_mitigation(mut self, m: MitigationKind) -> Self {
         self.mitigation = m;
+        self
+    }
+
+    /// Set the memory-channel count (power of two).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        assert!(
+            channels >= 1 && channels.is_power_of_two() && channels <= u8::MAX as usize,
+            "channel count must be a power of two in 1..=128, got {channels}"
+        );
+        self.channels = channels;
         self
     }
 
@@ -148,6 +180,7 @@ impl SystemConfig {
     /// Build the DRAM configuration implied by this system config.
     pub fn dram_config(&self) -> DramConfig {
         let mut cfg = DramConfig::paper_default();
+        cfg.channels = self.channels as u8;
         cfg.prac = cfg.prac.with_nbo(self.nbo).with_nmit(self.nmit);
         if self.plain_timing {
             cfg.timing = Timing::from_ns(&TimingNs::ddr5_plain(), cfg.freq_mhz);
@@ -243,12 +276,49 @@ mod tests {
     fn default_matches_paper_table_i_and_ii() {
         let c = SystemConfig::paper_default();
         assert_eq!(c.cores, 4);
+        assert_eq!(c.channels, 1);
         assert_eq!(c.nbo, 32);
         assert_eq!(c.nmit, 1);
         assert_eq!(c.psq_size, 5);
         let d = c.dram_config();
+        assert_eq!(d.channels, 1);
         assert_eq!(d.prac.nbo, 32);
         assert_eq!(d.num_banks(), 64);
+    }
+
+    #[test]
+    fn channels_propagate_to_dram_config() {
+        let c = SystemConfig::paper_default().with_channels(4);
+        assert_eq!(c.dram_config().channels, 4);
+        assert_eq!(c.dram_config().total_capacity_bytes(), 256 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn channel_count_must_be_power_of_two() {
+        let _ = SystemConfig::paper_default().with_channels(3);
+    }
+
+    #[test]
+    fn flag_semantics_off_for_empty_and_zero() {
+        // The bug class this pins: `env::var(..).is_ok()` treats
+        // `FLAG=0` as enabled. `env_flag` must not.
+        assert!(!flag_value_enables(""));
+        assert!(!flag_value_enables("0"));
+        assert!(flag_value_enables("1"));
+        assert!(flag_value_enables("true"));
+        assert!(flag_value_enables("00")); // only the literal "0" disables
+    }
+
+    #[test]
+    fn env_flag_reads_process_environment() {
+        // Unique variable names so parallel tests cannot race on them;
+        // no test elsewhere reads these.
+        assert!(!env_flag("QPRAC_TEST_FLAG_UNSET_XYZZY"));
+        std::env::set_var("QPRAC_TEST_FLAG_ZERO_XYZZY", "0");
+        assert!(!env_flag("QPRAC_TEST_FLAG_ZERO_XYZZY"));
+        std::env::set_var("QPRAC_TEST_FLAG_ON_XYZZY", "1");
+        assert!(env_flag("QPRAC_TEST_FLAG_ON_XYZZY"));
     }
 
     #[test]

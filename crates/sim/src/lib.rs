@@ -31,11 +31,11 @@ pub mod stats;
 pub mod system;
 
 pub use attack::{run_bandwidth_attack, run_bandwidth_attack_with, BwAttackStats};
-pub use config::{env_u64, MitigationKind, SystemConfig};
+pub use config::{env_flag, env_u64, MitigationKind, SystemConfig};
 pub use stats::{geomean, RunStats};
 pub use system::System;
 
-use cpu_model::{TraceSource, WorkloadSpec};
+use cpu_model::{TraceSource, WorkloadMix, WorkloadSpec};
 
 /// Run `cfg.cores` homogeneous copies of `workload` and return the run
 /// statistics (the paper's methodology: four copies per workload).
@@ -54,4 +54,38 @@ pub fn run_vs_baseline(cfg: &SystemConfig, workload: &WorkloadSpec) -> (RunStats
     let mitigated = run_workload(cfg, workload);
     let baseline = run_workload(&base_cfg, workload);
     (mitigated, baseline)
+}
+
+/// Run a heterogeneous multi-programmed mix: core `i` runs `mix`'s
+/// `i`-th workload with that workload's own MLP cap. The mix must have
+/// exactly `cfg.cores` slots.
+pub fn run_mix(cfg: &SystemConfig, mix: &WorkloadMix) -> RunStats {
+    let specs = mix.specs();
+    assert_eq!(
+        specs.len(),
+        cfg.cores,
+        "mix {} has {} slots but the system has {} cores",
+        mix.name,
+        specs.len(),
+        cfg.cores
+    );
+    let traces: Vec<Box<dyn TraceSource>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| Box::new(spec.source(i as u64)) as Box<dyn TraceSource>)
+        .collect();
+    let mlps: Vec<usize> = specs.iter().map(|spec| spec.params.mlp).collect();
+    System::new_with_mlps(cfg.clone(), traces, &mlps).run()
+}
+
+/// The "alone" IPC of one workload: a single core running it with the
+/// whole memory system to itself, under the same configuration (channel
+/// count, timings, mitigation). This is the denominator of the weighted
+/// speedup metric for heterogeneous mixes.
+pub fn run_alone_ipc(cfg: &SystemConfig, workload: &WorkloadSpec) -> f64 {
+    let alone_cfg = SystemConfig {
+        cores: 1,
+        ..cfg.clone()
+    };
+    run_workload(&alone_cfg, workload).core_ipc[0]
 }

@@ -20,8 +20,14 @@ pub struct RunStats {
     pub cache: CacheStats,
     /// Controller statistics.
     pub mc: McStats,
-    /// DRAM device statistics (commands, alerts, mitigations).
+    /// DRAM device statistics aggregated across channels (commands,
+    /// alerts, mitigations).
     pub device: DeviceStats,
+    /// Per-channel device statistics, in channel order (`device` is
+    /// their field-wise sum; one entry in the default single-channel
+    /// configuration). Lets experiments observe per-channel skew, e.g.
+    /// alert storms concentrated on one channel.
+    pub channel_device: Vec<DeviceStats>,
     /// Energy breakdown for the run.
     pub energy: EnergyBreakdown,
     /// Wall-clock simulated time in nanoseconds.
@@ -47,8 +53,21 @@ impl RunStats {
         self.ipc_sum() / baseline.ipc_sum()
     }
 
-    /// Weighted speedup against per-core "alone" IPCs.
+    /// Weighted speedup against per-core "alone" IPCs:
+    /// `sum_i(shared_ipc[i] / alone_ipc[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alone_ipc` does not provide exactly one baseline per
+    /// core — a silent `zip` truncation here would return a wrong sum
+    /// (fewer ratio terms), which the mix experiments would quietly
+    /// report as a slowdown.
     pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(
+            self.core_ipc.len(),
+            alone_ipc.len(),
+            "weighted_speedup needs one alone-IPC baseline per core"
+        );
         self.core_ipc
             .iter()
             .zip(alone_ipc)
@@ -74,6 +93,30 @@ impl RunStats {
     /// Total instructions retired across cores.
     pub fn instructions(&self) -> u64 {
         self.cpu.retired
+    }
+
+    /// Canonical one-line-per-field rendering of the statistics the
+    /// single-channel simulator has always produced. Floats use Rust's
+    /// shortest round-trip `{:?}` formatting, so two runs render equal
+    /// strings iff the statistics are bit-identical. The golden
+    /// differential test pins `channels = 1` runs of the multi-channel
+    /// system against a file captured from the pre-refactor code; any
+    /// new aggregate field must NOT be added here (it would break the
+    /// comparison for the wrong reason).
+    pub fn golden_repr(&self) -> String {
+        format!(
+            "cpu_cycles={:?}\nmem_cycles={:?}\ncore_ipc={:?}\ncpu={:?}\ncache={:?}\nmc={:?}\ndevice={:?}\nenergy={:?}\nruntime_ns={:?}\ntrefi_cycles={:?}",
+            self.cpu_cycles,
+            self.mem_cycles,
+            self.core_ipc,
+            self.cpu,
+            self.cache,
+            self.mc,
+            self.device,
+            self.energy,
+            self.runtime_ns,
+            self.trefi_cycles,
+        )
     }
 }
 
@@ -115,6 +158,11 @@ mod tests {
                 alerts: 2,
                 ..Default::default()
             },
+            channel_device: vec![DeviceStats {
+                acts: 40,
+                alerts: 2,
+                ..Default::default()
+            }],
             energy: EnergyBreakdown::default(),
             runtime_ns: 250.0,
             trefi_cycles: 400,
@@ -133,6 +181,15 @@ mod tests {
         let s = stats_with_ipc(&[1.0, 2.0]);
         let ws = s.weighted_speedup(&[2.0, 2.0]);
         assert!((ws - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one alone-IPC baseline per core")]
+    fn weighted_speedup_rejects_length_mismatch() {
+        // Regression: `zip` used to silently truncate the longer side,
+        // returning a wrong (smaller) sum.
+        let s = stats_with_ipc(&[1.0, 2.0]);
+        let _ = s.weighted_speedup(&[2.0]);
     }
 
     #[test]

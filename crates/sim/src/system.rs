@@ -1,29 +1,39 @@
-//! The full system: cores + shared LLC + memory controller + DRAM with a
-//! hosted mitigation, clocked at the paper's 4 GHz core / 3.2 GHz memory
-//! ratio (exact 4:5 rational stepping).
+//! The full system: cores + shared LLC + one memory controller per
+//! channel + DRAM with a hosted mitigation, clocked at the paper's
+//! 4 GHz core / 3.2 GHz memory ratio (exact 4:5 rational stepping).
+//!
+//! ## Multi-channel operation
+//!
+//! The system owns `channels` independent memory controllers, each with
+//! its own DRAM device and PRAC trackers. The address mapper's
+//! channel-select stage routes every LLC miss to its channel at decode
+//! time; channels share nothing but the LLC and the CPU clock, so a
+//! `channels = 1` system is bit-exact with the historical single-channel
+//! simulator (a golden differential test enforces this).
 //!
 //! ## Event-driven fast-forwarding
 //!
 //! The run loop is cycle-accurate but not cycle-*stepped*: whenever every
 //! core is provably stalled on outstanding loads
-//! ([`cpu_model::Core::stalled_on_memory`]) the simulator asks the memory
-//! controller for the next cycle at which anything can happen
-//! ([`mem_ctrl::MemoryController::next_event`]), combines it with the
-//! earliest pending LLC-hit wakeup, and jumps the CPU/memory clocks
-//! straight there — keeping the 4:5 clock ratio, the rotating core
-//! arbitration and every statistic bit-exact with the cycle-by-cycle
-//! loop (a differential test enforces this). Set `QPRAC_NO_FASTFORWARD=1`
-//! to force the plain loop.
+//! ([`cpu_model::Core::stalled_on_memory`]) the simulator asks each
+//! channel's controller for the next cycle at which anything can happen
+//! ([`mem_ctrl::MemoryController::next_event`]), takes the minimum
+//! across channels, combines it with the earliest pending LLC-hit
+//! wakeup, and jumps the CPU/memory clocks straight there — keeping the
+//! 4:5 clock ratio, the rotating core arbitration and every statistic
+//! bit-exact with the cycle-by-cycle loop (differential tests enforce
+//! this at 1, 2 and 4 channels). Set `QPRAC_NO_FASTFORWARD=1` to force
+//! the plain loop.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use cpu_model::{CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource};
-use dram_core::{AddressMapper, DramAddr, DramDevice};
+use dram_core::{AddressMapper, DeviceStats, DramAddr, DramDevice};
 use energy_model::{EnergyBreakdown, EnergyParams};
-use mem_ctrl::{MemoryController, ReqKind};
+use mem_ctrl::{McStats, MemoryController, ReqKind};
 
-use crate::config::SystemConfig;
+use crate::config::{env_flag, SystemConfig};
 use crate::stats::RunStats;
 
 /// CPU-cycle cost of moving a filled line from the LLC to the core.
@@ -33,15 +43,25 @@ const FILL_TO_USE: u64 = 10;
 /// (`QPRAC_NO_FASTFORWARD=1` opts out; the differential test relies on
 /// both paths producing identical statistics).
 pub(crate) fn fast_forward_default() -> bool {
-    !std::env::var("QPRAC_NO_FASTFORWARD").is_ok_and(|v| !v.is_empty() && v != "0")
+    !env_flag("QPRAC_NO_FASTFORWARD")
 }
 
-/// A line waiting to enter the memory controller, decoded once at miss
-/// time instead of on every (possibly blocked) memory tick.
+/// A line waiting to enter its channel's memory controller, decoded once
+/// at miss time instead of on every (possibly blocked) memory tick.
 struct PendingAccess {
     addr: DramAddr,
     line: u64,
     write: bool,
+}
+
+impl PendingAccess {
+    fn kind(&self) -> ReqKind {
+        if self.write {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        }
+    }
 }
 
 /// The memory side visible to cores: LLC + issue/wakeup plumbing.
@@ -50,16 +70,21 @@ struct MemSide {
     mapper: AddressMapper,
     /// `(due_cpu_cycle, token)` load completions.
     ready: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Accesses waiting to enter the memory controller.
-    pending_issue: VecDeque<PendingAccess>,
+    /// Per-channel queues of accesses waiting to enter that channel's
+    /// memory controller (a blocked channel must not head-of-line-block
+    /// the others).
+    pending_issue: Vec<VecDeque<PendingAccess>>,
     cpu_cycle: u64,
 }
 
 impl MemSide {
     fn queue_access(&mut self, line: u64, write: bool) {
         let addr = self.mapper.decode(line % self.mapper.num_lines());
-        self.pending_issue
-            .push_back(PendingAccess { addr, line, write });
+        self.pending_issue[addr.channel as usize].push_back(PendingAccess { addr, line, write });
+    }
+
+    fn pending_total(&self) -> usize {
+        self.pending_issue.iter().map(VecDeque::len).sum()
     }
 }
 
@@ -100,44 +125,73 @@ pub struct System {
     /// running toward it).
     finished_at: Vec<Option<u64>>,
     mem: MemSide,
-    mc: MemoryController,
+    /// One controller (device + trackers + queues) per channel.
+    mcs: Vec<MemoryController>,
     cpu_cycle: u64,
     mem_cycle: u64,
     clock_acc: u64,
     /// Skip dead cycles (see the module docs); identical results either
-    /// way, enforced by the differential test.
+    /// way, enforced by the differential tests.
     fast_forward: bool,
-    /// Cached `mc.next_event` result: the controller provably cannot act
-    /// before this memory cycle (assuming no enqueues, which reset it to
-    /// 0 = unknown). Lets `mem_tick` elide whole controller ticks and
-    /// `skip_dead_cycles` reuse the aggregation instead of recomputing.
-    mc_next_event: u64,
+    /// Cached per-channel `next_event` results: channel `c`'s controller
+    /// provably cannot act before `mc_next_event[c]` (assuming no
+    /// enqueues, which reset it to 0 = unknown). Lets `mem_tick` elide
+    /// whole controller ticks and `skip_dead_cycles` reuse the
+    /// aggregation instead of recomputing.
+    mc_next_event: Vec<u64>,
     ff_attempts: u64,
     ff_jumps: u64,
     ff_skipped: u64,
 }
 
 impl System {
-    /// Build a system running `traces[i]` on core `i`.
+    /// Build a system running `traces[i]` on core `i`, all cores capped
+    /// at the same memory-level parallelism.
     pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>, mlp: usize) -> Self {
+        let mlps = vec![mlp; traces.len()];
+        Self::new_with_mlps(cfg, traces, &mlps)
+    }
+
+    /// Build a system running `traces[i]` on core `i` with a per-core
+    /// MLP cap (heterogeneous mixes give each core its own workload's
+    /// parallelism).
+    pub fn new_with_mlps(
+        cfg: SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        mlps: &[usize],
+    ) -> Self {
         assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        assert_eq!(mlps.len(), cfg.cores, "one MLP cap per core");
         let dram_cfg = cfg.dram_config();
         let mapper = AddressMapper::new(&dram_cfg, cfg.mapping);
-        let device = {
-            let cfg_ref = &cfg;
-            DramDevice::new(dram_cfg.clone(), |bank| cfg_ref.make_tracker(bank))
-        };
-        let mc = MemoryController::new(cfg.mc_config(), device);
-        let core_cfg = CoreConfig {
-            max_outstanding_loads: mlp.max(1),
-            ..CoreConfig::paper_default()
-        };
+        let banks = dram_cfg.num_banks();
+        let mcs: Vec<MemoryController> = (0..cfg.channels)
+            .map(|ch| {
+                let cfg_ref = &cfg;
+                // Trackers are seeded by a system-global bank index so
+                // probabilistic trackers (PrIDE) do not alias across
+                // channels; for channel 0 the indices match the
+                // historical single-channel ones.
+                let device = DramDevice::new(dram_cfg.clone(), |bank| {
+                    cfg_ref.make_tracker(ch * banks + bank)
+                });
+                MemoryController::new(cfg.mc_config(), device)
+            })
+            .collect();
         let cores: Vec<Core> = traces
             .into_iter()
+            .zip(mlps)
             .enumerate()
-            .map(|(i, t)| Core::new(core_cfg, i, t))
+            .map(|(i, (t, &mlp))| {
+                let core_cfg = CoreConfig {
+                    max_outstanding_loads: mlp.max(1),
+                    ..CoreConfig::paper_default()
+                };
+                Core::new(core_cfg, i, t)
+            })
             .collect();
         let n = cores.len();
+        let channels = mcs.len();
         System {
             cores,
             finished_at: vec![None; n],
@@ -145,15 +199,15 @@ impl System {
                 llc: Llc::new(CacheConfig::paper_default()),
                 mapper,
                 ready: BinaryHeap::new(),
-                pending_issue: VecDeque::new(),
+                pending_issue: (0..channels).map(|_| VecDeque::new()).collect(),
                 cpu_cycle: 0,
             },
-            mc,
+            mcs,
             cpu_cycle: 0,
             mem_cycle: 0,
             clock_acc: 0,
             fast_forward: fast_forward_default(),
-            mc_next_event: 0,
+            mc_next_event: vec![0; channels],
             ff_attempts: 0,
             ff_jumps: 0,
             ff_skipped: 0,
@@ -213,40 +267,42 @@ impl System {
     }
 
     fn mem_tick(&mut self) {
-        // Feed pending LLC misses/writebacks into the controller. The
-        // capacity pre-check keeps a blocked head-of-queue from churning
-        // the controller's rejection statistics every memory cycle (and
-        // keeps blocked cycles side-effect-free for fast-forwarding).
-        while let Some(p) = self.mem.pending_issue.front() {
-            let kind = if p.write {
-                ReqKind::Write
-            } else {
-                ReqKind::Read
-            };
-            if !self.mc.can_accept(kind, self.mc.bank_index(&p.addr)) {
+        for ch in 0..self.mcs.len() {
+            self.mem_tick_channel(ch);
+        }
+    }
+
+    fn mem_tick_channel(&mut self, ch: usize) {
+        // Feed pending LLC misses/writebacks into this channel's
+        // controller. The capacity pre-check keeps a blocked
+        // head-of-queue from churning the controller's rejection
+        // statistics every memory cycle (and keeps blocked cycles
+        // side-effect-free for fast-forwarding).
+        while let Some(p) = self.mem.pending_issue[ch].front() {
+            let mc = &mut self.mcs[ch];
+            if !mc.can_accept(p.kind(), mc.bank_index(&p.addr)) {
                 break;
             }
-            if self
-                .mc
-                .enqueue(kind, p.addr, p.line, self.mem_cycle)
+            if mc
+                .enqueue(p.kind(), p.addr, p.line, self.mem_cycle)
                 .is_none()
             {
                 debug_assert!(false, "can_accept promised capacity");
                 break;
             }
-            self.mem.pending_issue.pop_front();
-            self.mc_next_event = 0;
+            self.mem.pending_issue[ch].pop_front();
+            self.mc_next_event[ch] = 0;
         }
-        if self.fast_forward && self.mc_next_event > self.mem_cycle {
+        if self.fast_forward && self.mc_next_event[ch] > self.mem_cycle {
             // The controller provably cannot issue this cycle; eliding
             // its tick changes nothing but the alert-window statistic,
             // which `account_idle_cycles` keeps in step. No completions
             // can appear from a tick that issues nothing.
-            self.mc.account_idle_cycles(1);
+            self.mcs[ch].account_idle_cycles(1);
             return;
         }
-        self.mc_next_event = self.mc.tick(self.mem_cycle);
-        for done in self.mc.drain_completions() {
+        self.mc_next_event[ch] = self.mcs[ch].tick(self.mem_cycle);
+        for done in self.mcs[ch].drain_completions() {
             if !done.was_read {
                 continue;
             }
@@ -256,17 +312,33 @@ impl System {
                 self.mem.ready.push(Reverse((due, token)));
             }
             if let Some(victim) = out.writeback {
+                // The victim decodes independently; it may target any
+                // channel, not necessarily this one.
                 self.mem.queue_access(victim, true);
             }
         }
     }
 
+    /// The earliest memory cycle at which channel `ch` can do anything:
+    /// accept its blocked head-of-queue access on the very next tick, or
+    /// issue its next possible command.
+    fn channel_event(&self, ch: usize) -> u64 {
+        match self.mem.pending_issue[ch].front() {
+            Some(p) if self.mcs[ch].can_accept(p.kind(), self.mcs[ch].bank_index(&p.addr)) => {
+                // The very next memory tick will enqueue it.
+                self.mem_cycle + 1
+            }
+            _ if self.mc_next_event[ch] > self.mem_cycle => self.mc_next_event[ch],
+            _ => self.mcs[ch].next_event(self.mem_cycle),
+        }
+    }
+
     /// If every core is provably stalled on loads, jump the clocks to the
     /// next cycle at which anything can happen: the earliest pending LLC
-    /// wakeup, the next memory cycle that can accept the blocked
-    /// head-of-queue access, or the controller's next possible command.
-    /// All skipped cycles are proven no-ops, so statistics stay
-    /// bit-exact with cycle-by-cycle stepping.
+    /// wakeup, the next memory cycle at which any channel can accept its
+    /// blocked head-of-queue access, or the earliest channel's next
+    /// possible command. All skipped cycles are proven no-ops, so
+    /// statistics stay bit-exact with cycle-by-cycle stepping.
     fn skip_dead_cycles(&mut self) {
         if !self.cores.iter().all(Core::stalled_on_memory) {
             return;
@@ -276,23 +348,10 @@ impl System {
             Some(&Reverse((due, _))) => due,
             None => u64::MAX,
         };
-        let mem_event = match self.mem.pending_issue.front() {
-            Some(p)
-                if self.mc.can_accept(
-                    if p.write {
-                        ReqKind::Write
-                    } else {
-                        ReqKind::Read
-                    },
-                    self.mc.bank_index(&p.addr),
-                ) =>
-            {
-                // The very next memory tick will enqueue it.
-                self.mem_cycle + 1
-            }
-            _ if self.mc_next_event > self.mem_cycle => self.mc_next_event,
-            _ => self.mc.next_event(self.mem_cycle),
-        };
+        let mut mem_event = u64::MAX;
+        for ch in 0..self.mcs.len() {
+            mem_event = mem_event.min(self.channel_event(ch));
+        }
         if mem_event != u64::MAX {
             // First CPU cycle whose step performs memory tick
             // `mem_event`, preserving the exact 4:5 cadence
@@ -316,7 +375,9 @@ impl System {
             core.skip_stalled_cycles(skip);
         }
         let new_mem_cycle = 4 * self.cpu_cycle / 5;
-        self.mc.account_idle_cycles(new_mem_cycle - self.mem_cycle);
+        for mc in &mut self.mcs {
+            mc.account_idle_cycles(new_mem_cycle - self.mem_cycle);
+        }
         self.mem_cycle = new_mem_cycle;
         self.clock_acc = 4 * self.cpu_cycle % 5;
     }
@@ -325,7 +386,7 @@ impl System {
     /// Returns the aggregated statistics.
     pub fn run(mut self) -> RunStats {
         let safety_cap = self.cfg.instr_limit.saturating_mul(4000).max(10_000_000);
-        let debug = std::env::var("QPRAC_DEBUG_PROGRESS").is_ok();
+        let debug = env_flag("QPRAC_DEBUG_PROGRESS");
         while self.finished_at.iter().any(Option::is_none) {
             if self.fast_forward {
                 self.skip_dead_cycles();
@@ -337,13 +398,13 @@ impl System {
                     .iter()
                     .map(|c| (c.retired(), c.outstanding_loads(), c.rob_len()))
                     .collect();
+                let acts: u64 = self.mcs.iter().map(|m| m.device().stats().acts).sum();
+                let alerts: u64 = self.mcs.iter().map(|m| m.device().stats().alerts).sum();
+                let pending_reads: usize = self.mcs.iter().map(|m| m.pending_reads()).sum();
                 eprintln!(
-                    "[sim] cycle={} cores(ret,out,rob)={per_core:?} acts={} alerts={} pending_reads={} pending_issue={} mshrs={}",
+                    "[sim] cycle={} cores(ret,out,rob)={per_core:?} acts={acts} alerts={alerts} pending_reads={pending_reads} pending_issue={} mshrs={}",
                     self.cpu_cycle,
-                    self.mc.device().stats().acts,
-                    self.mc.device().stats().alerts,
-                    self.mc.pending_reads(),
-                    self.mem.pending_issue.len(),
+                    self.mem.pending_total(),
                     self.mem.llc.mshrs_in_use(),
                 );
             }
@@ -356,7 +417,7 @@ impl System {
     }
 
     fn collect(self) -> RunStats {
-        if std::env::var("QPRAC_FF_STATS").is_ok() {
+        if env_flag("QPRAC_FF_STATS") {
             eprintln!(
                 "[sim] ff: cycles={} stepped={} skipped={} attempts={} jumps={}",
                 self.cpu_cycle,
@@ -383,18 +444,40 @@ impl System {
             cpu.stores += s.stores;
             cpu.stall_cycles += s.stall_cycles;
         }
-        let device = self.mc.device().stats().clone();
-        let dram_cfg = self.mc.device().cfg();
+        // Aggregate across channels while keeping the per-channel device
+        // view (per-channel skew is an observable the mix experiments
+        // report on).
+        let mut device = DeviceStats::default();
+        let mut mc = McStats::default();
+        let mut channel_device = Vec::with_capacity(self.mcs.len());
+        for c in &self.mcs {
+            let d = c.device().stats().clone();
+            device.absorb(&d);
+            channel_device.push(d);
+            mc.absorb(c.stats());
+        }
+        let dram_cfg = self.mcs[0].device().cfg();
         let runtime_ns = self.mem_cycle as f64 * 1000.0 / dram_cfg.freq_mhz as f64;
-        let energy = EnergyBreakdown::from_stats(&device, &EnergyParams::default(), runtime_ns);
+        // Sum per-channel breakdowns instead of converting the aggregate
+        // counts: the background term is per *device*, so every channel
+        // must charge standby power for the whole run.
+        let mut energy = EnergyBreakdown::default();
+        for d in &channel_device {
+            energy.accumulate(&EnergyBreakdown::from_stats(
+                d,
+                &EnergyParams::default(),
+                runtime_ns,
+            ));
+        }
         RunStats {
             cpu_cycles: self.cpu_cycle,
             mem_cycles: self.mem_cycle,
             core_ipc,
             cpu,
             cache: *self.mem.llc.stats(),
-            mc: self.mc.stats().clone(),
+            mc,
             device,
+            channel_device,
             energy,
             runtime_ns,
             trefi_cycles: dram_cfg.timing.trefi,
@@ -419,6 +502,18 @@ mod tests {
         System::new(cfg, traces, spec.params.mlp).run()
     }
 
+    fn run_channels(workload: &str, channels: usize, instrs: u64) -> RunStats {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Qprac)
+            .with_channels(channels)
+            .with_instruction_limit(instrs);
+        let spec = WorkloadSpec::by_name(workload).unwrap();
+        let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+            .map(|i| Box::new(spec.source(i as u64)) as Box<dyn TraceSource>)
+            .collect();
+        System::new(cfg, traces, spec.params.mlp).run()
+    }
+
     #[test]
     fn baseline_run_retires_and_refreshes() {
         // Memory-bound workload: enough memory cycles elapse to cross
@@ -429,6 +524,8 @@ mod tests {
         assert!(s.instructions() >= 40_000);
         assert!(s.device.refs > 0, "refresh must run");
         assert_eq!(s.device.alerts, 0, "no mitigation, no alerts");
+        assert_eq!(s.channel_device.len(), 1);
+        assert_eq!(s.channel_device[0], s.device);
     }
 
     #[test]
@@ -478,6 +575,76 @@ mod tests {
             "proactive {} vs noop {}",
             pro.device.alerts,
             plain.device.alerts
+        );
+    }
+
+    #[test]
+    fn multi_channel_run_uses_every_channel() {
+        let s = run_channels("ycsb/a_like", 2, 8_000);
+        assert_eq!(s.channel_device.len(), 2);
+        for (c, d) in s.channel_device.iter().enumerate() {
+            assert!(d.acts > 0, "channel {c} never activated: {d:?}");
+        }
+        // The aggregate is exactly the sum of the per-channel views.
+        let mut sum = DeviceStats::default();
+        for d in &s.channel_device {
+            sum.absorb(d);
+        }
+        assert_eq!(sum, s.device);
+        // Both devices draw standby power for the whole run.
+        let params = EnergyParams::default();
+        assert!(
+            (s.energy.background_nj - 2.0 * params.background_w * s.runtime_ns).abs() < 1e-6,
+            "background energy must be charged per channel device: {:?}",
+            s.energy
+        );
+    }
+
+    #[test]
+    fn more_channels_do_not_slow_a_memory_bound_run() {
+        // Channel interleaving halves per-channel queue pressure; a
+        // memory-bound workload must not get slower with more channels.
+        let one = run_channels("ycsb/a_like", 1, 6_000);
+        let four = run_channels("ycsb/a_like", 4, 6_000);
+        assert!(
+            four.cpu_cycles <= one.cpu_cycles,
+            "4-channel run slower than 1-channel: {} vs {}",
+            four.cpu_cycles,
+            one.cpu_cycles
+        );
+    }
+
+    #[test]
+    fn heterogeneous_mlps_apply_per_core() {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::None)
+            .with_instruction_limit(2_000);
+        let specs = [
+            "ycsb/chase_like",
+            "spec06/lbm_like",
+            "ycsb/a_like",
+            "media/gsm_like",
+        ];
+        let traces: Vec<Box<dyn TraceSource>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let spec = WorkloadSpec::by_name(name).unwrap();
+                Box::new(spec.source(i as u64)) as Box<dyn TraceSource>
+            })
+            .collect();
+        let mlps: Vec<usize> = specs
+            .iter()
+            .map(|name| WorkloadSpec::by_name(name).unwrap().params.mlp)
+            .collect();
+        let s = System::new_with_mlps(cfg, traces, &mlps).run();
+        assert_eq!(s.core_ipc.len(), 4);
+        // The pointer chaser (MLP=1) must be the slowest core by far.
+        let chaser = s.core_ipc[0];
+        assert!(
+            s.core_ipc[1..].iter().all(|&ipc| ipc > chaser),
+            "MLP=1 chaser should trail: {:?}",
+            s.core_ipc
         );
     }
 }

@@ -1,7 +1,8 @@
 //! Differential tests: the event-driven fast-forward core must produce
 //! **identical** `RunStats` to plain cycle-by-cycle stepping, across
-//! workloads, mitigations, and an alert-heavy attack scenario. Any
-//! divergence means a skipped cycle was not actually dead.
+//! workloads, mitigations, channel counts, and alert-heavy attack
+//! scenarios. Any divergence means a skipped cycle was not actually
+//! dead.
 
 use std::collections::BTreeMap;
 
@@ -9,9 +10,16 @@ use cpu_model::{LoopTrace, TraceEntry, TraceSource, WorkloadSpec};
 use dram_core::AddressMapper;
 use sim::{run_bandwidth_attack_with, MitigationKind, RunStats, System, SystemConfig};
 
-fn run_mode(workload: &str, kind: MitigationKind, instrs: u64, fast: bool) -> RunStats {
+fn run_mode_channels(
+    workload: &str,
+    kind: MitigationKind,
+    instrs: u64,
+    channels: usize,
+    fast: bool,
+) -> RunStats {
     let cfg = SystemConfig::paper_default()
         .with_mitigation(kind)
+        .with_channels(channels)
         .with_instruction_limit(instrs);
     let spec = WorkloadSpec::by_name(workload).unwrap();
     let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
@@ -20,6 +28,10 @@ fn run_mode(workload: &str, kind: MitigationKind, instrs: u64, fast: bool) -> Ru
     System::new(cfg, traces, spec.params.mlp)
         .with_fast_forward(fast)
         .run()
+}
+
+fn run_mode(workload: &str, kind: MitigationKind, instrs: u64, fast: bool) -> RunStats {
+    run_mode_channels(workload, kind, instrs, 1, fast)
 }
 
 #[test]
@@ -47,17 +59,23 @@ fn fast_forward_is_bit_exact_across_workloads_and_mitigations() {
 /// pairs, so the DRAM sees a steady stream of row conflicts and the
 /// PRAC counters climb to N_BO. With a small N_BO this drives the
 /// device through alert assertion and RFM service — exactly the code
-/// paths fast-forward must not skip over.
+/// paths fast-forward must not skip over. In multi-channel
+/// configurations core `i` hammers channel `i % channels` only, so
+/// every channel sees its own alert storm.
 fn hammer_trace(cfg: &SystemConfig, core: u64) -> LoopTrace {
     let dram = cfg.dram_config();
     let mapper = AddressMapper::new(&dram, cfg.mapping);
+    let want_channel = (core % cfg.channels as u64) as u8;
     // The paper LLC has 16384 sets; lines 2^14 apart share a set.
     let set = 911 + core * 131;
     let stride = 16_384u64;
     let mut by_bank: BTreeMap<(u8, u8, u8), Vec<(u64, u32)>> = BTreeMap::new();
-    for j in 0..512u64 {
+    for j in 0..1024u64 {
         let line = set + j * stride;
         let a = mapper.decode(line % mapper.num_lines());
+        if a.channel != want_channel {
+            continue;
+        }
         let key = (a.coord.rank, a.coord.bank_group, a.coord.bank);
         let rows = by_bank.entry(key).or_default();
         if rows.iter().all(|&(_, r)| r != a.row.0) {
@@ -89,10 +107,11 @@ fn hammer_trace(cfg: &SystemConfig, core: u64) -> LoopTrace {
     )
 }
 
-fn run_hammer(fast: bool) -> RunStats {
+fn run_hammer(channels: usize, fast: bool) -> RunStats {
     let cfg = SystemConfig::paper_default()
         .with_mitigation(MitigationKind::Qprac)
         .with_nbo(8)
+        .with_channels(channels)
         .with_instruction_limit(4_000);
     let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
         .map(|i| Box::new(hammer_trace(&cfg, i as u64)) as Box<dyn TraceSource>)
@@ -102,14 +121,58 @@ fn run_hammer(fast: bool) -> RunStats {
 
 #[test]
 fn fast_forward_is_bit_exact_under_alert_storms() {
-    let fast = run_hammer(true);
-    let slow = run_hammer(false);
+    let fast = run_hammer(1, true);
+    let slow = run_hammer(1, false);
     assert_eq!(fast, slow, "fast-forward diverged in the alert-storm run");
     assert!(
         fast.device.alerts > 0,
         "scenario must actually exercise alert service: {:?}",
         fast.device
     );
+    assert!(
+        fast.mc.alert_service_cycles > 0,
+        "skipped alert cycles must still be accounted"
+    );
+}
+
+#[test]
+fn fast_forward_is_bit_exact_at_two_and_four_channels() {
+    for channels in [2usize, 4] {
+        for (workload, kind) in [
+            ("ycsb/a_like", MitigationKind::Qprac),
+            ("ycsb/a_like", MitigationKind::QpracProactive),
+            ("tpc/tpcc64_like", MitigationKind::Qprac),
+        ] {
+            let fast = run_mode_channels(workload, kind, 3_000, channels, true);
+            let slow = run_mode_channels(workload, kind, 3_000, channels, false);
+            assert_eq!(
+                fast, slow,
+                "fast-forward diverged for {workload} under {kind:?} at {channels} channels"
+            );
+            assert_eq!(fast.channel_device.len(), channels);
+            assert!(
+                fast.channel_device.iter().all(|d| d.acts > 0),
+                "{workload} at {channels} channels left a channel idle"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_exact_under_a_two_channel_alert_storm() {
+    let fast = run_hammer(2, true);
+    let slow = run_hammer(2, false);
+    assert_eq!(
+        fast, slow,
+        "fast-forward diverged in the 2-channel alert-storm run"
+    );
+    for (c, d) in fast.channel_device.iter().enumerate() {
+        assert!(
+            d.alerts > 0,
+            "channel {c} saw no alerts — the storm must hit both channels: {:?}",
+            fast.channel_device
+        );
+    }
     assert!(
         fast.mc.alert_service_cycles > 0,
         "skipped alert cycles must still be accounted"

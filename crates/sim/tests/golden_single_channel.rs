@@ -1,0 +1,66 @@
+//! The `channels = 1` degenerate-case proof: the multi-channel system
+//! must reproduce the pre-refactor single-channel simulator *exactly*.
+//!
+//! `tests/golden/single_channel.txt` was captured by
+//! `examples/gen_golden.rs` from the simulator before `System` grew its
+//! per-channel controller vector, for 3 workloads x {None, Qprac,
+//! QpracProactive} at 6000 instructions per core. Every statistic the
+//! old code produced is rendered through [`RunStats::golden_repr`]
+//! (floats in shortest round-trip form), so a single flipped bit
+//! anywhere in the run fails this test.
+
+use cpu_model::{TraceSource, WorkloadSpec};
+use sim::{MitigationKind, System, SystemConfig};
+
+const GOLDEN: &str = include_str!("golden/single_channel.txt");
+
+/// Must match the grid in `examples/gen_golden.rs`.
+const WORKLOADS: [&str; 3] = ["ycsb/a_like", "media/gsm_like", "tpc/tpcc64_like"];
+const KINDS: [MitigationKind; 3] = [
+    MitigationKind::None,
+    MitigationKind::Qprac,
+    MitigationKind::QpracProactive,
+];
+const INSTRS: u64 = 6_000;
+
+#[test]
+fn channels_one_is_byte_identical_to_the_pre_refactor_simulator() {
+    let mut regenerated = String::new();
+    for workload in WORKLOADS {
+        for kind in KINDS {
+            let cfg = SystemConfig::paper_default()
+                .with_mitigation(kind)
+                .with_instruction_limit(INSTRS);
+            assert_eq!(
+                cfg.channels, 1,
+                "golden grid runs the default channel count"
+            );
+            let spec = WorkloadSpec::by_name(workload).unwrap();
+            let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+                .map(|i| Box::new(spec.source(i as u64)) as Box<dyn TraceSource>)
+                .collect();
+            let stats = System::new(cfg, traces, spec.params.mlp).run();
+            regenerated.push_str(&format!("=== {workload} {kind:?} ===\n"));
+            regenerated.push_str(&stats.golden_repr());
+            regenerated.push('\n');
+        }
+    }
+    // Compare block-by-block so a mismatch names the offending run
+    // instead of dumping two 100-line strings.
+    let golden_blocks: Vec<&str> = GOLDEN.split("=== ").filter(|b| !b.is_empty()).collect();
+    let new_blocks: Vec<&str> = regenerated
+        .split("=== ")
+        .filter(|b| !b.is_empty())
+        .collect();
+    assert_eq!(
+        golden_blocks.len(),
+        new_blocks.len(),
+        "run-grid shape changed"
+    );
+    for (g, n) in golden_blocks.iter().zip(&new_blocks) {
+        assert_eq!(
+            g, n,
+            "channels=1 diverged from the pre-refactor single-channel statistics"
+        );
+    }
+}
