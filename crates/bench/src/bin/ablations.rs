@@ -1,5 +1,7 @@
 //! Runs the QPRAC design-choice ablations (PSQ sizing, the opportunistic
 //! bit, tie-insertion policy). See DESIGN.md §3/§5.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::ablations::run_all(&qprac_bench::experiments::sensitivity_suite())
+    qprac_bench::run_specs(qprac_bench::experiments::ablations::all_specs(
+        &qprac_bench::experiments::sensitivity_suite(),
+    ))
 }

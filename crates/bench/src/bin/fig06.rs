@@ -1,4 +1,4 @@
 //! Regenerates the paper's Fig 6.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::security_figs::fig06()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::security_figs::fig06_spec()])
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Fig 12.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::security_figs::fig12()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::security_figs::fig12_spec()])
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Fig 13.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::security_figs::fig13()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::security_figs::fig13_spec()])
 }

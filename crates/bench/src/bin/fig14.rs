@@ -1,4 +1,6 @@
 //! Regenerates the paper's Fig 14 (also emits Fig 15 data from the same runs).
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::perf_figs::fig14_15(&qprac_bench::experiments::full_suite())
+    qprac_bench::run_specs(vec![qprac_bench::experiments::perf_figs::fig14_15_spec(
+        &qprac_bench::experiments::full_suite(),
+    )])
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Fig 19.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::attack_figs::fig19()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::attack_figs::fig19_spec()])
 }

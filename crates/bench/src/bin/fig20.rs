@@ -1,4 +1,6 @@
 //! Regenerates the paper's Fig 20.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::perf_figs::fig20(&qprac_bench::experiments::sensitivity_suite())
+    qprac_bench::run_specs(vec![qprac_bench::experiments::perf_figs::fig20_spec(
+        &qprac_bench::experiments::sensitivity_suite(),
+    )])
 }

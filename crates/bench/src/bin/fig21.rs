@@ -1,4 +1,6 @@
 //! Regenerates the paper's Figs 21 and 22.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::perf_figs::fig21_22(&qprac_bench::experiments::sensitivity_suite())
+    qprac_bench::run_specs(vec![qprac_bench::experiments::perf_figs::fig21_22_spec(
+        &qprac_bench::experiments::sensitivity_suite(),
+    )])
 }

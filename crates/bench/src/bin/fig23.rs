@@ -1,4 +1,4 @@
 //! Regenerates the paper's Fig 23 (Appendix A).
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::security_figs::fig23()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::security_figs::fig23_spec()])
 }

@@ -2,8 +2,6 @@
 //! alerts per tREFI for the 8 shipped workload mixes at 1/2/4 memory
 //! channels under the insecure baseline, QPRAC and QPRAC+Proactive-EA.
 //! Shrink with `QPRAC_INSTR` for smoke runs.
-use qprac_bench::experiments::mix;
-
 fn main() -> std::io::Result<()> {
-    mix::mix_speedup()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::mix::mix_speedup_spec()])
 }

@@ -1,36 +1,45 @@
 //! Regenerates every table and figure of the paper's evaluation in one
-//! pass. Results land in `results/*.csv`; progress prints to stdout.
+//! pass. All specs' cells are collected up front, deduplicated globally
+//! (identical `(config, workload)` cells across figures simulate once),
+//! optionally resolved from the persistent cache (`QPRAC_RUN_CACHE`),
+//! and scheduled through one work pool before any figure renders.
+//! Results land in `results/*.csv`; the dedupe ratio and cache hits are
+//! reported on the final `run-cache:` line.
 use qprac_bench::experiments::{
     ablations, attack_figs, full_suite, mix, perf_figs, security_figs, sensitivity_suite, tables,
 };
+use qprac_bench::ExperimentSpec;
 
 fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
     println!("=== QPRAC reproduction: full experiment sweep ===\n");
-    tables::table01()?;
-    tables::table02()?;
-    tables::table04()?;
-    security_figs::fig02()?;
-    security_figs::fig03()?;
-    security_figs::fig06()?;
-    security_figs::fig07()?;
-    security_figs::fig08()?;
-    security_figs::fig11()?;
-    security_figs::fig12()?;
-    security_figs::fig13()?;
-    security_figs::fig23()?;
-    security_figs::wave_validate()?;
-    attack_figs::fig19()?;
     let sens = sensitivity_suite();
-    perf_figs::fig16(&sens)?;
-    perf_figs::fig17(&sens)?;
-    perf_figs::fig18(&sens)?;
-    perf_figs::fig20(&sens)?;
-    perf_figs::fig21_22(&sens)?;
-    perf_figs::table03(&sens)?;
-    perf_figs::fig14_15(&full_suite())?;
-    ablations::run_all(&sens)?;
-    mix::mix_speedup()?;
+    let mut specs: Vec<ExperimentSpec> = vec![
+        tables::table01_spec(),
+        tables::table02_spec(),
+        tables::table04_spec(),
+        security_figs::fig02_spec(),
+        security_figs::fig03_spec(),
+        security_figs::fig06_spec(),
+        security_figs::fig07_spec(),
+        security_figs::fig08_spec(),
+        security_figs::fig11_spec(),
+        security_figs::fig12_spec(),
+        security_figs::fig13_spec(),
+        security_figs::fig23_spec(),
+        security_figs::wave_validate_spec(),
+        attack_figs::fig19_spec(),
+        perf_figs::fig16_spec(&sens),
+        perf_figs::fig17_spec(&sens),
+        perf_figs::fig18_spec(&sens),
+        perf_figs::fig20_spec(&sens),
+        perf_figs::fig21_22_spec(&sens),
+        perf_figs::table03_spec(&sens),
+        perf_figs::fig14_15_spec(&full_suite()),
+    ];
+    specs.extend(ablations::all_specs(&sens));
+    specs.push(mix::mix_speedup_spec());
+    qprac_bench::execute(&specs)?;
     println!(
         "=== complete in {:.1} min ===",
         t0.elapsed().as_secs_f64() / 60.0

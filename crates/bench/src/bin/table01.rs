@@ -1,4 +1,4 @@
-//! Regenerates the paper's Table I.
+//! Regenerates the paper's Table 1.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::tables::table01()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::tables::table01_spec()])
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's Table II.
+//! Regenerates the paper's Table 2.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::tables::table02()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::tables::table02_spec()])
 }

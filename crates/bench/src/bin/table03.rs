@@ -1,4 +1,6 @@
 //! Regenerates the paper's Table III.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::perf_figs::table03(&qprac_bench::experiments::sensitivity_suite())
+    qprac_bench::run_specs(vec![qprac_bench::experiments::perf_figs::table03_spec(
+        &qprac_bench::experiments::sensitivity_suite(),
+    )])
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's Table IV.
+//! Regenerates the paper's Table 4.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::tables::table04()
+    qprac_bench::run_specs(vec![qprac_bench::experiments::tables::table04_spec()])
 }

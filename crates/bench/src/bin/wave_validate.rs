@@ -1,4 +1,6 @@
 //! Regenerates the paper's wave-attack validation of §IV-B.
 fn main() -> std::io::Result<()> {
-    qprac_bench::experiments::security_figs::wave_validate()
+    qprac_bench::run_specs(vec![
+        qprac_bench::experiments::security_figs::wave_validate_spec(),
+    ])
 }

@@ -15,173 +15,197 @@ use attack_engine::run_wave;
 use cpu_model::WorkloadSpec;
 use dram_core::RowId;
 use qprac::{Psq, Qprac, QpracConfig};
-use sim::{run_workload, MitigationKind, SystemConfig};
+use sim::{MitigationKind, SystemConfig};
 
 use crate::csv::{f, CsvWriter};
-use crate::harness::parallel;
+use crate::spec::{ExperimentSpec, Job};
+
+fn psq_wave_key(nmit: u32, size: usize, nbo: u32, r1: u64) -> String {
+    format!("wave_psq:nmit={nmit}:size={size}:nbo={nbo}:r1={r1}")
+}
 
 /// Ablation 1: wave-attack ceiling vs PSQ size for each PRAC level.
-pub fn psq_size_security() -> std::io::Result<()> {
-    println!("Ablation: wave-attack ceiling vs PSQ size (paper §III-E sizing rule)");
+pub fn psq_size_security_spec() -> ExperimentSpec {
     let nbo = 32u32;
     let r1 = 1000u64;
-    let mut w = CsvWriter::create(
-        "ablation_psq_size",
-        &["nmit", "psq_size", "max_unmitigated"],
-    )?;
-    println!("{:>5} {:>9} {:>17}", "nmit", "psq_size", "max unmitigated");
-    let jobs: Vec<(u32, usize)> = [1u32, 2, 4]
+    let grid: Vec<(u32, usize)> = [1u32, 2, 4]
         .iter()
         .flat_map(|&m| (1..=5usize).map(move |s| (m, s)))
         .collect();
-    let rows = parallel(jobs.len(), |i| {
-        let (nmit, size) = jobs[i];
-        let out = run_wave(
-            EngineConfig::paper_default(nmit),
-            Box::new(Qprac::new(
-                QpracConfig::paper_default()
-                    .with_nbo(nbo)
-                    .with_psq_size(size),
-            )),
-            r1,
-            nbo - 1,
-        );
-        (nmit, size, out.max_unmitigated)
-    });
-    for (nmit, size, max) in rows {
-        let compliant = size >= nmit as usize;
+    let jobs = grid
+        .iter()
+        .map(|&(nmit, size)| {
+            Job::engine(psq_wave_key(nmit, size, nbo, r1), move || {
+                run_wave(
+                    EngineConfig::paper_default(nmit),
+                    Box::new(Qprac::new(
+                        QpracConfig::paper_default()
+                            .with_nbo(nbo)
+                            .with_psq_size(size),
+                    )),
+                    r1,
+                    nbo - 1,
+                )
+                .max_unmitigated as u64
+            })
+        })
+        .collect();
+    ExperimentSpec::new("ablation_psq_size", jobs, move |r| {
+        println!("Ablation: wave-attack ceiling vs PSQ size (paper §III-E sizing rule)");
+        let mut w = CsvWriter::create(
+            "ablation_psq_size",
+            &["nmit", "psq_size", "max_unmitigated"],
+        )?;
+        println!("{:>5} {:>9} {:>17}", "nmit", "psq_size", "max unmitigated");
+        for &(nmit, size) in &grid {
+            let max = r.engine(&psq_wave_key(nmit, size, nbo, r1));
+            let compliant = size >= nmit as usize;
+            println!(
+                "{nmit:>5} {size:>9} {max:>17}{}",
+                if compliant {
+                    ""
+                } else {
+                    "   (undersized: < N_mit)"
+                }
+            );
+            w.row(&[nmit.to_string(), size.to_string(), max.to_string()])?;
+        }
         println!(
-            "{nmit:>5} {size:>9} {max:>17}{}",
-            if compliant {
-                ""
-            } else {
-                "   (undersized: < N_mit)"
-            }
+            "(sizes >= N_mit track the ideal-PRAC ceiling; the default 5 covers PRAC-4 + proactive)\n"
         );
-        w.row(&[nmit.to_string(), size.to_string(), max.to_string()])?;
-    }
-    println!(
-        "(sizes >= N_mit track the ideal-PRAC ceiling; the default 5 covers PRAC-4 + proactive)\n"
-    );
-    Ok(())
+        Ok(())
+    })
 }
 
 /// Ablation 2: the opportunistic-mitigation bit, swept over N_BO.
-pub fn opportunistic_bit(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Ablation: opportunistic mitigation on/off (QPRAC vs QPRAC-NoOp)");
-    let mut w = CsvWriter::create(
-        "ablation_opportunistic",
-        &[
-            "nbo",
-            "noop_alerts_per_trefi",
-            "qprac_alerts_per_trefi",
-            "noop_perf",
-            "qprac_perf",
-        ],
-    )?;
-    println!(
-        "{:>6} {:>12} {:>13} {:>10} {:>11}",
-        "N_BO", "NoOp alerts", "QPRAC alerts", "NoOp perf", "QPRAC perf"
-    );
-    for nbo in [16u32, 32, 64] {
-        let runs = parallel(workloads.len(), |wi| {
-            let base = run_workload(
-                &SystemConfig::paper_default()
-                    .with_mitigation(MitigationKind::None)
-                    .with_nbo(nbo),
-                &workloads[wi],
-            );
-            let noop = run_workload(
-                &SystemConfig::paper_default()
-                    .with_mitigation(MitigationKind::QpracNoOp)
-                    .with_nbo(nbo),
-                &workloads[wi],
-            );
-            let qprac = run_workload(
-                &SystemConfig::paper_default()
-                    .with_mitigation(MitigationKind::Qprac)
-                    .with_nbo(nbo),
-                &workloads[wi],
-            );
-            (
-                noop.alerts_per_trefi(),
-                qprac.alerts_per_trefi(),
-                noop.normalized_perf(&base),
-                qprac.normalized_perf(&base),
-            )
-        });
-        let n = runs.len() as f64;
-        let avg = |g: fn(&(f64, f64, f64, f64)) -> f64| runs.iter().map(g).sum::<f64>() / n;
-        let (na, qa) = (avg(|r| r.0), avg(|r| r.1));
-        let (np, qp) = (avg(|r| r.2), avg(|r| r.3));
-        println!("{nbo:>6} {na:>12.3} {qa:>13.3} {np:>10.3} {qp:>11.3}");
-        w.row(&[nbo.to_string(), f(na), f(qa), f(np), f(qp)])?;
+pub fn opportunistic_bit_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
+    let workloads = workloads.to_vec();
+    let nbos = [16u32, 32, 64];
+    let cfg_for = |kind: MitigationKind, nbo: u32| {
+        SystemConfig::paper_default()
+            .with_mitigation(kind)
+            .with_nbo(nbo)
+    };
+    let mut jobs = Vec::new();
+    for &nbo in &nbos {
+        for spec in &workloads {
+            for kind in [
+                MitigationKind::None,
+                MitigationKind::QpracNoOp,
+                MitigationKind::Qprac,
+            ] {
+                jobs.push(Job::workload(cfg_for(kind, nbo), spec.clone()));
+            }
+        }
     }
-    println!("(the single opportunistic bit buys ~10x fewer alerts — §VI-A)\n");
-    Ok(())
+    ExperimentSpec::new("ablation_opportunistic", jobs, move |r| {
+        println!("Ablation: opportunistic mitigation on/off (QPRAC vs QPRAC-NoOp)");
+        let mut w = CsvWriter::create(
+            "ablation_opportunistic",
+            &[
+                "nbo",
+                "noop_alerts_per_trefi",
+                "qprac_alerts_per_trefi",
+                "noop_perf",
+                "qprac_perf",
+            ],
+        )?;
+        println!(
+            "{:>6} {:>12} {:>13} {:>10} {:>11}",
+            "N_BO", "NoOp alerts", "QPRAC alerts", "NoOp perf", "QPRAC perf"
+        );
+        for &nbo in &nbos {
+            let runs: Vec<(f64, f64, f64, f64)> = workloads
+                .iter()
+                .map(|spec| {
+                    let base = r.stats(&cfg_for(MitigationKind::None, nbo), spec);
+                    let noop = r.stats(&cfg_for(MitigationKind::QpracNoOp, nbo), spec);
+                    let qprac = r.stats(&cfg_for(MitigationKind::Qprac, nbo), spec);
+                    (
+                        noop.alerts_per_trefi(),
+                        qprac.alerts_per_trefi(),
+                        noop.normalized_perf(base),
+                        qprac.normalized_perf(base),
+                    )
+                })
+                .collect();
+            let n = runs.len() as f64;
+            let avg = |g: fn(&(f64, f64, f64, f64)) -> f64| runs.iter().map(g).sum::<f64>() / n;
+            let (na, qa) = (avg(|r| r.0), avg(|r| r.1));
+            let (np, qp) = (avg(|r| r.2), avg(|r| r.3));
+            println!("{nbo:>6} {na:>12.3} {qa:>13.3} {np:>10.3} {qp:>11.3}");
+            w.row(&[nbo.to_string(), f(na), f(qa), f(np), f(qp)])?;
+        }
+        println!("(the single opportunistic bit buys ~10x fewer alerts — §VI-A)\n");
+        Ok(())
+    })
 }
 
 /// Ablation 3: strict-greater vs greater-equal insertion under uniform
 /// (tie-heavy) traffic: how often does each policy replace entries?
 /// The paper's strict rule avoids thrashing the CAM on count ties while
-/// tracking the same maxima.
-pub fn insertion_tie_policy() -> std::io::Result<()> {
-    println!("Ablation: PSQ insertion on count ties (strict '>' is the paper's rule)");
-    let mut w = CsvWriter::create(
-        "ablation_tie_policy",
-        &[
-            "rows",
-            "strict_max",
-            "tie_insert_max",
-            "strict_writes",
-            "tie_writes",
-        ],
-    )?;
-    println!(
-        "{:>6} {:>11} {:>15} {:>14} {:>11}",
-        "rows", "strict max", "tie-insert max", "strict writes", "tie writes"
-    );
-    for distinct_rows in [8u32, 32, 128] {
-        // Uniform round-robin: every row always has the same count — the
-        // worst case for tie handling.
-        let mut strict = Psq::new(5);
-        let mut tie = Psq::new(5);
-        let mut strict_writes = 0u64;
-        let mut tie_writes = 0u64;
-        let mut counts = vec![0u32; distinct_rows as usize];
-        for step in 0..50_000u32 {
-            let r = step % distinct_rows;
-            counts[r as usize] += 1;
-            let c = counts[r as usize];
-            if strict.offer(RowId(r), c) {
-                strict_writes += 1;
+/// tracking the same maxima. Pure PSQ arithmetic — no cells.
+pub fn insertion_tie_policy_spec() -> ExperimentSpec {
+    ExperimentSpec::new("ablation_tie_policy", Vec::new(), |_| {
+        println!("Ablation: PSQ insertion on count ties (strict '>' is the paper's rule)");
+        let mut w = CsvWriter::create(
+            "ablation_tie_policy",
+            &[
+                "rows",
+                "strict_max",
+                "tie_insert_max",
+                "strict_writes",
+                "tie_writes",
+            ],
+        )?;
+        println!(
+            "{:>6} {:>11} {:>15} {:>14} {:>11}",
+            "rows", "strict max", "tie-insert max", "strict writes", "tie writes"
+        );
+        for distinct_rows in [8u32, 32, 128] {
+            // Uniform round-robin: every row always has the same count — the
+            // worst case for tie handling.
+            let mut strict = Psq::new(5);
+            let mut tie = Psq::new(5);
+            let mut strict_writes = 0u64;
+            let mut tie_writes = 0u64;
+            let mut counts = vec![0u32; distinct_rows as usize];
+            for step in 0..50_000u32 {
+                let r = step % distinct_rows;
+                counts[r as usize] += 1;
+                let c = counts[r as usize];
+                if strict.offer(RowId(r), c) {
+                    strict_writes += 1;
+                }
+                // Tie-insert emulation: bump the count by one on the offer so
+                // equality becomes strictly-greater (inserting on ties is
+                // equivalent to favoring the newcomer).
+                if tie.offer(RowId(r), c + 1) {
+                    tie_writes += 1;
+                }
             }
-            // Tie-insert emulation: bump the count by one on the offer so
-            // equality becomes strictly-greater (inserting on ties is
-            // equivalent to favoring the newcomer).
-            if tie.offer(RowId(r), c + 1) {
-                tie_writes += 1;
-            }
+            let (sm, tm) = (strict.max_count(), tie.max_count().saturating_sub(1));
+            println!("{distinct_rows:>6} {sm:>11} {tm:>15} {strict_writes:>14} {tie_writes:>11}");
+            w.row(&[
+                distinct_rows.to_string(),
+                sm.to_string(),
+                tm.to_string(),
+                strict_writes.to_string(),
+                tie_writes.to_string(),
+            ])?;
         }
-        let (sm, tm) = (strict.max_count(), tie.max_count().saturating_sub(1));
-        println!("{distinct_rows:>6} {sm:>11} {tm:>15} {strict_writes:>14} {tie_writes:>11}");
-        w.row(&[
-            distinct_rows.to_string(),
-            sm.to_string(),
-            tm.to_string(),
-            strict_writes.to_string(),
-            tie_writes.to_string(),
-        ])?;
-    }
-    println!("(both policies track the same maximum; under round-robin traffic the");
-    println!(" write counts also match because in-place hit updates dominate — the");
-    println!(" strict rule is therefore free, and it never displaces a tracked max)\n");
-    Ok(())
+        println!("(both policies track the same maximum; under round-robin traffic the");
+        println!(" write counts also match because in-place hit updates dominate — the");
+        println!(" strict rule is therefore free, and it never displaces a tracked max)\n");
+        Ok(())
+    })
 }
 
-/// Run all ablations.
-pub fn run_all(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    psq_size_security()?;
-    opportunistic_bit(workloads)?;
-    insertion_tie_policy()
+/// All three ablations, in presentation order.
+pub fn all_specs(workloads: &[WorkloadSpec]) -> Vec<ExperimentSpec> {
+    vec![
+        psq_size_security_spec(),
+        opportunistic_bit_spec(workloads),
+        insertion_tie_policy_spec(),
+    ]
 }

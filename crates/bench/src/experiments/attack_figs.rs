@@ -2,10 +2,10 @@
 //! multi-bank performance attack (§VI-E).
 
 use dram_core::RfmKind;
-use sim::{run_bandwidth_attack, MitigationKind, SystemConfig};
+use sim::{MitigationKind, SystemConfig};
 
 use crate::csv::{f, CsvWriter};
-use crate::harness::parallel;
+use crate::spec::{ExperimentSpec, Job};
 
 /// Attack window in memory cycles (125 µs at 3200 MHz — long enough for
 /// hundreds of alert/RFM round trips). `QPRAC_ATTACK_WINDOW` overrides
@@ -16,11 +16,13 @@ fn window() -> u64 {
 /// Banks hammered simultaneously.
 const ATTACK_BANKS: usize = 8;
 
-/// Run Fig 19: bandwidth reduction vs N_BO for the four design points.
-pub fn fig19() -> std::io::Result<()> {
-    println!("Fig 19: activation-bandwidth reduction under multi-bank attack");
+/// Fig 19: bandwidth reduction vs N_BO for the four design points. The
+/// unmitigated baseline is one shared cell (N_BO is a tracker-side knob
+/// `RunKey` normalizes away for `MitigationKind::None`), shared by all
+/// four variants at every N_BO.
+pub fn fig19_spec() -> ExperimentSpec {
     let nbos = [16u32, 32, 64, 128];
-    let variants: Vec<(&str, MitigationKind, RfmKind)> = vec![
+    let variants: Vec<(&'static str, MitigationKind, RfmKind)> = vec![
         ("QPRAC-RFMab", MitigationKind::Qprac, RfmKind::AllBank),
         (
             "QPRAC-RFMab+Proactive",
@@ -38,33 +40,43 @@ pub fn fig19() -> std::io::Result<()> {
             RfmKind::PerBank,
         ),
     ];
-    let mut w = CsvWriter::create("fig19", &["nbo", "variant", "bw_reduction_pct"])?;
-    // One unmitigated baseline per N_BO, shared by all four variants
-    // (recomputing it per job would double the figure's runtime).
-    let baselines = parallel(nbos.len(), |i| {
-        let base_cfg = SystemConfig::paper_default()
-            .with_mitigation(MitigationKind::None)
-            .with_nbo(nbos[i]);
-        run_bandwidth_attack(&base_cfg, ATTACK_BANKS, window())
-    });
-    let jobs: Vec<(usize, usize)> = (0..nbos.len())
-        .flat_map(|n| (0..variants.len()).map(move |v| (n, v)))
-        .collect();
-    let rows = parallel(jobs.len(), |i| {
-        let (n, v) = jobs[i];
-        let (label, kind, rfm) = variants[v];
-        let cfg = SystemConfig::paper_default()
+    let window = window();
+    let mut jobs = Vec::new();
+    let variant_cfg = |nbo: u32, kind: MitigationKind, rfm: RfmKind| {
+        SystemConfig::paper_default()
             .with_mitigation(kind)
-            .with_nbo(nbos[n])
-            .with_alert_rfm_kind(rfm);
-        let s = run_bandwidth_attack(&cfg, ATTACK_BANKS, window());
-        (nbos[n], label, s.reduction_vs(&baselines[n]))
-    });
-    println!("{:>6} {:<26} {:>14}", "N_BO", "variant", "BW reduction");
-    for (nbo, label, red) in rows {
-        println!("{nbo:>6} {label:<26} {:>13.1}%", red * 100.0);
-        w.row(&[nbo.to_string(), label.to_string(), f(red * 100.0)])?;
+            .with_nbo(nbo)
+            .with_alert_rfm_kind(rfm)
+    };
+    let base_cfg = |nbo: u32| {
+        SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::None)
+            .with_nbo(nbo)
+    };
+    for &nbo in &nbos {
+        jobs.push(Job::attack(base_cfg(nbo), ATTACK_BANKS, window));
+        for &(_, kind, rfm) in &variants {
+            jobs.push(Job::attack(
+                variant_cfg(nbo, kind, rfm),
+                ATTACK_BANKS,
+                window,
+            ));
+        }
     }
-    println!("(paper: RFMab 62-93% loss; proactive rescues N_BO>=64; RFMpb 15-27%)\n");
-    Ok(())
+    ExperimentSpec::new("fig19", jobs, move |r| {
+        println!("Fig 19: activation-bandwidth reduction under multi-bank attack");
+        let mut w = CsvWriter::create("fig19", &["nbo", "variant", "bw_reduction_pct"])?;
+        println!("{:>6} {:<26} {:>14}", "N_BO", "variant", "BW reduction");
+        for &nbo in &nbos {
+            let base = r.attack(&base_cfg(nbo), ATTACK_BANKS, window);
+            for &(label, kind, rfm) in &variants {
+                let s = r.attack(&variant_cfg(nbo, kind, rfm), ATTACK_BANKS, window);
+                let red = s.reduction_vs(base);
+                println!("{nbo:>6} {label:<26} {:>13.1}%", red * 100.0);
+                w.row(&[nbo.to_string(), label.to_string(), f(red * 100.0)])?;
+            }
+        }
+        println!("(paper: RFMab 62-93% loss; proactive rescues N_BO>=64; RFMpb 15-27%)\n");
+        Ok(())
+    })
 }

@@ -9,13 +9,11 @@
 //! mitigation overhead into one number (4.0 = every slot runs as fast
 //! as alone).
 
-use std::collections::BTreeMap;
-
 use cpu_model::mixes8;
-use sim::{run_alone_ipc, run_mix, MitigationKind, RunStats, SystemConfig};
+use sim::{MitigationKind, RunStats, SystemConfig};
 
 use crate::csv::{f, CsvWriter};
-use crate::harness::parallel;
+use crate::spec::{ExperimentSpec, Job};
 
 /// Channel counts the mix sweep covers.
 pub const MIX_CHANNELS: [usize; 3] = [1, 2, 4];
@@ -34,40 +32,13 @@ fn cfg_for(channels: usize, kind: MitigationKind) -> SystemConfig {
         .with_channels(channels)
 }
 
-/// Alone-IPC baselines for every distinct workload appearing in the
-/// mixes, per channel count: `alone[(workload, channels)]`. Shared by
-/// every mitigation column (the alone run is always unmitigated).
-pub fn alone_baselines() -> BTreeMap<(&'static str, usize), f64> {
-    let mut names: Vec<&'static str> = mixes8()
-        .iter()
-        .flat_map(|m| m.distinct_workloads())
-        .collect();
-    names.sort_unstable();
-    names.dedup();
-    let jobs: Vec<(&'static str, usize)> = names
-        .iter()
-        .flat_map(|&n| MIX_CHANNELS.map(|ch| (n, ch)))
-        .collect();
-    let ipcs = parallel(jobs.len(), |i| {
-        let (name, channels) = jobs[i];
-        let spec = cpu_model::WorkloadSpec::by_name(name).expect("mix slots resolve");
-        run_alone_ipc(&cfg_for(channels, MitigationKind::None), &spec)
-    });
-    jobs.into_iter().zip(ipcs).collect()
-}
-
-/// One (mix, channels, mitigation) measurement.
-#[derive(Debug, Clone)]
-pub struct MixRow {
-    pub mix: String,
-    pub channels: usize,
-    pub mitigation: &'static str,
-    pub weighted_speedup: f64,
-    pub alerts_per_trefi: f64,
-    /// Largest per-channel share of the total alert count (1.0 = every
-    /// alert landed on one channel; 0.0 = no alerts at all). Observes
-    /// the per-channel skew multi-channel interleaving introduces.
-    pub max_channel_alert_share: f64,
+/// The alone-IPC cell for one workload at one channel count: a single
+/// core running it unmitigated with the whole memory system to itself.
+fn alone_cfg(channels: usize) -> SystemConfig {
+    SystemConfig {
+        cores: 1,
+        ..cfg_for(channels, MitigationKind::None)
+    }
 }
 
 fn alert_skew(s: &RunStats) -> f64 {
@@ -79,81 +50,88 @@ fn alert_skew(s: &RunStats) -> f64 {
     max as f64 / total as f64
 }
 
-/// Run the full sweep: 8 mixes x `MIX_CHANNELS` x `MIX_KINDS`.
-pub fn run_mix_speedup() -> Vec<MixRow> {
-    let alone = alone_baselines();
+/// The full sweep as one spec: 8 mixes x `MIX_CHANNELS` x `MIX_KINDS`,
+/// plus the alone-IPC baselines for every distinct workload appearing
+/// in the mixes (shared by every mitigation column, since the alone run
+/// is always unmitigated).
+pub fn mix_speedup_spec() -> ExperimentSpec {
     let mixes = mixes8();
-    let jobs: Vec<(usize, usize, usize)> = (0..mixes.len())
-        .flat_map(|m| {
-            (0..MIX_CHANNELS.len()).flat_map(move |c| (0..MIX_KINDS.len()).map(move |k| (m, c, k)))
-        })
-        .collect();
-    parallel(jobs.len(), |i| {
-        let (m, c, k) = jobs[i];
-        let mix = &mixes[m];
-        let channels = MIX_CHANNELS[c];
-        let kind = MIX_KINDS[k];
-        let cfg = cfg_for(channels, kind);
-        let s = run_mix(&cfg, mix);
-        let alone_ipc: Vec<f64> = mix
-            .slots
-            .iter()
-            .map(|&name| alone[&(name, channels)])
-            .collect();
-        MixRow {
-            mix: mix.name.to_string(),
-            channels,
-            mitigation: cfg.mitigation_label(),
-            weighted_speedup: s.weighted_speedup(&alone_ipc),
-            alerts_per_trefi: s.alerts_per_trefi(),
-            max_channel_alert_share: alert_skew(&s),
+    let mut names: Vec<&'static str> = mixes.iter().flat_map(|m| m.distinct_workloads()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut jobs = Vec::new();
+    for &name in &names {
+        let spec = cpu_model::WorkloadSpec::by_name(name).expect("mix slots resolve");
+        for ch in MIX_CHANNELS {
+            jobs.push(Job::workload(alone_cfg(ch), spec.clone()));
         }
-    })
-}
-
-/// Emit `mix_speedup.csv` and a human-readable table.
-pub fn mix_speedup() -> std::io::Result<()> {
-    println!("Mix experiment: weighted speedup + alerts/tREFI for 8 heterogeneous mixes");
-    println!(
-        "({} channel counts x {} mitigations; alone-IPC baselines are 1-core unmitigated runs)\n",
-        MIX_CHANNELS.len(),
-        MIX_KINDS.len()
-    );
-    let rows = run_mix_speedup();
-    let mut w = CsvWriter::create(
-        "mix_speedup",
-        &[
-            "mix",
-            "channels",
-            "mitigation",
-            "weighted_speedup",
-            "alerts_per_trefi",
-            "max_channel_alert_share",
-        ],
-    )?;
-    println!(
-        "{:<24} {:>3} {:<20} {:>8} {:>12} {:>10}",
-        "mix", "ch", "mitigation", "ws", "alerts/tREFI", "skew"
-    );
-    for r in &rows {
-        println!(
-            "{:<24} {:>3} {:<20} {:>8.3} {:>12.4} {:>10.3}",
-            r.mix,
-            r.channels,
-            r.mitigation,
-            r.weighted_speedup,
-            r.alerts_per_trefi,
-            r.max_channel_alert_share
-        );
-        w.row(&[
-            r.mix.clone(),
-            r.channels.to_string(),
-            r.mitigation.to_string(),
-            f(r.weighted_speedup),
-            f(r.alerts_per_trefi),
-            f(r.max_channel_alert_share),
-        ])?;
     }
-    println!("\nWritten to {}", w.path().display());
-    Ok(())
+    for mix in &mixes {
+        for ch in MIX_CHANNELS {
+            for kind in MIX_KINDS {
+                jobs.push(Job::mix(cfg_for(ch, kind), *mix));
+            }
+        }
+    }
+    ExperimentSpec::new("mix_speedup", jobs, move |r| {
+        println!("Mix experiment: weighted speedup + alerts/tREFI for 8 heterogeneous mixes");
+        println!(
+            "({} channel counts x {} mitigations; alone-IPC baselines are 1-core unmitigated runs)\n",
+            MIX_CHANNELS.len(),
+            MIX_KINDS.len()
+        );
+        let mut w = CsvWriter::create(
+            "mix_speedup",
+            &[
+                "mix",
+                "channels",
+                "mitigation",
+                "weighted_speedup",
+                "alerts_per_trefi",
+                "max_channel_alert_share",
+            ],
+        )?;
+        println!(
+            "{:<24} {:>3} {:<20} {:>8} {:>12} {:>10}",
+            "mix", "ch", "mitigation", "ws", "alerts/tREFI", "skew"
+        );
+        for mix in &mixes {
+            for channels in MIX_CHANNELS {
+                for kind in MIX_KINDS {
+                    let cfg = cfg_for(channels, kind);
+                    let s = r.mix(&cfg, mix);
+                    let alone_ipc: Vec<f64> = mix
+                        .slots
+                        .iter()
+                        .map(|&name| {
+                            let spec =
+                                cpu_model::WorkloadSpec::by_name(name).expect("mix slots resolve");
+                            r.stats(&alone_cfg(channels), &spec).core_ipc[0]
+                        })
+                        .collect();
+                    let row = (
+                        mix.name.to_string(),
+                        cfg.mitigation_label(),
+                        s.weighted_speedup(&alone_ipc),
+                        s.alerts_per_trefi(),
+                        alert_skew(s),
+                    );
+                    println!(
+                        "{:<24} {:>3} {:<20} {:>8.3} {:>12.4} {:>10.3}",
+                        row.0, channels, row.1, row.2, row.3, row.4
+                    );
+                    w.row(&[
+                        row.0.clone(),
+                        channels.to_string(),
+                        row.1.to_string(),
+                        f(row.2),
+                        f(row.3),
+                        f(row.4),
+                    ])?;
+                }
+            }
+        }
+        println!("\nWritten to {}", w.path().display());
+        Ok(())
+    })
 }

@@ -1,4 +1,7 @@
-//! Experiment drivers shared by the figure binaries and `run_all`.
+//! Experiment specs shared by the figure binaries and `run_all`: each
+//! `*_spec()` constructor declares one figure/table as a cell grid plus
+//! an emitter (see [`crate::spec`]); the binaries hand the specs to
+//! [`crate::runner::run_specs`].
 
 pub mod ablations;
 pub mod attack_figs;

@@ -1,11 +1,14 @@
 //! Performance figures: Fig 14, 15, 16, 17, 18, 20, 21 and Table III /
-//! Fig 22 energy companions.
+//! Fig 22 energy companions — all declared as cell grids over
+//! `(SystemConfig, workload)`; the cross-figure runner dedupes the
+//! shared cells (most prominently the unmitigated baselines, which
+//! every sweep here needs) and simulates each exactly once.
 
 use cpu_model::WorkloadSpec;
 use sim::{geomean, run_workload, MitigationKind, RunStats, SystemConfig};
 
 use crate::csv::{f, CsvWriter};
-use crate::harness::parallel;
+use crate::spec::{ExperimentSpec, Job};
 
 /// The five evaluated QPRAC designs of Fig 14/15, in paper order.
 pub const FIG14_CONFIGS: [MitigationKind; 5] = [
@@ -16,157 +19,172 @@ pub const FIG14_CONFIGS: [MitigationKind; 5] = [
     MitigationKind::QpracIdeal,
 ];
 
-/// One workload's Fig 14/15 measurements.
-#[derive(Debug, Clone)]
-pub struct Fig14Row {
-    /// Workload name.
-    pub workload: String,
-    /// Row-buffer misses per kilo-instruction in the baseline.
-    pub rbmpki: f64,
-    /// Normalized performance per config (Fig 14).
-    pub perf: Vec<f64>,
-    /// Alerts per tREFI per config (Fig 15).
-    pub alerts: Vec<f64>,
-}
-
-/// Run every workload under the baseline and all Fig 14 configs.
-pub fn run_fig14(workloads: &[WorkloadSpec]) -> Vec<Fig14Row> {
-    parallel(workloads.len(), |wi| {
-        let spec = &workloads[wi];
-        let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
-        let base = run_workload(&base_cfg, spec);
-        let mut perf = Vec::new();
-        let mut alerts = Vec::new();
+/// Fig 14 (normalized performance) and Fig 15 (alerts per tREFI) from
+/// one set of runs per workload.
+pub fn fig14_15_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
+    let workloads = workloads.to_vec();
+    let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+    let mut jobs = Vec::new();
+    for spec in &workloads {
+        jobs.push(Job::workload(base_cfg.clone(), spec.clone()));
         for kind in FIG14_CONFIGS {
-            let cfg = SystemConfig::paper_default().with_mitigation(kind);
-            let s = run_workload(&cfg, spec);
-            perf.push(s.normalized_perf(&base));
-            alerts.push(s.alerts_per_trefi());
+            jobs.push(Job::workload(
+                SystemConfig::paper_default().with_mitigation(kind),
+                spec.clone(),
+            ));
         }
-        Fig14Row {
-            workload: spec.name.to_string(),
-            rbmpki: base.rbmpki(),
-            perf,
-            alerts,
+    }
+    ExperimentSpec::new("fig14_15", jobs, move |r| {
+        struct Row {
+            workload: String,
+            rbmpki: f64,
+            perf: Vec<f64>,
+            alerts: Vec<f64>,
         }
+        let rows: Vec<Row> = workloads
+            .iter()
+            .map(|spec| {
+                let base = r.stats(&base_cfg, spec);
+                let mut perf = Vec::new();
+                let mut alerts = Vec::new();
+                for kind in FIG14_CONFIGS {
+                    let cfg = SystemConfig::paper_default().with_mitigation(kind);
+                    let s = r.stats(&cfg, spec);
+                    perf.push(s.normalized_perf(base));
+                    alerts.push(s.alerts_per_trefi());
+                }
+                Row {
+                    workload: spec.name.to_string(),
+                    rbmpki: base.rbmpki(),
+                    perf,
+                    alerts,
+                }
+            })
+            .collect();
+        let mut w14 = CsvWriter::create(
+            "fig14",
+            &[
+                "workload",
+                "rbmpki",
+                "noop",
+                "qprac",
+                "proactive",
+                "proactive_ea",
+                "ideal",
+            ],
+        )?;
+        let mut w15 = CsvWriter::create(
+            "fig15",
+            &[
+                "workload",
+                "rbmpki",
+                "noop",
+                "qprac",
+                "proactive",
+                "proactive_ea",
+                "ideal",
+            ],
+        )?;
+        println!("Fig 14: normalized performance (N_BO=32, PRAC-1) vs insecure baseline");
+        println!(
+            "{:<28} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "workload", "rbmpki", "NoOp", "QPRAC", "+Pro", "+ProEA", "Ideal"
+        );
+        for r in &rows {
+            println!(
+                "{:<28} {:>7.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                r.workload, r.rbmpki, r.perf[0], r.perf[1], r.perf[2], r.perf[3], r.perf[4]
+            );
+            let mut row = vec![r.workload.clone(), f(r.rbmpki)];
+            row.extend(r.perf.iter().map(|v| f(*v)));
+            w14.row(&row)?;
+            let mut row = vec![r.workload.clone(), f(r.rbmpki)];
+            row.extend(r.alerts.iter().map(|v| f(*v)));
+            w15.row(&row)?;
+        }
+        // Geomean rows: all workloads and the memory-intensive subset.
+        for (label, filt) in [("geomean(all)", 0.0), ("geomean(rbmpki>=2)", 2.0)] {
+            let sel: Vec<&Row> = rows.iter().filter(|r| r.rbmpki >= filt).collect();
+            let gm: Vec<f64> = (0..FIG14_CONFIGS.len())
+                .map(|c| geomean(sel.iter().map(|r| r.perf[c])))
+                .collect();
+            println!(
+                "{label:<28} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                sel.len(),
+                gm[0],
+                gm[1],
+                gm[2],
+                gm[3],
+                gm[4]
+            );
+            let mut row = vec![label.to_string(), sel.len().to_string()];
+            row.extend(gm.iter().map(|v| f(*v)));
+            w14.row(&row)?;
+            let am: Vec<f64> = (0..FIG14_CONFIGS.len())
+                .map(|c| sel.iter().map(|r| r.alerts[c]).sum::<f64>() / sel.len().max(1) as f64)
+                .collect();
+            let mut row = vec![format!("mean({label})"), sel.len().to_string()];
+            row.extend(am.iter().map(|v| f(*v)));
+            w15.row(&row)?;
+        }
+        println!("(paper: NoOp 12.4% slowdown; QPRAC 0.8%; proactive variants 0%)");
+        println!("\nFig 15 written to fig15.csv (alerts per tREFI, same runs).");
+        println!("(paper: NoOp ~1.1 alerts/tREFI; QPRAC 0.07; proactive ~0)\n");
+        Ok(())
     })
 }
 
-/// Emit Fig 14 (normalized performance) and Fig 15 (alerts per tREFI).
-pub fn fig14_15(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    let rows = run_fig14(workloads);
-    let mut w14 = CsvWriter::create(
-        "fig14",
-        &[
-            "workload",
-            "rbmpki",
-            "noop",
-            "qprac",
-            "proactive",
-            "proactive_ea",
-            "ideal",
-        ],
-    )?;
-    let mut w15 = CsvWriter::create(
-        "fig15",
-        &[
-            "workload",
-            "rbmpki",
-            "noop",
-            "qprac",
-            "proactive",
-            "proactive_ea",
-            "ideal",
-        ],
-    )?;
-    println!("Fig 14: normalized performance (N_BO=32, PRAC-1) vs insecure baseline");
-    println!(
-        "{:<28} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "workload", "rbmpki", "NoOp", "QPRAC", "+Pro", "+ProEA", "Ideal"
-    );
-    for r in &rows {
-        println!(
-            "{:<28} {:>7.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            r.workload, r.rbmpki, r.perf[0], r.perf[1], r.perf[2], r.perf[3], r.perf[4]
-        );
-        let mut row = vec![r.workload.clone(), f(r.rbmpki)];
-        row.extend(r.perf.iter().map(|v| f(*v)));
-        w14.row(&row)?;
-        let mut row = vec![r.workload.clone(), f(r.rbmpki)];
-        row.extend(r.alerts.iter().map(|v| f(*v)));
-        w15.row(&row)?;
-    }
-    // Geomean rows: all workloads and the memory-intensive subset.
-    for (label, filt) in [("geomean(all)", 0.0), ("geomean(rbmpki>=2)", 2.0)] {
-        let sel: Vec<&Fig14Row> = rows.iter().filter(|r| r.rbmpki >= filt).collect();
-        let gm: Vec<f64> = (0..FIG14_CONFIGS.len())
-            .map(|c| geomean(sel.iter().map(|r| r.perf[c])))
-            .collect();
-        println!(
-            "{label:<28} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            sel.len(),
-            gm[0],
-            gm[1],
-            gm[2],
-            gm[3],
-            gm[4]
-        );
-        let mut row = vec![label.to_string(), sel.len().to_string()];
-        row.extend(gm.iter().map(|v| f(*v)));
-        w14.row(&row)?;
-        let am: Vec<f64> = (0..FIG14_CONFIGS.len())
-            .map(|c| sel.iter().map(|r| r.alerts[c]).sum::<f64>() / sel.len().max(1) as f64)
-            .collect();
-        let mut row = vec![format!("mean({label})"), sel.len().to_string()];
-        row.extend(am.iter().map(|v| f(*v)));
-        w15.row(&row)?;
-    }
-    println!("(paper: NoOp 12.4% slowdown; QPRAC 0.8%; proactive variants 0%)");
-    println!("\nFig 15 written to fig15.csv (alerts per tREFI, same runs).");
-    println!("(paper: NoOp ~1.1 alerts/tREFI; QPRAC 0.07; proactive ~0)\n");
-    Ok(())
-}
-
-/// A generic sensitivity sweep: label × config list, geomean slowdown
-/// over a workload set.
-fn sweep(
-    name: &str,
-    header: &[&str],
+/// A generic sensitivity-sweep spec: label × config list, geomean
+/// slowdown over a workload set, one CSV row per config. Each variant
+/// normalizes against its own timing-matched unmitigated baseline —
+/// which the runner dedupes globally, so the baseline family costs one
+/// run per distinct (timing, workload) pair across the whole suite.
+fn sweep_spec(
+    name: &'static str,
+    header: &'static [&'static str],
+    intro: String,
+    outro: Vec<String>,
     workloads: &[WorkloadSpec],
-    configs: &[(String, SystemConfig)],
-) -> std::io::Result<Vec<f64>> {
-    // Baselines per workload (config changes may alter DRAM timing, so
-    // each variant normalizes against its own timing-matched baseline).
-    let jobs: Vec<(usize, usize)> = (0..configs.len())
-        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
-        .collect();
-    let perfs = parallel(jobs.len(), |i| {
-        let (c, wi) = jobs[i];
-        let (label, cfg) = &configs[c];
-        let _ = label;
+    configs: Vec<(String, SystemConfig)>,
+) -> ExperimentSpec {
+    let workloads = workloads.to_vec();
+    let mut jobs = Vec::new();
+    for (_, cfg) in &configs {
         let base_cfg = SystemConfig {
             mitigation: MitigationKind::None,
             ..cfg.clone()
         };
-        let base = run_workload(&base_cfg, &workloads[wi]);
-        let s = run_workload(cfg, &workloads[wi]);
-        s.normalized_perf(&base)
-    });
-    let mut w = CsvWriter::create(name, header)?;
-    let mut out = Vec::new();
-    for (c, (label, _)) in configs.iter().enumerate() {
-        let gm = geomean((0..workloads.len()).map(|wi| perfs[c * workloads.len() + wi]));
-        let slowdown_pct = (1.0 - gm) * 100.0;
-        println!("{label:<44} perf={gm:.4}  slowdown={slowdown_pct:.2}%");
-        w.row(&[label.clone(), f(gm), f(slowdown_pct)])?;
-        out.push(gm);
+        for spec in &workloads {
+            jobs.push(Job::workload(base_cfg.clone(), spec.clone()));
+            jobs.push(Job::workload(cfg.clone(), spec.clone()));
+        }
     }
-    Ok(out)
+    ExperimentSpec::new(name, jobs, move |r| {
+        println!("{intro}");
+        let mut w = CsvWriter::create(name, header)?;
+        for (label, cfg) in &configs {
+            let base_cfg = SystemConfig {
+                mitigation: MitigationKind::None,
+                ..cfg.clone()
+            };
+            let gm = geomean(
+                workloads
+                    .iter()
+                    .map(|spec| r.stats(cfg, spec).normalized_perf(r.stats(&base_cfg, spec))),
+            );
+            let slowdown_pct = (1.0 - gm) * 100.0;
+            println!("{label:<44} perf={gm:.4}  slowdown={slowdown_pct:.2}%");
+            w.row(&[label.clone(), f(gm), f(slowdown_pct)])?;
+        }
+        for line in &outro {
+            println!("{line}");
+        }
+        Ok(())
+    })
 }
 
 /// Fig 16: slowdown vs RFMs per alert (PRAC-1/2/4).
-pub fn fig16(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Fig 16: slowdown vs RFMs per Alert Back-Off");
+pub fn fig16_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
     let mut configs = Vec::new();
     for nmit in [1u8, 2, 4] {
         for (label, kind) in [
@@ -183,19 +201,18 @@ pub fn fig16(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             ));
         }
     }
-    sweep(
+    sweep_spec(
         "fig16",
         &["config", "norm_perf", "slowdown_pct"],
+        "Fig 16: slowdown vs RFMs per Alert Back-Off".into(),
+        vec!["(paper: QPRAC 0.8-0.9% across PRAC levels; proactive variants 0%)\n".into()],
         workloads,
-        &configs,
-    )?;
-    println!("(paper: QPRAC 0.8-0.9% across PRAC levels; proactive variants 0%)\n");
-    Ok(())
+        configs,
+    )
 }
 
 /// Fig 17: slowdown vs PSQ size × proactive cadence.
-pub fn fig17(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Fig 17: slowdown vs PSQ size and proactive cadence");
+pub fn fig17_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
     let mut configs = Vec::new();
     for size in 1..=5usize {
         configs.push((
@@ -214,19 +231,18 @@ pub fn fig17(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             ));
         }
     }
-    sweep(
+    sweep_spec(
         "fig17",
         &["config", "norm_perf", "slowdown_pct"],
+        "Fig 17: slowdown vs PSQ size and proactive cadence".into(),
+        vec!["(paper: <1% overhead across all queue sizes)\n".into()],
         workloads,
-        &configs,
-    )?;
-    println!("(paper: <1% overhead across all queue sizes)\n");
-    Ok(())
+        configs,
+    )
 }
 
 /// Fig 18: slowdown vs Back-Off threshold.
-pub fn fig18(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Fig 18: slowdown vs Back-Off threshold N_BO");
+pub fn fig18_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
     let mut configs = Vec::new();
     for nbo in [16u32, 32, 64, 128] {
         for (label, kind) in [
@@ -243,21 +259,20 @@ pub fn fig18(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
             ));
         }
     }
-    sweep(
+    sweep_spec(
         "fig18",
         &["config", "norm_perf", "slowdown_pct"],
+        "Fig 18: slowdown vs Back-Off threshold N_BO".into(),
+        vec!["(paper: QPRAC 2.3% at N_BO=16, 0.8% at 32, ~0 above; proactive ~0%)\n".into()],
         workloads,
-        &configs,
-    )?;
-    println!("(paper: QPRAC 2.3% at N_BO=16, 0.8% at 32, ~0 above; proactive ~0%)\n");
-    Ok(())
+        configs,
+    )
 }
 
 /// Fig 20: normalized performance vs T_RH for Mithril, PrIDE and
 /// QPRAC+Proactive-EA. QPRAC's N_BO per T_RH comes from the §IV security
 /// model (largest N_BO whose secure T_RH fits).
-pub fn fig20(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Fig 20: normalized performance vs Rowhammer threshold");
+pub fn fig20_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
     let mut configs = Vec::new();
     for trh in [64u32, 128, 256, 512, 1024] {
         configs.push((
@@ -284,15 +299,17 @@ pub fn fig20(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
                 .with_nbo(nbo),
         ));
     }
-    sweep(
+    sweep_spec(
         "fig20",
         &["config", "norm_perf", "slowdown_pct"],
+        "Fig 20: normalized performance vs Rowhammer threshold".into(),
+        vec![
+            "(paper: Mithril 69%..10% and PrIDE 54%..7% slowdown from T_RH 64..512;".into(),
+            " QPRAC ~0% across all thresholds)\n".into(),
+        ],
         workloads,
-        &configs,
-    )?;
-    println!("(paper: Mithril 69%..10% and PrIDE 54%..7% slowdown from T_RH 64..512;");
-    println!(" QPRAC ~0% across all thresholds)\n");
-    Ok(())
+        configs,
+    )
 }
 
 /// Largest power-of-two-ish N_BO whose analytically secure T_RH does not
@@ -313,8 +330,12 @@ pub fn qprac_nbo_for_trh(trh: u32) -> u32 {
 
 /// Fig 21 (performance) and Fig 22 (energy): MOAT vs QPRAC as N_BO
 /// varies, with proactive cadences of 1-per-4-tREFI and 1-per-tREFI.
-pub fn fig21_22(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Fig 21/22: MOAT vs QPRAC — slowdown and energy overhead vs N_BO");
+/// All 24 configs share one unmitigated baseline per workload (N_BO and
+/// the proactive cadence are tracker-side knobs that cannot affect a
+/// `MitigationKind::None` run — the same equivalence `RunKey`
+/// normalizes, so the runner collapses the baselines automatically).
+pub fn fig21_22_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
+    let workloads = workloads.to_vec();
     let mut configs: Vec<(String, SystemConfig)> = Vec::new();
     for nbo in [16u32, 32, 64, 128] {
         let base = SystemConfig::paper_default().with_nbo(nbo);
@@ -353,95 +374,111 @@ pub fn fig21_22(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
                 .with_proactive_per_refs(1),
         ));
     }
-    // One unmitigated baseline per workload, shared by all 20 configs:
-    // N_BO and the proactive cadence are tracker-side knobs that cannot
-    // affect a MitigationKind::None run (same redundancy fixed in fig19).
-    let baselines = parallel(workloads.len(), |wi| {
-        let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
-        run_workload(&base_cfg, &workloads[wi])
-    });
-    // One pass computing both metrics.
-    let jobs: Vec<(usize, usize)> = (0..configs.len())
-        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
-        .collect();
-    let results: Vec<(f64, f64)> = parallel(jobs.len(), |i| {
-        let (c, wi) = jobs[i];
-        let s = run_workload(&configs[c].1, &workloads[wi]);
-        (
-            s.normalized_perf(&baselines[wi]),
-            s.energy.overhead_vs(&baselines[wi].energy),
-        )
-    });
-    let mut w21 = CsvWriter::create("fig21", &["config", "norm_perf", "slowdown_pct"])?;
-    let mut w22 = CsvWriter::create("fig22", &["config", "energy_overhead_pct"])?;
-    for (c, (label, _)) in configs.iter().enumerate() {
-        let n = workloads.len();
-        let gm = geomean((0..n).map(|wi| results[c * n + wi].0));
-        let e = (0..n).map(|wi| results[c * n + wi].1).sum::<f64>() / n as f64;
-        println!(
-            "{label:<34} perf={gm:.4} slowdown={:.2}%  energy_overhead={:.2}%",
-            (1.0 - gm) * 100.0,
-            e * 100.0
-        );
-        w21.row(&[label.clone(), f(gm), f((1.0 - gm) * 100.0)])?;
-        w22.row(&[label.clone(), f(e * 100.0)])?;
+    let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+    let mut jobs = Vec::new();
+    for spec in &workloads {
+        jobs.push(Job::workload(base_cfg.clone(), spec.clone()));
+        for (_, cfg) in &configs {
+            jobs.push(Job::workload(cfg.clone(), spec.clone()));
+        }
     }
-    println!("(paper Fig 21: at N_BO=16 MOAT 3.6% vs QPRAC 2.3%; both <1% at 32+)");
-    println!("(paper Fig 22: both <2% energy at N_BO>=32)\n");
-    Ok(())
+    ExperimentSpec::new("fig21_22", jobs, move |r| {
+        println!("Fig 21/22: MOAT vs QPRAC — slowdown and energy overhead vs N_BO");
+        let mut w21 = CsvWriter::create("fig21", &["config", "norm_perf", "slowdown_pct"])?;
+        let mut w22 = CsvWriter::create("fig22", &["config", "energy_overhead_pct"])?;
+        for (label, cfg) in &configs {
+            let n = workloads.len();
+            let results: Vec<(f64, f64)> = workloads
+                .iter()
+                .map(|spec| {
+                    let base = r.stats(&base_cfg, spec);
+                    let s = r.stats(cfg, spec);
+                    (s.normalized_perf(base), s.energy.overhead_vs(&base.energy))
+                })
+                .collect();
+            let gm = geomean(results.iter().map(|&(p, _)| p));
+            let e = results.iter().map(|&(_, e)| e).sum::<f64>() / n as f64;
+            println!(
+                "{label:<34} perf={gm:.4} slowdown={:.2}%  energy_overhead={:.2}%",
+                (1.0 - gm) * 100.0,
+                e * 100.0
+            );
+            w21.row(&[label.clone(), f(gm), f((1.0 - gm) * 100.0)])?;
+            w22.row(&[label.clone(), f(e * 100.0)])?;
+        }
+        println!("(paper Fig 21: at N_BO=16 MOAT 3.6% vs QPRAC 2.3%; both <1% at 32+)");
+        println!("(paper Fig 22: both <2% energy at N_BO>=32)\n");
+        Ok(())
+    })
 }
 
 /// Table III: energy overhead of QPRAC designs vs PRAC level.
-pub fn table03(workloads: &[WorkloadSpec]) -> std::io::Result<()> {
-    println!("Table III: energy overhead of QPRAC designs");
+pub fn table03_spec(workloads: &[WorkloadSpec]) -> ExperimentSpec {
+    let workloads = workloads.to_vec();
     let kinds = [
         ("QPRAC", MitigationKind::Qprac),
         ("QPRAC+Proactive", MitigationKind::QpracProactive),
         ("QPRAC+Proactive-EA", MitigationKind::QpracProactiveEa),
     ];
-    let mut w = CsvWriter::create(
-        "table03",
-        &[
-            "prac_level",
-            "qprac_pct",
-            "proactive_pct",
-            "proactive_ea_pct",
-        ],
-    )?;
-    println!(
-        "{:<8} {:>8} {:>17} {:>20}",
-        "level", "QPRAC", "QPRAC+Proactive", "QPRAC+Proactive-EA"
-    );
-    // One unmitigated baseline per workload, shared across every
-    // (nmit, kind) cell: neither affects a MitigationKind::None run.
-    let baselines = parallel(workloads.len(), |wi| {
-        let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
-        run_workload(&base_cfg, &workloads[wi])
-    });
-    for nmit in [1u8, 2, 4] {
-        let jobs: Vec<(usize, usize)> = (0..kinds.len())
-            .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
-            .collect();
-        let overheads = parallel(jobs.len(), |i| {
-            let (k, wi) = jobs[i];
-            let cfg = SystemConfig::paper_default()
-                .with_mitigation(kinds[k].1)
-                .with_nmit(nmit);
-            let s = run_workload(&cfg, &workloads[wi]);
-            s.energy.overhead_vs(&baselines[wi].energy)
-        });
-        let n = workloads.len();
-        let avg: Vec<f64> = (0..kinds.len())
-            .map(|k| overheads[k * n..(k + 1) * n].iter().sum::<f64>() / n as f64 * 100.0)
-            .collect();
-        println!(
-            "PRAC-{nmit:<3} {:>7.2}% {:>16.2}% {:>19.2}%",
-            avg[0], avg[1], avg[2]
-        );
-        w.row(&[format!("PRAC-{nmit}"), f(avg[0]), f(avg[1]), f(avg[2])])?;
+    let base_cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+    let mut jobs = Vec::new();
+    for spec in &workloads {
+        jobs.push(Job::workload(base_cfg.clone(), spec.clone()));
+        for nmit in [1u8, 2, 4] {
+            for (_, kind) in kinds {
+                jobs.push(Job::workload(
+                    SystemConfig::paper_default()
+                        .with_mitigation(kind)
+                        .with_nmit(nmit),
+                    spec.clone(),
+                ));
+            }
+        }
     }
-    println!("(paper: QPRAC 1.2-1.5%, +Proactive 14.6%, +Proactive-EA 1.9%)\n");
-    Ok(())
+    ExperimentSpec::new("table03", jobs, move |r| {
+        println!("Table III: energy overhead of QPRAC designs");
+        let mut w = CsvWriter::create(
+            "table03",
+            &[
+                "prac_level",
+                "qprac_pct",
+                "proactive_pct",
+                "proactive_ea_pct",
+            ],
+        )?;
+        println!(
+            "{:<8} {:>8} {:>17} {:>20}",
+            "level", "QPRAC", "QPRAC+Proactive", "QPRAC+Proactive-EA"
+        );
+        for nmit in [1u8, 2, 4] {
+            let n = workloads.len();
+            let avg: Vec<f64> = kinds
+                .iter()
+                .map(|(_, kind)| {
+                    let cfg = SystemConfig::paper_default()
+                        .with_mitigation(*kind)
+                        .with_nmit(nmit);
+                    workloads
+                        .iter()
+                        .map(|spec| {
+                            r.stats(&cfg, spec)
+                                .energy
+                                .overhead_vs(&r.stats(&base_cfg, spec).energy)
+                        })
+                        .sum::<f64>()
+                        / n as f64
+                        * 100.0
+                })
+                .collect();
+            println!(
+                "PRAC-{nmit:<3} {:>7.2}% {:>16.2}% {:>19.2}%",
+                avg[0], avg[1], avg[2]
+            );
+            w.row(&[format!("PRAC-{nmit}"), f(avg[0]), f(avg[1]), f(avg[2])])?;
+        }
+        println!("(paper: QPRAC 1.2-1.5%, +Proactive 14.6%, +Proactive-EA 1.9%)\n");
+        Ok(())
+    })
 }
 
 /// Length-sensitivity check referenced by DESIGN.md §3.6: the relative

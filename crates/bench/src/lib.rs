@@ -6,6 +6,15 @@
 //! `run_all`), plus the beyond-paper `mix_speedup` heterogeneous-mix
 //! sweep; Criterion micro-benchmarks live in `benches/`.
 //!
+//! Every figure/table is declared as an [`ExperimentSpec`] (a grid of
+//! [`Job`] cells plus a CSV/stdout emitter) in [`experiments`]; the
+//! [`runner`] dedupes cells globally by `sim::RunKey`, resolves them
+//! from the optional persistent cache (`QPRAC_RUN_CACHE`), executes the
+//! remainder through one work pool (`QPRAC_JOBS` caps its width), and
+//! renders each spec. `run_all` schedules *all* specs' cells together,
+//! so cells shared across figures — notably the unmitigated baselines —
+//! simulate exactly once. See README "Experiment orchestration".
+//!
 //! All binaries print the regenerated series and write CSVs to
 //! `results/` (override with `QPRAC_RESULTS_DIR`). Simulation length is
 //! controlled by `QPRAC_INSTR` (instructions per core, default 100000);
@@ -15,5 +24,9 @@
 pub mod csv;
 pub mod experiments;
 pub mod harness;
+pub mod runner;
+pub mod spec;
 
 pub use csv::CsvWriter;
+pub use runner::{execute, run_specs, RunReport};
+pub use spec::{ExperimentSpec, Job, JobResult, ResultSet};

@@ -1,0 +1,341 @@
+//! The cross-figure scheduler and global deduplicating run cache.
+//!
+//! [`execute`] collects every cell of every spec, dedupes them globally
+//! by [`RunKey`], resolves what it can from the persistent cache
+//! (`QPRAC_RUN_CACHE`), executes the remainder once through one work
+//! pool ([`crate::harness::parallel`], capped by `QPRAC_JOBS`), and
+//! then renders each spec's output in declaration order. Identical
+//! cells shared by several figures — e.g. the unmitigated baseline of
+//! every sensitivity sweep — simulate exactly once per suite, and with
+//! a warm cache not at all.
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sim::{BwAttackStats, RunKey, RunStats};
+
+use crate::harness::parallel;
+use crate::spec::{ExperimentSpec, Job, JobResult, ResultSet};
+
+/// What one [`execute`] pass did.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cells requested across all specs (with duplicates).
+    pub cells: usize,
+    /// Distinct cells after global deduplication.
+    pub unique: usize,
+    /// Unique cells resolved from the persistent cache.
+    pub cache_hits: usize,
+    /// Unique cells actually executed this pass.
+    pub executed: usize,
+    /// End-to-end wall clock (scheduling + execution + emission).
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Requested-to-unique ratio (1.0 = no sharing; higher is better).
+    pub fn dedupe_ratio(&self) -> f64 {
+        if self.unique == 0 {
+            1.0
+        } else {
+            self.cells as f64 / self.unique as f64
+        }
+    }
+
+    /// The one-line machine-greppable summary (`run-cache: ...`).
+    pub fn summary(&self) -> String {
+        format!(
+            "run-cache: cells={} unique={} dedupe={:.2} cache-hits={} simulated={} wall={:.1}s",
+            self.cells,
+            self.unique,
+            self.dedupe_ratio(),
+            self.cache_hits,
+            self.executed,
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Run a suite of specs: dedupe cells, resolve them (cache, then one
+/// work pool), emit every spec in order, and print the cache summary.
+pub fn execute(specs: &[ExperimentSpec]) -> io::Result<RunReport> {
+    let report = execute_with_cache(specs, &PersistentCache::from_env(), true)?;
+    println!("{}", report.summary());
+    Ok(report)
+}
+
+/// The scheduler with the cache injected (tests pass a temp-dir cache
+/// so they never mutate process environment).
+fn execute_with_cache(
+    specs: &[ExperimentSpec],
+    cache: &PersistentCache,
+    verbose: bool,
+) -> io::Result<RunReport> {
+    let t0 = Instant::now();
+    let mut cells = 0usize;
+    let mut seen: HashSet<RunKey> = HashSet::new();
+    let mut unique: Vec<(&Job, RunKey)> = Vec::new();
+    for spec in specs {
+        for job in &spec.jobs {
+            cells += 1;
+            let key = job.key();
+            if seen.insert(key.clone()) {
+                unique.push((job, key));
+            }
+        }
+    }
+    let unique_n = unique.len();
+
+    let mut results: HashMap<RunKey, JobResult> = HashMap::new();
+    let mut to_run: Vec<(&Job, RunKey)> = Vec::new();
+    for (job, key) in unique {
+        match cache.load(&key) {
+            Some(r) => {
+                results.insert(key, r);
+            }
+            None => to_run.push((job, key)),
+        }
+    }
+    let cache_hits = unique_n - to_run.len();
+    if verbose && cells > 0 {
+        println!(
+            "run-pool: {cells} cells -> {unique_n} unique ({cache_hits} cached, {} to run)\n",
+            to_run.len()
+        );
+    }
+
+    let outputs = parallel(to_run.len(), |i| to_run[i].0.run());
+    for ((_, key), out) in to_run.into_iter().zip(outputs) {
+        cache.store(&key, &out);
+        results.insert(key, out);
+    }
+
+    let set = ResultSet::new(&results);
+    for spec in specs {
+        (spec.emit)(&set)?;
+    }
+
+    Ok(RunReport {
+        cells,
+        unique: unique_n,
+        cache_hits,
+        executed: unique_n - cache_hits,
+        wall: t0.elapsed(),
+    })
+}
+
+/// [`execute`] for the single-figure binaries (report discarded).
+pub fn run_specs(specs: Vec<ExperimentSpec>) -> io::Result<()> {
+    execute(&specs).map(|_| ())
+}
+
+/// On-disk result cache, one text file per [`RunKey`].
+///
+/// Layout: `<dir>/<fnv64-of-key>.txt` containing the full canonical key
+/// (collision + staleness guard), the result kind, and the payload.
+/// Any read problem — missing file, key mismatch, parse error from a
+/// stats struct having gained a field — is a miss, never an error: the
+/// cell re-runs and the entry is rewritten.
+struct PersistentCache {
+    dir: Option<PathBuf>,
+}
+
+impl PersistentCache {
+    /// `QPRAC_RUN_CACHE` unset/empty/`0` disables persistence; `1` uses
+    /// `target/qprac-run-cache/`; any other value is the directory.
+    fn from_env() -> Self {
+        let dir = match std::env::var("QPRAC_RUN_CACHE") {
+            Ok(v) if !v.is_empty() && v != "0" => {
+                if v == "1" || v.eq_ignore_ascii_case("true") {
+                    Some(PathBuf::from("target/qprac-run-cache"))
+                } else {
+                    Some(PathBuf::from(v))
+                }
+            }
+            _ => None,
+        };
+        PersistentCache { dir }
+    }
+
+    fn path(&self, key: &RunKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.txt", key.file_stem())))
+    }
+
+    fn load(&self, key: &RunKey) -> Option<JobResult> {
+        let text = fs::read_to_string(self.path(key)?).ok()?;
+        let mut lines = text.splitn(3, '\n');
+        let stored_key = lines.next()?.strip_prefix("key=")?;
+        if stored_key != key.as_str() {
+            return None; // hash collision or stale format
+        }
+        let kind = lines.next()?.strip_prefix("kind=")?;
+        let payload = lines.next()?;
+        match kind {
+            "stats" => RunStats::from_cache_text(payload)
+                .ok()
+                .map(|s| JobResult::Stats(Box::new(s))),
+            "attack" => parse_attack(payload).map(JobResult::Attack),
+            "count" => payload.trim().parse().ok().map(JobResult::Count),
+            _ => None,
+        }
+    }
+
+    fn store(&self, key: &RunKey, result: &JobResult) {
+        let Some(path) = self.path(key) else { return };
+        let payload = match result {
+            JobResult::Stats(s) => s.to_cache_text(),
+            JobResult::Attack(a) => format!(
+                "acts={}\nmem_cycles={}\nalerts={}\nrfms={}",
+                a.acts, a.mem_cycles, a.alerts, a.rfms
+            ),
+            JobResult::Count(c) => c.to_string(),
+        };
+        let text = format!(
+            "key={}\nkind={}\n{payload}",
+            key.as_str(),
+            match result {
+                JobResult::Stats(_) => "stats",
+                JobResult::Attack(_) => "attack",
+                JobResult::Count(_) => "count",
+            }
+        );
+        // Best-effort: a read-only disk must not fail the experiment.
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let _ = fs::write(path, text);
+    }
+}
+
+fn parse_attack(payload: &str) -> Option<BwAttackStats> {
+    let mut acts = None;
+    let mut mem_cycles = None;
+    let mut alerts = None;
+    let mut rfms = None;
+    for line in payload.lines() {
+        let (k, v) = line.split_once('=')?;
+        let v: u64 = v.trim().parse().ok()?;
+        match k {
+            "acts" => acts = Some(v),
+            "mem_cycles" => mem_cycles = Some(v),
+            "alerts" => alerts = Some(v),
+            "rfms" => rfms = Some(v),
+            _ => return None,
+        }
+    }
+    Some(BwAttackStats {
+        acts: acts?,
+        mem_cycles: mem_cycles?,
+        alerts: alerts?,
+        rfms: rfms?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::{MitigationKind, SystemConfig};
+
+    fn temp_cache(tag: &str) -> (PersistentCache, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("qprac-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (
+            PersistentCache {
+                dir: Some(dir.clone()),
+            },
+            dir,
+        )
+    }
+
+    #[test]
+    fn attack_and_count_round_trip_through_the_cache() {
+        let (cache, dir) = temp_cache("attack");
+        let cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
+        let key = RunKey::attack(&cfg, 8, 1000);
+        let val = JobResult::Attack(BwAttackStats {
+            acts: 7,
+            mem_cycles: 1000,
+            alerts: 3,
+            rfms: 4,
+        });
+        assert!(cache.load(&key).is_none());
+        cache.store(&key, &val);
+        assert_eq!(cache.load(&key), Some(val));
+
+        let ck = RunKey::engine("wave:probe");
+        cache.store(&ck, &JobResult::Count(99));
+        assert_eq!(cache.load(&ck), Some(JobResult::Count(99)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn key_mismatch_in_a_cache_file_is_a_miss() {
+        let (cache, dir) = temp_cache("mismatch");
+        let key = RunKey::engine("cell-a");
+        cache.store(&key, &JobResult::Count(1));
+        // Corrupt: move the file to where another key would look.
+        let other = RunKey::engine("cell-b");
+        fs::rename(cache.path(&key).unwrap(), cache.path(&other).unwrap()).unwrap();
+        assert!(cache.load(&other).is_none(), "stored key must be verified");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = PersistentCache { dir: None };
+        let key = RunKey::engine("nope");
+        cache.store(&key, &JobResult::Count(5));
+        assert!(cache.load(&key).is_none());
+    }
+
+    #[test]
+    fn execute_dedupes_across_specs_and_reports_hits() {
+        use crate::spec::Job;
+        let (cache, dir) = temp_cache("exec");
+        // Two specs requesting overlapping engine cells.
+        let make_specs = || {
+            vec![
+                ExperimentSpec::new(
+                    "a",
+                    vec![
+                        Job::engine("shared", || 41),
+                        Job::engine("only-a", || 1),
+                        Job::engine("shared", || 41),
+                    ],
+                    |r| {
+                        assert_eq!(r.engine("shared"), 41);
+                        Ok(())
+                    },
+                ),
+                ExperimentSpec::new(
+                    "b",
+                    vec![Job::engine("shared", || 41), Job::engine("only-b", || 2)],
+                    |r| {
+                        assert_eq!(r.engine("only-b"), 2);
+                        Ok(())
+                    },
+                ),
+            ]
+        };
+        // Cold pass against an explicit cache dir (not env-driven: tests
+        // must not mutate process env).
+        let specs = make_specs();
+        let report = execute_with_cache(&specs, &cache, false).unwrap();
+        assert_eq!(report.cells, 5);
+        assert_eq!(report.unique, 3);
+        assert_eq!(report.cache_hits, 0);
+        assert!(report.dedupe_ratio() > 1.0);
+        // Warm pass: everything hits.
+        let specs = make_specs();
+        let report = execute_with_cache(&specs, &cache, false).unwrap();
+        assert_eq!(report.cache_hits, 3);
+        assert_eq!(report.executed, 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,211 @@
+//! Declarative experiment specs.
+//!
+//! A figure or table is an [`ExperimentSpec`]: a list of [`Job`] cells
+//! (the simulations/attack-engine runs it needs) plus an `emit` closure
+//! that renders stdout + CSV output from the resolved [`ResultSet`].
+//! Specs never run anything themselves — the [`crate::runner`] collects
+//! every spec's cells, dedupes them globally by [`RunKey`], executes the
+//! union once through one work pool (with an optional persistent
+//! cache), and then calls each spec's emitter in order.
+//!
+//! Adding a new figure is therefore a spec constructor: build the cell
+//! grid, and write an emitter that looks each cell up by the same
+//! `(config, workload)` pair. See `experiments/perf_figs.rs` for
+//! templates and the README section "Experiment orchestration".
+
+use std::collections::HashMap;
+
+use cpu_model::{WorkloadMix, WorkloadSpec};
+use sim::{BwAttackStats, RunKey, RunStats, SystemConfig};
+
+/// One schedulable cell of an experiment.
+pub enum Job {
+    /// [`sim::run_workload`]: `cfg.cores` homogeneous copies.
+    Workload {
+        /// Full system configuration.
+        cfg: SystemConfig,
+        /// Workload run on every core.
+        workload: WorkloadSpec,
+    },
+    /// [`sim::run_mix`]: one heterogeneous 4-slot mix.
+    Mix {
+        /// Full system configuration.
+        cfg: SystemConfig,
+        /// The mix (one workload per core slot).
+        mix: WorkloadMix,
+    },
+    /// [`sim::run_bandwidth_attack`].
+    Attack {
+        /// Full system configuration (single channel).
+        cfg: SystemConfig,
+        /// Banks hammered simultaneously.
+        banks: usize,
+        /// Attack window in memory cycles.
+        window: u64,
+    },
+    /// A bench-side attack-engine run (wave / toggle-forget / ...)
+    /// returning a single count. `key` must encode every parameter.
+    Engine {
+        /// Unique descriptor, e.g. `toggle_forget:q=4:t=6`.
+        key: String,
+        /// The computation (executed on the work pool).
+        run: Box<dyn Fn() -> u64 + Send + Sync>,
+    },
+}
+
+impl Job {
+    /// Shorthand for a workload cell.
+    pub fn workload(cfg: SystemConfig, workload: WorkloadSpec) -> Job {
+        Job::Workload { cfg, workload }
+    }
+
+    /// Shorthand for a mix cell.
+    pub fn mix(cfg: SystemConfig, mix: WorkloadMix) -> Job {
+        Job::Mix { cfg, mix }
+    }
+
+    /// Shorthand for a bandwidth-attack cell.
+    pub fn attack(cfg: SystemConfig, banks: usize, window: u64) -> Job {
+        Job::Attack { cfg, banks, window }
+    }
+
+    /// Shorthand for an attack-engine cell.
+    pub fn engine(key: impl Into<String>, run: impl Fn() -> u64 + Send + Sync + 'static) -> Job {
+        Job::Engine {
+            key: key.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's global identity: equal keys are simulated once.
+    pub fn key(&self) -> RunKey {
+        match self {
+            Job::Workload { cfg, workload } => RunKey::workload(cfg, workload.name),
+            Job::Mix { cfg, mix } => RunKey::mix(cfg, mix.name),
+            Job::Attack { cfg, banks, window } => RunKey::attack(cfg, *banks, *window),
+            Job::Engine { key, .. } => RunKey::engine(key),
+        }
+    }
+
+    /// Execute the cell (called from the runner's work pool).
+    pub fn run(&self) -> JobResult {
+        match self {
+            Job::Workload { cfg, workload } => {
+                JobResult::Stats(Box::new(sim::run_workload(cfg, workload)))
+            }
+            Job::Mix { cfg, mix } => JobResult::Stats(Box::new(sim::run_mix(cfg, mix))),
+            Job::Attack { cfg, banks, window } => {
+                JobResult::Attack(sim::run_bandwidth_attack(cfg, *banks, *window))
+            }
+            Job::Engine { run, .. } => JobResult::Count(run()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("key", &self.key()).finish()
+    }
+}
+
+/// The value a [`Job`] produces. (`Stats` is boxed: a `RunStats` is
+/// an order of magnitude larger than the other variants.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// A full-system run.
+    Stats(Box<RunStats>),
+    /// A bandwidth-attack run.
+    Attack(BwAttackStats),
+    /// An attack-engine count.
+    Count(u64),
+}
+
+/// An emitter: renders one spec's stdout + CSV from resolved cells.
+pub type EmitFn = Box<dyn Fn(&ResultSet) -> std::io::Result<()>>;
+
+/// One declared figure/table.
+pub struct ExperimentSpec {
+    /// Name used in progress output (usually the CSV stem).
+    pub name: &'static str,
+    /// Every cell the emitter will look up. Cells may repeat across
+    /// specs (and within one) — the runner dedupes globally.
+    pub jobs: Vec<Job>,
+    /// Renders stdout + CSV from the resolved cells. Must only request
+    /// cells listed in `jobs`.
+    pub emit: EmitFn,
+}
+
+impl ExperimentSpec {
+    /// Build a spec. `jobs` may be empty for purely analytical figures.
+    pub fn new(
+        name: &'static str,
+        jobs: Vec<Job>,
+        emit: impl Fn(&ResultSet) -> std::io::Result<()> + 'static,
+    ) -> Self {
+        ExperimentSpec {
+            name,
+            jobs,
+            emit: Box::new(emit),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentSpec")
+            .field("name", &self.name)
+            .field("jobs", &self.jobs.len())
+            .finish()
+    }
+}
+
+/// Resolved cells, indexed by canonical key. Emitters look their cells
+/// up with the same `(config, ...)` values they declared.
+pub struct ResultSet<'a> {
+    map: &'a HashMap<RunKey, JobResult>,
+}
+
+impl<'a> ResultSet<'a> {
+    /// Wrap a resolved key → result map.
+    pub fn new(map: &'a HashMap<RunKey, JobResult>) -> Self {
+        ResultSet { map }
+    }
+
+    fn get(&self, key: &RunKey) -> &JobResult {
+        self.map.get(key).unwrap_or_else(|| {
+            panic!("cell {key} was not declared in any spec's job list");
+        })
+    }
+
+    /// Stats of a workload cell.
+    pub fn stats(&self, cfg: &SystemConfig, workload: &WorkloadSpec) -> &RunStats {
+        match self.get(&RunKey::workload(cfg, workload.name)) {
+            JobResult::Stats(s) => s,
+            other => panic!("cell type mismatch for workload cell: {other:?}"),
+        }
+    }
+
+    /// Stats of a mix cell.
+    pub fn mix(&self, cfg: &SystemConfig, mix: &WorkloadMix) -> &RunStats {
+        match self.get(&RunKey::mix(cfg, mix.name)) {
+            JobResult::Stats(s) => s,
+            other => panic!("cell type mismatch for mix cell: {other:?}"),
+        }
+    }
+
+    /// Result of a bandwidth-attack cell.
+    pub fn attack(&self, cfg: &SystemConfig, banks: usize, window: u64) -> &BwAttackStats {
+        match self.get(&RunKey::attack(cfg, banks, window)) {
+            JobResult::Attack(s) => s,
+            other => panic!("cell type mismatch for attack cell: {other:?}"),
+        }
+    }
+
+    /// Count of an attack-engine cell.
+    pub fn engine(&self, key: &str) -> u64 {
+        match self.get(&RunKey::engine(key)) {
+            JobResult::Count(c) => *c,
+            other => panic!("cell type mismatch for engine cell {key:?}: {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,10 @@ fn run_bin(exe: &str, test: &str) {
         .env("QPRAC_INSTR", SMOKE_INSTR)
         .env("QPRAC_ATTACK_WINDOW", SMOKE_WINDOW)
         .env("QPRAC_RESULTS_DIR", &dir)
+        // A developer's persistent cache or thread cap must not leak
+        // into the smoke runs.
+        .env_remove("QPRAC_RUN_CACHE")
+        .env_remove("QPRAC_JOBS")
         .output()
         .expect("spawn figure binary");
     assert!(
@@ -79,10 +83,13 @@ bin_smoke!(
     mix_speedup,
 );
 
-/// `run_all` re-runs every experiment above, so this adds ~45 s of pure
-/// duplication on a single-core runner — ignored by default, but kept
+/// `run_all` re-runs every experiment above (through the global
+/// dedupe/scheduler, so cheaper than the sum of its parts, but still
+/// pure duplication of this suite) — ignored by default, but kept
 /// runnable (`cargo test -p qprac-bench --test bin_smoke -- --ignored`)
-/// because it is the binary users reach for first.
+/// because it is the binary users reach for first. The CI workflow
+/// additionally runs it twice (cold then warm `QPRAC_RUN_CACHE`) and
+/// asserts the warm pass reports cache hits.
 #[test]
 #[ignore = "duplicates every other smoke test; run explicitly with --ignored"]
 fn run_all() {

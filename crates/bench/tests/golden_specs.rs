@@ -1,0 +1,78 @@
+//! Refactor-fidelity goldens: figure/table binaries rendered through
+//! the spec/runner path must emit CSVs byte-identical to snapshots
+//! captured from the pre-refactor (imperative-loop) code at the same
+//! shrunken environment. Covers one analytical figure (fig07), one
+//! table (table04) and one simulation-driven sensitivity sweep (fig18,
+//! which exercises the work pool, the baseline dedupe and the
+//! `RunKey` normalization of unmitigated cells).
+//!
+//! The binaries run as subprocesses with a pinned environment
+//! (`QPRAC_INSTR=400`, no full suite, no persistent cache) so the
+//! snapshots are reproducible and the test never mutates this process'
+//! environment.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn results_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qprac-golden-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn run_and_compare(exe: &str, test: &str, csvs: &[(&str, &str)]) {
+    let dir = results_dir(test);
+    let out = Command::new(exe)
+        .env("QPRAC_INSTR", "400")
+        .env("QPRAC_ATTACK_WINDOW", "20000")
+        .env("QPRAC_RESULTS_DIR", &dir)
+        .env_remove("QPRAC_FULL_SUITE")
+        .env_remove("QPRAC_RUN_CACHE")
+        .env_remove("QPRAC_NO_FASTFORWARD")
+        .output()
+        .expect("spawn figure binary");
+    assert!(
+        out.status.success(),
+        "{exe} failed with {:?}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr),
+    );
+    for (name, golden) in csvs {
+        let produced = std::fs::read_to_string(dir.join(format!("{name}.csv")))
+            .unwrap_or_else(|e| panic!("{name}.csv missing: {e}"));
+        assert_eq!(
+            produced.as_str(),
+            *golden,
+            "{name}.csv diverged from the pre-refactor snapshot"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig07_matches_pre_refactor_snapshot() {
+    run_and_compare(
+        env!("CARGO_BIN_EXE_fig07"),
+        "fig07",
+        &[("fig07", include_str!("golden/fig07.csv"))],
+    );
+}
+
+#[test]
+fn table04_matches_pre_refactor_snapshot() {
+    run_and_compare(
+        env!("CARGO_BIN_EXE_table04"),
+        "table04",
+        &[("table04", include_str!("golden/table04.csv"))],
+    );
+}
+
+#[test]
+fn fig18_matches_pre_refactor_snapshot() {
+    run_and_compare(
+        env!("CARGO_BIN_EXE_fig18"),
+        "fig18",
+        &[("fig18", include_str!("golden/fig18.csv"))],
+    );
+}

@@ -29,5 +29,5 @@ pub use mithril::Mithril;
 pub use moat::Moat;
 pub use panopticon::{Panopticon, PanopticonVariant};
 pub use pride::Pride;
-pub use rates::{mithril_interval, pride_interval};
+pub use rates::{mithril_entries, mithril_interval, pride_interval};
 pub use uprac::UpracFifo;

@@ -26,6 +26,26 @@ pub fn mithril_interval(trh: u32) -> u32 {
     (trh / 40).max(1)
 }
 
+/// Upper bound on per-bank activations within one refresh window
+/// (paper §V: "approximately 550K activations"). Shared anchor for the
+/// capacity sizing below.
+const ACTS_PER_TREFW: u64 = 550_000;
+
+/// Misra-Gries table entries per bank for Mithril at a target Rowhammer
+/// threshold.
+///
+/// The Misra-Gries guarantee is `estimate >= true_count - spill` with
+/// `spill <= A / capacity` over a window of `A` activations, so keeping
+/// every row that crosses `trh/2` trackable within one tREFW needs
+/// `capacity >= A / (trh/2) = 2A / trh`. With the paper's A ≈ 550K this
+/// reproduces the §VI-G "5,300-entry CAM per bank" configuration at
+/// T_RH ≈ 208, and scales the CAM with the threshold being defended —
+/// the Fig 20 sweep sizes each T_RH point instead of reusing one
+/// hard-coded table.
+pub fn mithril_entries(trh: u32) -> usize {
+    (2 * ACTS_PER_TREFW / trh.max(1) as u64).max(1) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +81,26 @@ mod tests {
             lp = p;
             lm = m;
         }
+    }
+
+    #[test]
+    fn mithril_entries_scale_with_threshold() {
+        // The knob must actually differentiate trackers: two different
+        // thresholds build different-capacity CAMs (the bug this pins:
+        // `MitigationKind::Mithril { trh }` used to discard `trh` and
+        // always build 5,300 entries).
+        assert_ne!(mithril_entries(128), mithril_entries(1024));
+        // Monotone: defending a lower threshold needs a bigger table.
+        let mut last = usize::MAX;
+        for trh in [64u32, 128, 256, 512, 1024] {
+            let e = mithril_entries(trh);
+            assert!(e < last, "entries must shrink as T_RH grows");
+            last = e;
+        }
+        // Anchor: the paper's 5,300-entry configuration (§VI-G) falls
+        // out at T_RH ≈ 208 under the 2A/T_RH bound.
+        let e = mithril_entries(208);
+        assert!((5000..=5600).contains(&e), "entries(208) = {e}");
     }
 
     #[test]

@@ -241,7 +241,9 @@ impl SystemConfig {
                 self.nbo,
                 self.proactive_per_refs,
             )),
-            MitigationKind::Mithril { .. } => Box::new(Mithril::new(5300)),
+            MitigationKind::Mithril { trh } => {
+                Box::new(Mithril::new(mitigations::mithril_entries(trh)))
+            }
             MitigationKind::Pride { .. } => Box::new(Pride::paper(self.seed ^ bank as u64)),
         }
     }
@@ -347,6 +349,25 @@ mod tests {
             let t = c.make_tracker(0);
             assert!(!t.name().is_empty());
         }
+    }
+
+    #[test]
+    fn mithril_tracker_capacity_tracks_trh() {
+        // Regression: `Mithril { trh }` used to discard `trh` and build
+        // a fixed 5,300-entry CAM. Capacity is observable through the
+        // tracker's storage cost (bits = entries x entry width).
+        let small = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Mithril { trh: 1024 })
+            .make_tracker(0);
+        let large = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Mithril { trh: 128 })
+            .make_tracker(0);
+        assert!(
+            large.storage_bits() > small.storage_bits(),
+            "lower T_RH must build a bigger table: {} vs {}",
+            large.storage_bits(),
+            small.storage_bits()
+        );
     }
 
     #[test]

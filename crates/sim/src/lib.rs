@@ -27,11 +27,14 @@
 
 pub mod attack;
 pub mod config;
+pub mod runkey;
+pub mod serdes;
 pub mod stats;
 pub mod system;
 
 pub use attack::{run_bandwidth_attack, run_bandwidth_attack_with, BwAttackStats};
 pub use config::{env_flag, env_u64, MitigationKind, SystemConfig};
+pub use runkey::RunKey;
 pub use stats::{geomean, RunStats};
 pub use system::System;
 

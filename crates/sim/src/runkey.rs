@@ -1,0 +1,275 @@
+//! Stable run identity for the experiment-orchestration layer.
+//!
+//! A [`RunKey`] names one simulation cell — a `(SystemConfig, workload)`
+//! pair (or a bandwidth-attack / attack-engine cell) — as a canonical
+//! text string. Two cells with the same key are guaranteed to produce
+//! identical statistics, so the bench runner simulates each key exactly
+//! once per suite (and, with `QPRAC_RUN_CACHE`, once per cache
+//! lifetime).
+//!
+//! The canonical form spells every [`SystemConfig`] field in a fixed
+//! order (the constructor destructures the struct, so adding a field is
+//! a compile error here until the key learns about it), which makes the
+//! key independent of how the config was built. Knobs that provably
+//! cannot affect a run are normalized away — see [`canonical_config`] —
+//! so e.g. the `MitigationKind::None` baselines of every sensitivity
+//! sweep collapse onto one cell.
+
+use dram_core::{MappingScheme, RfmKind};
+
+use crate::config::{MitigationKind, SystemConfig};
+
+/// Canonical identity of one cacheable simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey {
+    text: String,
+}
+
+impl RunKey {
+    /// Key for [`crate::run_workload`]: `cfg.cores` homogeneous copies
+    /// of the named workload.
+    pub fn workload(cfg: &SystemConfig, workload: &str) -> Self {
+        RunKey {
+            text: format!("workload:{workload};{}", canonical_config(cfg)),
+        }
+    }
+
+    /// Key for [`crate::run_mix`]: the named heterogeneous mix.
+    pub fn mix(cfg: &SystemConfig, mix: &str) -> Self {
+        RunKey {
+            text: format!("mix:{mix};{}", canonical_config(cfg)),
+        }
+    }
+
+    /// Key for [`crate::run_bandwidth_attack`].
+    pub fn attack(cfg: &SystemConfig, banks: usize, window: u64) -> Self {
+        RunKey {
+            text: format!(
+                "attack:banks={banks}:window={window};{}",
+                canonical_config(cfg)
+            ),
+        }
+    }
+
+    /// Key for a bench-side attack-engine cell (wave / toggle-forget /
+    /// fill-escape runs). The caller is responsible for encoding every
+    /// parameter of the run into `desc`.
+    pub fn engine(desc: &str) -> Self {
+        RunKey {
+            text: format!("engine:{desc}"),
+        }
+    }
+
+    /// The canonical text form.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Stable 64-bit FNV-1a hash of the canonical text, used as the
+    /// persistent-cache file stem.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Cache file stem: the FNV hash in hex.
+    pub fn file_stem(&self) -> String {
+        format!("{:016x}", self.hash())
+    }
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn mitigation_token(m: MitigationKind) -> String {
+    match m {
+        MitigationKind::None => "none".into(),
+        MitigationKind::QpracNoOp => "qprac-noop".into(),
+        MitigationKind::Qprac => "qprac".into(),
+        MitigationKind::QpracProactive => "qprac-pro".into(),
+        MitigationKind::QpracProactiveEa => "qprac-pro-ea".into(),
+        MitigationKind::QpracIdeal => "qprac-ideal".into(),
+        MitigationKind::Moat => "moat".into(),
+        MitigationKind::Mithril { trh } => format!("mithril@{trh}"),
+        MitigationKind::Pride { trh } => format!("pride@{trh}"),
+    }
+}
+
+fn rfm_token(k: RfmKind) -> &'static str {
+    match k {
+        RfmKind::AllBank => "ab",
+        RfmKind::SameBank => "sb",
+        RfmKind::PerBank => "pb",
+    }
+}
+
+fn mapping_token(m: MappingScheme) -> &'static str {
+    match m {
+        MappingScheme::RowBankCol => "rbc",
+        MappingScheme::MopXor => "mop-xor",
+    }
+}
+
+/// Render a [`SystemConfig`] as a canonical `k=v;...` string.
+///
+/// Normalization: under `MitigationKind::None` there is no tracker and
+/// no alert can ever fire (alerts originate from `needs_alert()` on the
+/// hosted tracker, and `NoMitigation` never asserts it), so the
+/// tracker-side knobs — `nbo`, `nmit`, `psq_size`, `proactive_per_refs`,
+/// `alert_rfm_kind` and `seed` (consumed only by PrIDE's sampler) —
+/// cannot influence the run. They are pinned to the paper defaults so
+/// every unmitigated baseline maps to the same key regardless of which
+/// sweep requested it. `crates/sim/tests/run_cache.rs` proves the
+/// equivalence differentially for both the workload path (equal keys ⟹
+/// equal `RunStats`) and the bandwidth-attack path (equal keys ⟹ equal
+/// `BwAttackStats`).
+fn canonical_config(cfg: &SystemConfig) -> String {
+    let mut c = cfg.clone();
+    if c.mitigation == MitigationKind::None {
+        c.nbo = 32;
+        c.nmit = 1;
+        c.psq_size = 5;
+        c.proactive_per_refs = 1;
+        c.alert_rfm_kind = RfmKind::AllBank;
+        c.seed = 0xD5;
+    }
+    // Exhaustive destructure: a new SystemConfig field fails to compile
+    // here until the canonical form accounts for it.
+    let SystemConfig {
+        cores,
+        channels,
+        instr_limit,
+        mitigation,
+        nbo,
+        nmit,
+        psq_size,
+        proactive_per_refs,
+        alert_rfm_kind,
+        plain_timing,
+        mapping,
+        seed,
+    } = c;
+    format!(
+        "cores={cores};channels={channels};instr={instr_limit};mit={};nbo={nbo};nmit={nmit};psq={psq_size};pro={proactive_per_refs};rfm={};plain={plain_timing};map={};seed={seed:#x}",
+        mitigation_token(mitigation),
+        rfm_token(alert_rfm_kind),
+        mapping_token(mapping),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_order_does_not_change_the_key() {
+        let a = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Qprac)
+            .with_nbo(64)
+            .with_psq_size(3);
+        let b = SystemConfig::paper_default()
+            .with_psq_size(3)
+            .with_nbo(64)
+            .with_mitigation(MitigationKind::Qprac);
+        assert_eq!(
+            RunKey::workload(&a, "ycsb/a_like"),
+            RunKey::workload(&b, "ycsb/a_like")
+        );
+    }
+
+    #[test]
+    fn every_swept_knob_changes_the_key() {
+        let base = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
+        let key = |c: &SystemConfig| RunKey::workload(c, "ycsb/a_like");
+        let variants = [
+            base.clone().with_nbo(64),
+            base.clone().with_nmit(2),
+            base.clone().with_psq_size(3),
+            base.clone().with_proactive_per_refs(4),
+            base.clone().with_channels(2),
+            base.clone().with_instruction_limit(1),
+            base.clone().with_alert_rfm_kind(RfmKind::PerBank),
+            base.clone().with_mitigation(MitigationKind::QpracProactive),
+            base.clone()
+                .with_mitigation(MitigationKind::Mithril { trh: 128 }),
+            base.clone()
+                .with_mitigation(MitigationKind::Mithril { trh: 256 }),
+            SystemConfig {
+                plain_timing: true,
+                ..base.clone()
+            },
+            SystemConfig {
+                seed: 7,
+                ..base.clone()
+            },
+            SystemConfig {
+                cores: 2,
+                ..base.clone()
+            },
+            SystemConfig {
+                mapping: MappingScheme::RowBankCol,
+                ..base.clone()
+            },
+        ];
+        let mut keys: Vec<RunKey> = variants.iter().map(key).collect();
+        keys.push(key(&base));
+        keys.push(RunKey::workload(&base, "ycsb/b_like"));
+        keys.push(RunKey::mix(&base, "ycsb/a_like"));
+        keys.push(RunKey::attack(&base, 8, 1000));
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "keys must be pairwise distinct");
+    }
+
+    #[test]
+    fn unmitigated_baselines_collapse_regardless_of_tracker_knobs() {
+        let a = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::None)
+            .with_nbo(128)
+            .with_nmit(4)
+            .with_psq_size(1)
+            .with_proactive_per_refs(4)
+            .with_alert_rfm_kind(RfmKind::PerBank);
+        let b = SystemConfig::paper_default().with_mitigation(MitigationKind::None);
+        assert_eq!(
+            RunKey::workload(&a, "ycsb/a_like"),
+            RunKey::workload(&b, "ycsb/a_like")
+        );
+        // ... but non-tracker knobs still differentiate baselines.
+        let c = b.clone().with_channels(2);
+        assert_ne!(
+            RunKey::workload(&b, "ycsb/a_like"),
+            RunKey::workload(&c, "ycsb/a_like")
+        );
+    }
+
+    #[test]
+    fn mitigated_runs_never_normalize() {
+        let a = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Qprac)
+            .with_nbo(64);
+        let b = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
+        assert_ne!(
+            RunKey::workload(&a, "ycsb/a_like"),
+            RunKey::workload(&b, "ycsb/a_like")
+        );
+    }
+
+    #[test]
+    fn file_stem_is_stable_hex() {
+        let k = RunKey::engine("wave:nmit=1:nbo=32:r1=200");
+        assert_eq!(k.file_stem(), format!("{:016x}", k.hash()));
+        assert_eq!(k.file_stem().len(), 16);
+        // Pin one hash value so a persisted cache written by an earlier
+        // build stays addressable across releases.
+        assert_eq!(RunKey::engine("probe").hash(), 13_719_436_770_699_790_519);
+    }
+}
