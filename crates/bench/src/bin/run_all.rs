@@ -2,7 +2,9 @@
 //! pass. All specs' cells are collected up front, deduplicated globally
 //! (identical `(config, workload)` cells across figures simulate once),
 //! optionally resolved from the persistent cache (`QPRAC_RUN_CACHE`),
-//! and scheduled through one work pool before any figure renders.
+//! and scheduled through one work pool before any figure renders —
+//! in-process by default, or against a shared `qprac-serve` daemon when
+//! `QPRAC_REMOTE=host:port` is set (CSVs are byte-identical either way).
 //! Results land in `results/*.csv`; the dedupe ratio and cache hits are
 //! reported on the final `run-cache:` line.
 use qprac_bench::experiments::{

@@ -17,7 +17,7 @@ where
     let available = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(8);
-    let threads = thread_count(n, sim::env_u64("QPRAC_JOBS", 0) as usize, available);
+    let threads = thread_count(n, sim::env_usize("QPRAC_JOBS", 0), available);
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let slots: Vec<std::sync::Mutex<&mut Option<T>>> =

@@ -10,10 +10,13 @@
 //! [`Job`] cells plus a CSV/stdout emitter) in [`experiments`]; the
 //! [`runner`] dedupes cells globally by `sim::RunKey`, resolves them
 //! from the optional persistent cache (`QPRAC_RUN_CACHE`), executes the
-//! remainder through one work pool (`QPRAC_JOBS` caps its width), and
-//! renders each spec. `run_all` schedules *all* specs' cells together,
-//! so cells shared across figures — notably the unmitigated baselines —
-//! simulate exactly once. See README "Experiment orchestration".
+//! remainder through a pluggable [`CellExecutor`] — the in-process work
+//! pool (`QPRAC_JOBS` caps its width) or a shared `qprac-serve` daemon
+//! (`QPRAC_REMOTE=host:port`) — and renders each spec. `run_all`
+//! schedules *all* specs' cells together, so cells shared across
+//! figures — notably the unmitigated baselines — simulate exactly
+//! once. See README "Experiment orchestration" and "Simulation
+//! service".
 //!
 //! All binaries print the regenerated series and write CSVs to
 //! `results/` (override with `QPRAC_RESULTS_DIR`). Simulation length is
@@ -28,5 +31,8 @@ pub mod runner;
 pub mod spec;
 
 pub use csv::CsvWriter;
-pub use runner::{execute, run_specs, RunReport};
+pub use runner::{
+    execute, execute_with, executor_from_env, run_specs, CellExecutor, LocalExecutor,
+    RemoteExecutor, RunReport,
+};
 pub use spec::{ExperimentSpec, Job, JobResult, ResultSet};

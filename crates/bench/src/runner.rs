@@ -2,20 +2,25 @@
 //!
 //! [`execute`] collects every cell of every spec, dedupes them globally
 //! by [`RunKey`], resolves what it can from the persistent cache
-//! (`QPRAC_RUN_CACHE`), executes the remainder once through one work
-//! pool ([`crate::harness::parallel`], capped by `QPRAC_JOBS`), and
-//! then renders each spec's output in declaration order. Identical
-//! cells shared by several figures — e.g. the unmitigated baseline of
-//! every sensitivity sweep — simulate exactly once per suite, and with
-//! a warm cache not at all.
+//! (`QPRAC_RUN_CACHE`, a [`sim::RunCache`]), and executes the remainder
+//! through a pluggable [`CellExecutor`]:
+//!
+//! - [`LocalExecutor`] (the default) runs cells on the in-process work
+//!   pool ([`crate::harness::parallel`], capped by `QPRAC_JOBS`);
+//! - [`RemoteExecutor`] (`QPRAC_REMOTE=host:port`) ships each cell's
+//!   canonical key to a `qprac-serve` daemon, so any number of figure
+//!   binaries, CI shards and sweeps share one warm cache and one worker
+//!   pool. `Engine` cells wrap local closures and always run locally.
+//!
+//! Identical cells shared by several figures — e.g. the unmitigated
+//! baseline of every sensitivity sweep — resolve exactly once per
+//! suite, and with a warm cache (local or server-side) not at all.
 
 use std::collections::{HashMap, HashSet};
-use std::fs;
 use std::io;
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use sim::{BwAttackStats, RunKey, RunStats};
+use sim::{RunCache, RunKey};
 
 use crate::harness::parallel;
 use crate::spec::{ExperimentSpec, Job, JobResult, ResultSet};
@@ -59,19 +64,134 @@ impl RunReport {
     }
 }
 
-/// Run a suite of specs: dedupe cells, resolve them (cache, then one
-/// work pool), emit every spec in order, and print the cache summary.
+/// Where deduplicated cells execute. Implementations must preserve
+/// order: result `i` answers cell `i`.
+pub trait CellExecutor: Sync {
+    /// Label for the `run-pool:` progress line.
+    fn describe(&self) -> String;
+
+    /// Execute every cell, in order. Panics on unrecoverable backend
+    /// failure (a figure with holes is worse than a failed run).
+    fn execute_cells(&self, cells: &[(&Job, RunKey)]) -> Vec<JobResult>;
+}
+
+/// In-process execution on the shared work pool (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalExecutor;
+
+impl CellExecutor for LocalExecutor {
+    fn describe(&self) -> String {
+        "local pool".into()
+    }
+
+    fn execute_cells(&self, cells: &[(&Job, RunKey)]) -> Vec<JobResult> {
+        parallel(cells.len(), |i| cells[i].0.run())
+    }
+}
+
+/// Execution against a `qprac-serve` daemon (`QPRAC_REMOTE=host:port`).
+///
+/// Each pool worker keeps one pipelined connection for its whole share
+/// of the cells (a fresh connection per cell would make connection
+/// churn dominate warm passes) — the server is thread-per-connection
+/// and single-flights duplicate keys, so parallel workers never
+/// duplicate a simulation. [`Job::Engine`] cells (opaque local
+/// closures) run on the local pool as always.
+#[derive(Debug, Clone)]
+pub struct RemoteExecutor {
+    /// `host:port` of the daemon.
+    pub addr: String,
+}
+
+std::thread_local! {
+    /// One cached connection per pool worker thread, keyed by address
+    /// (worker threads are fresh per `parallel` call, but the executor
+    /// may also run on a caller's long-lived thread).
+    static REMOTE_CLIENT: std::cell::RefCell<Option<(String, qprac_serve::Client)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl RemoteExecutor {
+    fn run_remote(&self, key: &RunKey) -> JobResult {
+        REMOTE_CLIENT.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            // Two attempts: a cached connection may have gone stale
+            // (server restart, idle timeout); retry once on a fresh one.
+            for attempt in 0..2 {
+                if slot.as_ref().is_none_or(|(addr, _)| *addr != self.addr) {
+                    let client =
+                        qprac_serve::Client::connect(self.addr.as_str()).unwrap_or_else(|e| {
+                            panic!("cannot reach qprac-serve at {}: {e}", self.addr)
+                        });
+                    *slot = Some((self.addr.clone(), client));
+                }
+                match slot.as_mut().unwrap().1.run(key) {
+                    Ok(result) => return result,
+                    // A server-side ERR is authoritative (bad cell);
+                    // the connection itself is still fine.
+                    Err(e @ qprac_serve::ClientError::Server(_)) => {
+                        panic!("remote cell {key} failed: {e}")
+                    }
+                    Err(e @ qprac_serve::ClientError::Io(_)) => {
+                        *slot = None;
+                        if attempt == 1 {
+                            panic!("remote cell {key} failed after reconnect: {e}");
+                        }
+                    }
+                }
+            }
+            unreachable!("both remote attempts returned");
+        })
+    }
+}
+
+impl CellExecutor for RemoteExecutor {
+    fn describe(&self) -> String {
+        format!("remote qprac-serve at {}", self.addr)
+    }
+
+    fn execute_cells(&self, cells: &[(&Job, RunKey)]) -> Vec<JobResult> {
+        parallel(cells.len(), |i| {
+            let (job, key) = &cells[i];
+            if matches!(job, Job::Engine { .. }) {
+                job.run()
+            } else {
+                self.run_remote(key)
+            }
+        })
+    }
+}
+
+/// The executor selected by the environment: [`RemoteExecutor`] when
+/// `QPRAC_REMOTE` is set (unset/empty/`0` = off), else [`LocalExecutor`].
+pub fn executor_from_env() -> Box<dyn CellExecutor> {
+    match sim::env_opt("QPRAC_REMOTE") {
+        Some(addr) => Box::new(RemoteExecutor { addr }),
+        None => Box::new(LocalExecutor),
+    }
+}
+
+/// Run a suite of specs: dedupe cells, resolve them (cache, then the
+/// env-selected executor), emit every spec in order, and print the
+/// cache summary.
 pub fn execute(specs: &[ExperimentSpec]) -> io::Result<RunReport> {
-    let report = execute_with_cache(specs, &PersistentCache::from_env(), true)?;
+    let report = execute_with(
+        specs,
+        executor_from_env().as_ref(),
+        &RunCache::from_env(),
+        true,
+    )?;
     println!("{}", report.summary());
     Ok(report)
 }
 
-/// The scheduler with the cache injected (tests pass a temp-dir cache
-/// so they never mutate process environment).
-fn execute_with_cache(
+/// The scheduler with the cache and executor injected (tests pass a
+/// temp-dir cache and an explicit backend so they never mutate process
+/// environment).
+pub fn execute_with(
     specs: &[ExperimentSpec],
-    cache: &PersistentCache,
+    executor: &dyn CellExecutor,
+    cache: &RunCache,
     verbose: bool,
 ) -> io::Result<RunReport> {
     let t0 = Instant::now();
@@ -102,15 +222,30 @@ fn execute_with_cache(
     let cache_hits = unique_n - to_run.len();
     if verbose && cells > 0 {
         println!(
-            "run-pool: {cells} cells -> {unique_n} unique ({cache_hits} cached, {} to run)\n",
-            to_run.len()
+            "run-pool: {cells} cells -> {unique_n} unique ({cache_hits} cached, {} to run via {})\n",
+            to_run.len(),
+            executor.describe(),
         );
     }
 
-    let outputs = parallel(to_run.len(), |i| to_run[i].0.run());
+    let outputs = executor.execute_cells(&to_run);
+    assert_eq!(
+        outputs.len(),
+        to_run.len(),
+        "executor must answer every cell"
+    );
     for ((_, key), out) in to_run.into_iter().zip(outputs) {
         cache.store(&key, &out);
         results.insert(key, out);
+    }
+    // Keep the persistent cache inside its size budget (a no-op unless
+    // QPRAC_RUN_CACHE_MAX_MB is set / with_max_bytes was called).
+    let gc = cache.gc();
+    if verbose && gc.evicted > 0 {
+        println!(
+            "run-cache gc: evicted {} of {} entries ({} -> {} bytes)",
+            gc.evicted, gc.entries, gc.bytes_before, gc.bytes_after
+        );
     }
 
     let set = ResultSet::new(&results);
@@ -132,166 +267,17 @@ pub fn run_specs(specs: Vec<ExperimentSpec>) -> io::Result<()> {
     execute(&specs).map(|_| ())
 }
 
-/// On-disk result cache, one text file per [`RunKey`].
-///
-/// Layout: `<dir>/<fnv64-of-key>.txt` containing the full canonical key
-/// (collision + staleness guard), the result kind, and the payload.
-/// Any read problem — missing file, key mismatch, parse error from a
-/// stats struct having gained a field — is a miss, never an error: the
-/// cell re-runs and the entry is rewritten.
-struct PersistentCache {
-    dir: Option<PathBuf>,
-}
-
-impl PersistentCache {
-    /// `QPRAC_RUN_CACHE` unset/empty/`0` disables persistence; `1` uses
-    /// `target/qprac-run-cache/`; any other value is the directory.
-    fn from_env() -> Self {
-        let dir = match std::env::var("QPRAC_RUN_CACHE") {
-            Ok(v) if !v.is_empty() && v != "0" => {
-                if v == "1" || v.eq_ignore_ascii_case("true") {
-                    Some(PathBuf::from("target/qprac-run-cache"))
-                } else {
-                    Some(PathBuf::from(v))
-                }
-            }
-            _ => None,
-        };
-        PersistentCache { dir }
-    }
-
-    fn path(&self, key: &RunKey) -> Option<PathBuf> {
-        self.dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.txt", key.file_stem())))
-    }
-
-    fn load(&self, key: &RunKey) -> Option<JobResult> {
-        let text = fs::read_to_string(self.path(key)?).ok()?;
-        let mut lines = text.splitn(3, '\n');
-        let stored_key = lines.next()?.strip_prefix("key=")?;
-        if stored_key != key.as_str() {
-            return None; // hash collision or stale format
-        }
-        let kind = lines.next()?.strip_prefix("kind=")?;
-        let payload = lines.next()?;
-        match kind {
-            "stats" => RunStats::from_cache_text(payload)
-                .ok()
-                .map(|s| JobResult::Stats(Box::new(s))),
-            "attack" => parse_attack(payload).map(JobResult::Attack),
-            "count" => payload.trim().parse().ok().map(JobResult::Count),
-            _ => None,
-        }
-    }
-
-    fn store(&self, key: &RunKey, result: &JobResult) {
-        let Some(path) = self.path(key) else { return };
-        let payload = match result {
-            JobResult::Stats(s) => s.to_cache_text(),
-            JobResult::Attack(a) => format!(
-                "acts={}\nmem_cycles={}\nalerts={}\nrfms={}",
-                a.acts, a.mem_cycles, a.alerts, a.rfms
-            ),
-            JobResult::Count(c) => c.to_string(),
-        };
-        let text = format!(
-            "key={}\nkind={}\n{payload}",
-            key.as_str(),
-            match result {
-                JobResult::Stats(_) => "stats",
-                JobResult::Attack(_) => "attack",
-                JobResult::Count(_) => "count",
-            }
-        );
-        // Best-effort: a read-only disk must not fail the experiment.
-        if let Some(parent) = path.parent() {
-            let _ = fs::create_dir_all(parent);
-        }
-        let _ = fs::write(path, text);
-    }
-}
-
-fn parse_attack(payload: &str) -> Option<BwAttackStats> {
-    let mut acts = None;
-    let mut mem_cycles = None;
-    let mut alerts = None;
-    let mut rfms = None;
-    for line in payload.lines() {
-        let (k, v) = line.split_once('=')?;
-        let v: u64 = v.trim().parse().ok()?;
-        match k {
-            "acts" => acts = Some(v),
-            "mem_cycles" => mem_cycles = Some(v),
-            "alerts" => alerts = Some(v),
-            "rfms" => rfms = Some(v),
-            _ => return None,
-        }
-    }
-    Some(BwAttackStats {
-        acts: acts?,
-        mem_cycles: mem_cycles?,
-        alerts: alerts?,
-        rfms: rfms?,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim::{MitigationKind, SystemConfig};
+    use std::fs;
+    use std::path::PathBuf;
 
-    fn temp_cache(tag: &str) -> (PersistentCache, PathBuf) {
+    fn temp_cache(tag: &str) -> (RunCache, PathBuf) {
         let dir =
             std::env::temp_dir().join(format!("qprac-cache-test-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        (
-            PersistentCache {
-                dir: Some(dir.clone()),
-            },
-            dir,
-        )
-    }
-
-    #[test]
-    fn attack_and_count_round_trip_through_the_cache() {
-        let (cache, dir) = temp_cache("attack");
-        let cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
-        let key = RunKey::attack(&cfg, 8, 1000);
-        let val = JobResult::Attack(BwAttackStats {
-            acts: 7,
-            mem_cycles: 1000,
-            alerts: 3,
-            rfms: 4,
-        });
-        assert!(cache.load(&key).is_none());
-        cache.store(&key, &val);
-        assert_eq!(cache.load(&key), Some(val));
-
-        let ck = RunKey::engine("wave:probe");
-        cache.store(&ck, &JobResult::Count(99));
-        assert_eq!(cache.load(&ck), Some(JobResult::Count(99)));
-        let _ = fs::remove_dir_all(dir);
-    }
-
-    #[test]
-    fn key_mismatch_in_a_cache_file_is_a_miss() {
-        let (cache, dir) = temp_cache("mismatch");
-        let key = RunKey::engine("cell-a");
-        cache.store(&key, &JobResult::Count(1));
-        // Corrupt: move the file to where another key would look.
-        let other = RunKey::engine("cell-b");
-        fs::rename(cache.path(&key).unwrap(), cache.path(&other).unwrap()).unwrap();
-        assert!(cache.load(&other).is_none(), "stored key must be verified");
-        let _ = fs::remove_dir_all(dir);
-    }
-
-    #[test]
-    fn disabled_cache_never_stores() {
-        let cache = PersistentCache { dir: None };
-        let key = RunKey::engine("nope");
-        cache.store(&key, &JobResult::Count(5));
-        assert!(cache.load(&key).is_none());
+        (RunCache::at(dir.clone()), dir)
     }
 
     #[test]
@@ -326,16 +312,40 @@ mod tests {
         // Cold pass against an explicit cache dir (not env-driven: tests
         // must not mutate process env).
         let specs = make_specs();
-        let report = execute_with_cache(&specs, &cache, false).unwrap();
+        let report = execute_with(&specs, &LocalExecutor, &cache, false).unwrap();
         assert_eq!(report.cells, 5);
         assert_eq!(report.unique, 3);
         assert_eq!(report.cache_hits, 0);
         assert!(report.dedupe_ratio() > 1.0);
         // Warm pass: everything hits.
         let specs = make_specs();
-        let report = execute_with_cache(&specs, &cache, false).unwrap();
+        let report = execute_with(&specs, &LocalExecutor, &cache, false).unwrap();
         assert_eq!(report.cache_hits, 3);
         assert_eq!(report.executed, 0);
         let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_budget_is_enforced_after_a_pass() {
+        use crate::spec::Job;
+        let (cache, dir) = temp_cache("gc");
+        // A 1-byte budget: every entry written by the pass must be
+        // evicted again by the end-of-pass sweep.
+        let cache = cache.with_max_bytes(Some(1));
+        let specs = vec![ExperimentSpec::new(
+            "g",
+            vec![Job::engine("gc-a", || 1), Job::engine("gc-b", || 2)],
+            |_| Ok(()),
+        )];
+        execute_with(&specs, &LocalExecutor, &cache, false).unwrap();
+        let remaining = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(remaining, 0, "gc must evict past-budget entries");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn executor_from_env_defaults_to_local() {
+        // QPRAC_REMOTE is not set in the test environment.
+        assert_eq!(executor_from_env().describe(), "local pool");
     }
 }

@@ -108,17 +108,11 @@ impl std::fmt::Debug for Job {
     }
 }
 
-/// The value a [`Job`] produces. (`Stats` is boxed: a `RunStats` is
-/// an order of magnitude larger than the other variants.)
-#[derive(Debug, Clone, PartialEq)]
-pub enum JobResult {
-    /// A full-system run.
-    Stats(Box<RunStats>),
-    /// A bandwidth-attack run.
-    Attack(BwAttackStats),
-    /// An attack-engine count.
-    Count(u64),
-}
+/// The value a [`Job`] produces — now the shared [`sim::CellResult`],
+/// so the same enum flows through the in-process pool, the persistent
+/// [`sim::RunCache`] files and the `qprac-serve` wire protocol. The
+/// variants are unchanged: `Stats(Box<RunStats>)`, `Attack`, `Count`.
+pub use sim::CellResult as JobResult;
 
 /// An emitter: renders one spec's stdout + CSV from resolved cells.
 pub type EmitFn = Box<dyn Fn(&ResultSet) -> std::io::Result<()>>;

@@ -25,10 +25,11 @@ fn run_bin(exe: &str, test: &str) {
         .env("QPRAC_INSTR", SMOKE_INSTR)
         .env("QPRAC_ATTACK_WINDOW", SMOKE_WINDOW)
         .env("QPRAC_RESULTS_DIR", &dir)
-        // A developer's persistent cache or thread cap must not leak
-        // into the smoke runs.
+        // A developer's persistent cache, thread cap or remote server
+        // must not leak into the smoke runs.
         .env_remove("QPRAC_RUN_CACHE")
         .env_remove("QPRAC_JOBS")
+        .env_remove("QPRAC_REMOTE")
         .output()
         .expect("spawn figure binary");
     assert!(

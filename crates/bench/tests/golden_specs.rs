@@ -30,6 +30,7 @@ fn run_and_compare(exe: &str, test: &str, csvs: &[(&str, &str)]) {
         .env_remove("QPRAC_FULL_SUITE")
         .env_remove("QPRAC_RUN_CACHE")
         .env_remove("QPRAC_NO_FASTFORWARD")
+        .env_remove("QPRAC_REMOTE")
         .output()
         .expect("spawn figure binary");
     assert!(

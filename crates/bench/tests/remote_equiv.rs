@@ -1,0 +1,149 @@
+//! Local/remote equivalence for the spec runner: the same spec suite
+//! executed through the in-process pool and through a `qprac-serve`
+//! daemon must emit byte-identical CSVs (the acceptance criterion of
+//! the service subsystem, at test scale), and a second remote pass must
+//! be answered entirely from the server's caches.
+
+use std::path::{Path, PathBuf};
+
+use cpu_model::WorkloadSpec;
+use qprac_bench::{execute_with, CsvWriter, ExperimentSpec, Job, LocalExecutor, RemoteExecutor};
+use qprac_serve::{Client, Server, ServerConfig};
+use sim::{geomean, MitigationKind, RunCache, SystemConfig};
+
+const INSTR: u64 = 500;
+
+/// A small but heterogeneous suite: workload cells under two
+/// mitigations (sharing one baseline), a bandwidth-attack cell, and an
+/// engine cell that must run client-side even in remote mode.
+fn make_specs(dir: PathBuf) -> Vec<ExperimentSpec> {
+    let base = SystemConfig::paper_default()
+        .with_instruction_limit(INSTR)
+        .with_mitigation(MitigationKind::None);
+    let qprac = base.clone().with_mitigation(MitigationKind::Qprac);
+    let noop = base.clone().with_mitigation(MitigationKind::QpracNoOp);
+    let workloads = ["ycsb/a_like", "ycsb/c_like"];
+    let mut jobs = Vec::new();
+    for w in workloads {
+        let spec = WorkloadSpec::by_name(w).unwrap();
+        for cfg in [&base, &qprac, &noop] {
+            jobs.push(Job::workload(cfg.clone(), spec.clone()));
+        }
+    }
+    jobs.push(Job::attack(qprac.clone(), 4, 20_000));
+    jobs.push(Job::engine("equiv:probe", || 1234));
+    let emit_dir = dir.clone();
+    vec![ExperimentSpec::new("remote_equiv", jobs, move |r| {
+        let mut csv = CsvWriter::create_in(
+            &emit_dir,
+            "remote_equiv",
+            &["workload", "qprac", "noop", "probe", "attack_acts"],
+        )?;
+        let base = SystemConfig::paper_default()
+            .with_instruction_limit(INSTR)
+            .with_mitigation(MitigationKind::None);
+        let qprac = base.clone().with_mitigation(MitigationKind::Qprac);
+        let noop = base.clone().with_mitigation(MitigationKind::QpracNoOp);
+        let attack = r.attack(&qprac, 4, 20_000);
+        let probe = r.engine("equiv:probe");
+        let mut ratios = Vec::new();
+        for w in ["ycsb/a_like", "ycsb/c_like"] {
+            let spec = WorkloadSpec::by_name(w).unwrap();
+            let b = r.stats(&base, &spec);
+            let q = r.stats(&qprac, &spec).normalized_perf(b);
+            let n = r.stats(&noop, &spec).normalized_perf(b);
+            ratios.push(q);
+            csv.row(&[
+                w.into(),
+                format!("{q:.6}"),
+                format!("{n:.6}"),
+                probe.to_string(),
+                attack.acts.to_string(),
+            ])?;
+        }
+        csv.row(&[
+            "geomean".into(),
+            format!("{:.6}", geomean(ratios)),
+            String::new(),
+            String::new(),
+            String::new(),
+        ])?;
+        Ok(())
+    })]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qprac-remote-equiv-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_csv(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("remote_equiv.csv")).expect("emitted csv")
+}
+
+#[test]
+fn remote_execution_is_byte_identical_to_local() {
+    // Local pass, no persistent cache (every cell simulates here).
+    let local_dir = temp_dir("local");
+    let report = execute_with(
+        &make_specs(local_dir.clone()),
+        &LocalExecutor,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    assert_eq!(report.cache_hits, 0);
+    assert_eq!(report.executed, 8, "6 workload cells + attack + engine");
+    let local_csv = read_csv(&local_dir);
+
+    // Remote pass against a fresh in-process server.
+    let addr = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let remote = RemoteExecutor {
+        addr: addr.to_string(),
+    };
+    let remote_dir = temp_dir("remote");
+    execute_with(
+        &make_specs(remote_dir.clone()),
+        &remote,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        read_csv(&remote_dir),
+        local_csv,
+        "remote CSVs must be byte-identical to local execution"
+    );
+
+    // The server simulated the 7 remotable cells; the engine cell never
+    // crossed the wire.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.stat("simulated").unwrap(), 7);
+
+    // A second remote pass is answered entirely from the server's
+    // caches: CSVs identical, simulated counter unchanged.
+    let warm_dir = temp_dir("warm");
+    execute_with(
+        &make_specs(warm_dir.clone()),
+        &remote,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    assert_eq!(read_csv(&warm_dir), local_csv);
+    assert_eq!(
+        client.stat("simulated").unwrap(),
+        7,
+        "warm pass re-simulated"
+    );
+    assert!(client.stat("mem_hits").unwrap() >= 7);
+
+    for d in [local_dir, remote_dir, warm_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

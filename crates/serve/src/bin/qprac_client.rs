@@ -1,0 +1,89 @@
+//! The `qprac-client` command-line client.
+//!
+//! ```text
+//! qprac-client [--addr host:port] <command>
+//!
+//! commands:
+//!   ping           liveness probe (exit 0 iff the server answers)
+//!   stats          print the server's counter block
+//!   run <key>      submit one canonical run key, print the payload
+//!   batch          read keys from stdin (one per line), submit each in
+//!                  order, print `=== <key>` headers + payloads
+//! ```
+//!
+//! The address defaults to `QPRAC_REMOTE`, then `127.0.0.1:7117` — the
+//! same knob the bench runner uses, so `QPRAC_REMOTE=host:port
+//! qprac-client stats` inspects exactly the server a sweep talks to.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use qprac_serve::{Client, DEFAULT_ADDR};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: qprac-client [--addr host:port] <ping|stats|run <key>|batch>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = sim::env_opt("QPRAC_REMOTE").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            return usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        return usage();
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("qprac-client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match (command.as_str(), args.get(1)) {
+        ("ping", None) => client.ping().map(|()| println!("pong from {addr}")),
+        ("stats", None) => client.stats().map(|s| println!("{s}")),
+        ("run", Some(key)) => client.run_key_text(key).map(|r| {
+            println!("{}", r.payload());
+        }),
+        ("batch", None) => {
+            let stdin = std::io::stdin();
+            let mut failed = 0usize;
+            for line in stdin.lock().lines() {
+                let Ok(key) = line else { break };
+                let key = key.trim();
+                if key.is_empty() {
+                    continue;
+                }
+                println!("=== {key}");
+                match client.run_key_text(key) {
+                    Ok(r) => println!("{}", r.payload()),
+                    Err(e) => {
+                        failed += 1;
+                        println!("error: {e}");
+                    }
+                }
+            }
+            if failed == 0 {
+                Ok(())
+            } else {
+                Err(qprac_serve::ClientError::Server(format!(
+                    "{failed} batch key(s) failed"
+                )))
+            }
+        }
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qprac-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The `qprac-serve` daemon binary.
+//!
+//! ```text
+//! qprac-serve [addr]
+//! ```
+//!
+//! `addr` defaults to `QPRAC_SERVE_ADDR`, then `127.0.0.1:7117`.
+//! Tuning comes from the shared env knobs: `QPRAC_JOBS` (simulation
+//! worker bound), `QPRAC_SERVE_LRU` (in-memory entries),
+//! `QPRAC_RUN_CACHE` / `QPRAC_RUN_CACHE_MAX_MB` (persistent disk tier
+//! and its GC budget). Serves until killed.
+
+use qprac_serve::{Server, ServerConfig, DEFAULT_ADDR};
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| sim::env_opt("QPRAC_SERVE_ADDR"))
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    if addr == "--help" || addr == "-h" {
+        eprintln!("usage: qprac-serve [addr]  (default {DEFAULT_ADDR}; env QPRAC_SERVE_ADDR)");
+        return Ok(());
+    }
+    let config = ServerConfig::from_env();
+    let disk = match config.disk.dir() {
+        Some(d) => d.display().to_string(),
+        None => "disabled".to_string(),
+    };
+    let (workers, lru) = (config.workers, config.lru_entries);
+    let server = Server::bind(addr.as_str(), config)?;
+    // The parseable readiness line: CI and scripts wait for it.
+    println!(
+        "qprac-serve: listening on {} (workers={workers}, lru={lru}, disk-cache={disk})",
+        server.local_addr()?,
+    );
+    server.serve()
+}

@@ -1,0 +1,109 @@
+//! Blocking client for the `qprac-serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests on a connection
+//! are answered in order, so a client can pipeline a batch of keys by
+//! issuing [`Client::run`] repeatedly. For parallelism, open several
+//! clients — the server is thread-per-connection and coalesces
+//! duplicate in-flight keys across all of them.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sim::{CellResult, RunKey};
+
+use crate::protocol::{read_response, write_request, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport problem (connect, read, write, framing).
+    Io(io::Error),
+    /// The server answered `ERR` — the connection remains usable.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected `qprac-serve` client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server address (`host:port`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // request/response round-trips
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<(String, String), ClientError> {
+        write_request(&mut self.writer, req)?;
+        match read_response(&mut self.reader)? {
+            Response::Ok { kind, payload } => Ok((kind, payload)),
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+        }
+    }
+
+    /// Resolve one cell by canonical key text, decoding the payload
+    /// into a [`CellResult`].
+    pub fn run_key_text(&mut self, key_text: &str) -> Result<CellResult, ClientError> {
+        let (kind, payload) = self.call(&Request::Run(key_text.to_string()))?;
+        CellResult::from_payload(&kind, &payload)
+            .map_err(|e| ClientError::Server(format!("undecodable response payload: {e}")))
+    }
+
+    /// [`Self::run_key_text`] for an already-built [`RunKey`].
+    pub fn run(&mut self, key: &RunKey) -> Result<CellResult, ClientError> {
+        self.run_key_text(key.as_str())
+    }
+
+    /// Fetch the server's counter block (the `STATS` payload,
+    /// `name=value` per line).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        Ok(self.call(&Request::Stats)?.1)
+    }
+
+    /// One `name=value` counter out of [`Self::stats`] output.
+    pub fn stat(&mut self, name: &str) -> Result<u64, ClientError> {
+        let stats = self.stats()?;
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix('='))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::Server(format!("counter {name:?} missing in {stats:?}")))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let (_, payload) = self.call(&Request::Ping)?;
+        if payload == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Server(format!(
+                "unexpected ping reply {payload:?}"
+            )))
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # qprac-serve
+//!
+//! A networked simulation service for the QPRAC reproduction: every
+//! simulation cell — a canonical [`sim::RunKey`] — becomes addressable
+//! over TCP, so many clients (figure sweeps, CI shards, mitigation
+//! comparisons) share one warm cache and one bounded worker pool
+//! instead of each re-simulating the same baselines.
+//!
+//! - [`protocol`] — the line-oriented wire format (payloads are the
+//!   [`sim::serdes`] cache text; nothing new is invented);
+//! - [`server`] — the thread-per-connection daemon with the three-tier
+//!   resolve path (LRU → persistent [`sim::RunCache`] → simulate) and
+//!   single-flight coalescing;
+//! - [`singleflight`] / [`memcache`] — the two concurrency primitives,
+//!   usable on their own;
+//! - [`client`] — the blocking client used by `qprac-client` and the
+//!   bench runner's `QPRAC_REMOTE` backend.
+//!
+//! ## Example
+//!
+//! ```
+//! use qprac_serve::{Client, Server, ServerConfig};
+//! use sim::{MitigationKind, RunKey, SystemConfig};
+//!
+//! let addr = Server::bind("127.0.0.1:0", ServerConfig::default())
+//!     .unwrap()
+//!     .spawn()
+//!     .unwrap();
+//! let mut client = Client::connect(addr).unwrap();
+//! client.ping().unwrap();
+//! let cfg = SystemConfig::paper_default()
+//!     .with_mitigation(MitigationKind::Qprac)
+//!     .with_instruction_limit(200);
+//! let key = RunKey::workload(&cfg, "ycsb/c_like");
+//! let result = client.run(&key).unwrap();
+//! assert!(matches!(result, sim::CellResult::Stats(_)));
+//! ```
+
+pub mod client;
+pub mod memcache;
+pub mod protocol;
+pub mod server;
+pub mod singleflight;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, DEFAULT_ADDR};

@@ -1,0 +1,269 @@
+//! The `qprac-serve` wire protocol: line-oriented requests,
+//! length-prefixed responses.
+//!
+//! No serialization is invented here — payloads are the exact
+//! [`sim::serdes`] cache-text forms (`RunStats::to_cache_text`,
+//! `attack_to_text`, a decimal count), so a response body is
+//! byte-identical to the corresponding run-cache file body and a client
+//! can feed it straight back into [`sim::CellResult::from_payload`].
+//!
+//! ```text
+//! request  := "RUN " <canonical run-key text> "\n"
+//!           | "STATS\n"
+//!           | "PING\n"
+//! response := "OK " <kind> " " <len> "\n" <len payload bytes>
+//!           | "ERR " <len> "\n" <len message bytes>
+//! kind     := "stats" | "attack" | "count" | "text"
+//! ```
+//!
+//! Requests are single lines because canonical run keys never contain
+//! newlines; responses are length-prefixed because stats payloads are
+//! multi-line. Both sides cap line and payload sizes so a garbage peer
+//! cannot balloon memory.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum request-line length (canonical keys are ~200 bytes).
+pub const MAX_LINE: u64 = 64 * 1024;
+/// Maximum response payload (a 128-channel `RunStats` is ~20 KiB).
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Resolve one cell by its canonical [`sim::RunKey`] text.
+    Run(String),
+    /// Server counters (requests / hits / simulated / coalesced).
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success: a result payload tagged with its kind (`stats` /
+    /// `attack` / `count` for cell results, `text` for STATS/PING).
+    Ok {
+        /// Payload kind tag.
+        kind: String,
+        /// Payload body (the serdes text form).
+        payload: String,
+    },
+    /// Failure: a human-readable reason. The connection stays usable.
+    Err(String),
+}
+
+/// Read one `\n`-terminated line, bounded by [`MAX_LINE`]. Returns
+/// `None` on clean EOF before any byte; errors on EOF mid-line (a
+/// truncated request) or an oversized line.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = r.take(MAX_LINE).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            if n as u64 == MAX_LINE {
+                "request line exceeds MAX_LINE"
+            } else {
+                "connection truncated mid-line"
+            },
+        ));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("non-UTF-8 request: {e}"),
+        )
+    })
+}
+
+/// Parse one request line. Malformed lines are a recoverable error (the
+/// server answers `ERR` and keeps the connection) — distinct from the
+/// I/O errors of [`read_line`], which close it.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if let Some(key) = line.strip_prefix("RUN ") {
+        let key = key.trim();
+        if key.is_empty() {
+            return Err("RUN needs a run-key argument".into());
+        }
+        return Ok(Request::Run(key.to_string()));
+    }
+    match line.trim_end() {
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        other => Err(format!(
+            "unknown request {:?} (expected RUN <key> | STATS | PING)",
+            clip(other, 80)
+        )),
+    }
+}
+
+/// Write one request line.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Run(key) => writeln!(w, "RUN {key}"),
+        Request::Stats => writeln!(w, "STATS"),
+        Request::Ping => writeln!(w, "PING"),
+    }?;
+    w.flush()
+}
+
+/// Write one framed response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Ok { kind, payload } => {
+            write!(w, "OK {kind} {}\n{payload}", payload.len())?;
+        }
+        Response::Err(msg) => {
+            write!(w, "ERR {}\n{msg}", msg.len())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read one framed response (status line + exact payload bytes).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let line = read_line(r)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        )
+    })?;
+    let (len, make): (usize, Box<dyn FnOnce(String) -> Response>) =
+        if let Some(rest) = line.strip_prefix("OK ") {
+            let (kind, len) = rest
+                .rsplit_once(' ')
+                .ok_or_else(|| bad_frame(&line, "missing payload length"))?;
+            let kind = kind.to_string();
+            (
+                parse_len(len, &line)?,
+                Box::new(move |payload| Response::Ok { kind, payload }),
+            )
+        } else if let Some(len) = line.strip_prefix("ERR ") {
+            (parse_len(len, &line)?, Box::new(Response::Err))
+        } else {
+            return Err(bad_frame(&line, "expected OK or ERR"));
+        };
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let payload = String::from_utf8(payload).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("non-UTF-8 payload: {e}"),
+        )
+    })?;
+    Ok(make(payload))
+}
+
+fn parse_len(text: &str, line: &str) -> io::Result<usize> {
+    let len: usize = text
+        .trim()
+        .parse()
+        .map_err(|_| bad_frame(line, "bad payload length"))?;
+    if len > MAX_PAYLOAD {
+        return Err(bad_frame(line, "payload exceeds MAX_PAYLOAD"));
+    }
+    Ok(len)
+}
+
+fn bad_frame(line: &str, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed response frame {:?}: {why}", clip(line, 80)),
+    )
+}
+
+/// Clip a string for error messages (char-boundary safe).
+fn clip(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        read_response(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn requests_render_and_parse() {
+        for req in [
+            Request::Run("workload:x;cores=4".into()),
+            Request::Stats,
+            Request::Ping,
+        ] {
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).unwrap();
+            let line = read_line(&mut Cursor::new(buf)).unwrap().unwrap();
+            assert_eq!(parse_request(&line).unwrap(), req);
+        }
+        assert!(parse_request("RUN ").is_err());
+        assert!(parse_request("DELETE everything").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_including_multiline_payloads() {
+        let ok = Response::Ok {
+            kind: "stats".into(),
+            payload: "cpu_cycles=1\nmem_cycles=2\ncore_ipc=[0.5]\n".into(),
+        };
+        assert_eq!(round_trip_response(&ok), ok);
+        let empty = Response::Ok {
+            kind: "text".into(),
+            payload: String::new(),
+        };
+        assert_eq!(round_trip_response(&empty), empty);
+        let err = Response::Err("unknown workload \"nope\"".into());
+        assert_eq!(round_trip_response(&err), err);
+    }
+
+    #[test]
+    fn pipelined_responses_leave_the_stream_aligned() {
+        let a = Response::Ok {
+            kind: "count".into(),
+            payload: "41".into(),
+        };
+        let b = Response::Err("x".into());
+        let mut buf = Vec::new();
+        write_response(&mut buf, &a).unwrap();
+        write_response(&mut buf, &b).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_response(&mut cur).unwrap(), a);
+        assert_eq!(read_response(&mut cur).unwrap(), b);
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error_cleanly() {
+        // EOF mid-line.
+        let mut cur = Cursor::new(b"RUN half-a-request".to_vec());
+        assert!(read_line(&mut cur).is_err());
+        // Clean EOF.
+        let mut cur = Cursor::new(Vec::new());
+        assert!(read_line(&mut cur).unwrap().is_none());
+        // Payload shorter than its declared length.
+        let mut cur = Cursor::new(b"OK count 10\n41".to_vec());
+        assert!(read_response(&mut cur).is_err());
+        // Absurd declared length is rejected before allocation.
+        let mut cur = Cursor::new(b"OK count 99999999999\n".to_vec());
+        assert!(read_response(&mut cur).is_err());
+        // Garbage status line.
+        let mut cur = Cursor::new(b"YO 3\nabc".to_vec());
+        assert!(read_response(&mut cur).is_err());
+    }
+}

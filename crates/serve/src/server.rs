@@ -1,0 +1,353 @@
+//! The `qprac-serve` daemon: a std-only, thread-per-connection TCP
+//! service that resolves simulation cells by canonical [`RunKey`] text.
+//!
+//! Every `RUN <key>` request walks a three-tier path:
+//!
+//! 1. **Memory** — an entry-capped LRU of `Arc`-shared results;
+//! 2. **Disk** — the persistent [`sim::RunCache`] (same files, same
+//!    format as the bench runner's `QPRAC_RUN_CACHE`, so a warm bench
+//!    cache can seed a server and vice versa);
+//! 3. **Simulation** — the cell executes on a bounded worker budget
+//!    (a counting semaphore sized like the bench pool), wrapped in
+//!    single-flight coalescing so N concurrent requests for the same
+//!    key trigger exactly one run.
+//!
+//! Connection threads are cheap (they mostly block on I/O or on a
+//! flight); the semaphore is what actually bounds simulation
+//! parallelism, so a thousand clients asking for twelve distinct cells
+//! produce at most `workers` concurrent simulations and zero duplicates.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use sim::{CellResult, RunCache, RunKey};
+
+use crate::memcache::LruCache;
+use crate::protocol::{parse_request, read_line, write_response, Request, Response};
+use crate::singleflight::Group;
+
+/// Default listen address of the daemon.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+/// Default in-memory LRU capacity (entries).
+pub const DEFAULT_LRU_ENTRIES: usize = 4096;
+/// Disk-cache GC cadence: a sweep every this many stores.
+const GC_EVERY_STORES: u64 = 32;
+
+/// Server tuning, independent of process environment so tests and
+/// embedders configure it explicitly.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// In-memory LRU capacity in entries (0 disables the tier).
+    pub lru_entries: usize,
+    /// Maximum concurrent simulations (the worker-pool bound).
+    pub workers: usize,
+    /// Persistent disk tier (use [`RunCache::disabled`] for none).
+    pub disk: RunCache,
+}
+
+impl ServerConfig {
+    /// Environment-driven configuration: `QPRAC_SERVE_LRU`,
+    /// `QPRAC_JOBS` (same knob as the bench pool; 0/unset = machine
+    /// parallelism), `QPRAC_RUN_CACHE`/`QPRAC_RUN_CACHE_MAX_MB`.
+    pub fn from_env() -> Self {
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(8);
+        let jobs = sim::env_usize("QPRAC_JOBS", 0);
+        ServerConfig {
+            lru_entries: sim::env_usize("QPRAC_SERVE_LRU", DEFAULT_LRU_ENTRIES),
+            workers: if jobs == 0 {
+                available
+            } else {
+                jobs.min(available)
+            },
+            disk: RunCache::from_env(),
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            lru_entries: DEFAULT_LRU_ENTRIES,
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(8),
+            disk: RunCache::disabled(),
+        }
+    }
+}
+
+/// Monotonic service counters, readable via the `STATS` request.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests received (all verbs).
+    pub requests: AtomicU64,
+    /// `RUN`s answered from the in-memory LRU.
+    pub mem_hits: AtomicU64,
+    /// `RUN`s answered from the persistent disk cache.
+    pub disk_hits: AtomicU64,
+    /// Cells actually simulated.
+    pub simulated: AtomicU64,
+    /// `RUN`s coalesced onto another request's in-flight simulation.
+    pub coalesced: AtomicU64,
+    /// Requests answered with `ERR`.
+    pub errors: AtomicU64,
+}
+
+impl Counters {
+    fn render(&self, in_flight: usize) -> String {
+        format!(
+            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nin_flight={in_flight}",
+            self.requests.load(Ordering::Relaxed),
+            self.mem_hits.load(Ordering::Relaxed),
+            self.disk_hits.load(Ordering::Relaxed),
+            self.simulated.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A bound, not-yet-serving server. [`Server::serve`] blocks the
+/// calling thread; [`Server::spawn`] detaches it (tests, examples).
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    lru: Mutex<LruCache<RunKey, Arc<CellResult>>>,
+    disk: RunCache,
+    flights: Group<RunKey, Result<Arc<CellResult>, String>>,
+    workers: Semaphore,
+    counters: Counters,
+    stores: AtomicU64,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7117`, or `127.0.0.1:0` for an
+    /// ephemeral test port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                lru: Mutex::new(LruCache::new(config.lru_entries)),
+                disk: config.disk,
+                flights: Group::new(Err("simulation worker panicked".into())),
+                workers: Semaphore::new(config.workers.max(1)),
+                counters: Counters::default(),
+                stores: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: one thread per connection, forever.
+    pub fn serve(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || handle_connection(&inner, stream));
+        }
+        Ok(())
+    }
+
+    /// Start serving on a detached background thread and return the
+    /// bound address. The listener lives until process exit — meant for
+    /// tests, examples and embedders, not for the daemon binary.
+    pub fn spawn(self) -> io::Result<std::net::SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        Ok(addr)
+    }
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // I/O or framing failure (including EOF mid-line from a client
+        // that died) closes the connection; nothing to answer.
+        let Ok(line) = read_line(&mut reader) else {
+            return;
+        };
+        let Some(line) = line else { return }; // clean EOF
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(&line) {
+            Ok(Request::Ping) => Response::Ok {
+                kind: "text".into(),
+                payload: "pong".into(),
+            },
+            Ok(Request::Stats) => Response::Ok {
+                kind: "text".into(),
+                payload: inner.counters.render(inner.flights.in_flight()),
+            },
+            Ok(Request::Run(key_text)) => match resolve(inner, &key_text) {
+                Ok(result) => Response::Ok {
+                    kind: result.kind().into(),
+                    payload: result.payload(),
+                },
+                Err(reason) => Response::Err(reason),
+            },
+            // A malformed *line* is recoverable: answer ERR and keep
+            // reading — the stream is still newline-aligned.
+            Err(reason) => Response::Err(reason),
+        };
+        if matches!(response, Response::Err(_)) {
+            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_response(&mut writer, &response).is_err() {
+            return; // peer went away (e.g. a truncated request)
+        }
+    }
+}
+
+/// The three-tier resolve: memory, disk, then single-flight simulate.
+fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
+    let spec = RunKey::parse_text(key_text)?;
+    let key = spec.key();
+    if let Some(hit) = inner.lru.lock().unwrap().get(&key) {
+        inner.counters.mem_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit);
+    }
+    if let Some(hit) = inner.disk.load(&key) {
+        inner.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let hit = Arc::new(hit);
+        inner.lru.lock().unwrap().insert(key, Arc::clone(&hit));
+        return Ok(hit);
+    }
+    let (result, led) = inner.flights.run(&key, || {
+        // Re-check the caches inside the flight: a previous flight for
+        // this key may have published between our miss above and this
+        // registration (the group only collapses concurrent work).
+        if let Some(hit) = inner.lru.lock().unwrap().get(&key) {
+            inner.counters.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        if let Some(hit) = inner.disk.load(&key) {
+            inner.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(hit));
+        }
+        let _permit = inner.workers.acquire();
+        let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute()))
+            .map_err(|panic| {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                format!("simulation panicked: {msg}")
+            })?
+            .map_err(|e| format!("cannot execute cell: {e}"))?;
+        inner.counters.simulated.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(outcome);
+        inner.disk.store(&key, &result);
+        if inner
+            .stores
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(GC_EVERY_STORES)
+        {
+            inner.disk.gc();
+        }
+        inner
+            .lru
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::clone(&result));
+        Ok(result)
+    });
+    if !led {
+        inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+/// Counting semaphore bounding concurrent simulations (std has no
+/// stable `Semaphore`; a mutex + condvar is all the server needs).
+struct Semaphore {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+struct Permit<'a>(&'a Semaphore);
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.freed.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock().unwrap() += 1;
+        self.0.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Semaphore::new(2);
+        let peak = AtomicU64::new(0);
+        let current = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _p = sem.acquire();
+                    let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore leaked permits");
+    }
+
+    #[test]
+    fn counters_render_all_fields() {
+        let c = Counters::default();
+        c.requests.store(3, Ordering::Relaxed);
+        let text = c.render(1);
+        for field in [
+            "requests=3",
+            "mem_hits=0",
+            "disk_hits=0",
+            "simulated=0",
+            "coalesced=0",
+            "errors=0",
+            "in_flight=1",
+        ] {
+            assert!(text.contains(field), "{field} missing from {text:?}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Single-flight coalescing: N concurrent requests for the same key
+//! trigger exactly one computation; the other N-1 block until the
+//! leader publishes and then share its result.
+//!
+//! This is the server's defining guarantee (a cold cache plus a popular
+//! baseline cell would otherwise fan out into N identical multi-second
+//! simulations). The group is generic and std-only: a mutex-guarded
+//! map of in-flight computations, each a `(Mutex<Option<V>>, Condvar)`
+//! pair the followers wait on.
+//!
+//! Panic safety matters here: if the leader's computation panics, its
+//! unwind must not strand followers on the condvar forever. A drop
+//! guard publishes the group's configured `poison` value instead.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    done: Condvar,
+}
+
+/// A keyed single-flight group.
+pub struct Group<K, V> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    poison: V,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Group<K, V> {
+    /// Build a group. `poison` is published to followers when a leader
+    /// panics mid-computation (typically an `Err(...)` value).
+    pub fn new(poison: V) -> Self {
+        Group {
+            flights: Mutex::new(HashMap::new()),
+            poison,
+        }
+    }
+
+    /// Resolve `key`: the first caller becomes the *leader* and runs
+    /// `compute`; concurrent callers with the same key block and share
+    /// the leader's value. Returns `(value, led)` where `led` says this
+    /// call ran the computation (false = coalesced onto another).
+    ///
+    /// The flight is deregistered once published, so a later call with
+    /// the same key computes anew — the caller is expected to consult
+    /// its caches first (this group only collapses *concurrent* work).
+    pub fn run(&self, key: &K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let flight = {
+            let mut map = self.flights.lock().unwrap();
+            if let Some(existing) = map.get(key) {
+                let flight = Arc::clone(existing);
+                drop(map);
+                let mut slot = flight.slot.lock().unwrap();
+                while slot.is_none() {
+                    slot = flight.done.wait(slot).unwrap();
+                }
+                return (slot.as_ref().unwrap().clone(), false);
+            }
+            let flight = Arc::new(Flight {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            map.insert(key.clone(), Arc::clone(&flight));
+            flight
+        };
+
+        // Leader path. The guard guarantees publication (with the
+        // poison value) even if `compute` unwinds, so followers never
+        // deadlock and the key is always deregistered.
+        let mut guard = LeaderGuard {
+            group: self,
+            key,
+            flight: &flight,
+            value: Some(self.poison.clone()),
+        };
+        let value = compute();
+        guard.value = Some(value.clone());
+        drop(guard);
+        (value, true)
+    }
+
+    /// Number of currently in-flight computations (for stats output).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    group: &'a Group<K, V>,
+    key: &'a K,
+    flight: &'a Arc<Flight<V>>,
+    value: Option<V>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        // Deregister first: anyone arriving now starts fresh rather
+        // than joining a completed flight.
+        self.group.flights.lock().unwrap().remove(self.key);
+        *self.flight.slot.lock().unwrap() = self.value.take();
+        self.flight.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let group = Group::new(0u64);
+        let computed = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        let mut led_count = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        group.run(&"key", || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for every
+                            // peer to join it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            41
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (v, led) = h.join().unwrap();
+                assert_eq!(v, 41);
+                led_count += usize::from(led);
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "one computation");
+        assert_eq!(led_count, 1, "exactly one leader");
+        assert_eq!(group.in_flight(), 0, "flight deregistered");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let group = Group::new(0u64);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| group.run(&1, || 10));
+            let b = s.spawn(|| group.run(&2, || 20));
+            assert_eq!(a.join().unwrap(), (10, true));
+            assert_eq!(b.join().unwrap(), (20, true));
+        });
+    }
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let group = Group::new(0u64);
+        assert_eq!(group.run(&"k", || 1), (1, true));
+        // The flight is gone; a later call recomputes (caches above
+        // this layer are responsible for reuse).
+        assert_eq!(group.run(&"k", || 2), (2, true));
+    }
+
+    #[test]
+    fn leader_panic_publishes_poison_instead_of_stranding_followers() {
+        let group: Arc<Group<&str, Result<u64, String>>> =
+            Arc::new(Group::new(Err("leader panicked".into())));
+        let started = Arc::new(Barrier::new(2));
+        let leader = {
+            let group = Arc::clone(&group);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    group.run(&"k", || {
+                        started.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("simulation exploded");
+                    })
+                }));
+                assert!(result.is_err(), "leader panic propagates");
+            })
+        };
+        started.wait(); // follower joins only once the flight exists
+        let (value, led) = group.run(&"k", || Ok(7));
+        // Either we joined the doomed flight (poison) or arrived after
+        // its removal and recomputed; both are deadlock-free.
+        if led {
+            assert_eq!(value, Ok(7));
+        } else {
+            assert_eq!(value, Err("leader panicked".to_string()));
+        }
+        leader.join().unwrap();
+        assert_eq!(group.in_flight(), 0);
+    }
+}

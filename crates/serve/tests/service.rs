@@ -1,0 +1,134 @@
+//! End-to-end service tests on an ephemeral port: single-flight
+//! coalescing under concurrent clients, the three cache tiers'
+//! hit counters, and graceful handling of malformed, truncated and
+//! non-executable requests.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+use qprac_serve::{Client, ClientError, Server, ServerConfig};
+use sim::{CellResult, MitigationKind, RunCache, RunKey, SystemConfig};
+
+/// A tiny-but-real workload cell (~milliseconds of simulation).
+fn small_key(instr: u64) -> RunKey {
+    let cfg = SystemConfig::paper_default()
+        .with_mitigation(MitigationKind::Qprac)
+        .with_instruction_limit(instr);
+    RunKey::workload(&cfg, "ycsb/a_like")
+}
+
+fn spawn_server(config: ServerConfig) -> SocketAddr {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+#[test]
+fn concurrent_clients_with_one_key_simulate_once() {
+    let addr = spawn_server(ServerConfig::default());
+    let key = small_key(700);
+    const CLIENTS: usize = 8;
+    let results: Vec<CellResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let key = key.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.run(&key).expect("run cell")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // All clients observe the identical result...
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    assert!(matches!(results[0], CellResult::Stats(_)));
+    // ...and the server ran the simulation exactly once: every other
+    // request either coalesced onto the in-flight run or hit the LRU.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.stat("simulated").unwrap(), 1, "single-flight");
+    let mem_hits = client.stat("mem_hits").unwrap();
+    let coalesced = client.stat("coalesced").unwrap();
+    assert_eq!(
+        mem_hits + coalesced,
+        (CLIENTS - 1) as u64,
+        "the other {} requests must be shared, not re-simulated",
+        CLIENTS - 1
+    );
+    assert_eq!(client.stat("in_flight").unwrap(), 0);
+}
+
+#[test]
+fn lru_and_disk_tiers_report_hits() {
+    let dir = std::env::temp_dir().join(format!("qprac-serve-test-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = small_key(600);
+
+    // Server A simulates once, then answers from memory.
+    let addr_a = spawn_server(ServerConfig {
+        disk: RunCache::at(&dir),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr_a).unwrap();
+    let first = client.run(&key).expect("cold run");
+    let again = client.run(&key).expect("warm run");
+    assert_eq!(first, again);
+    assert_eq!(client.stat("simulated").unwrap(), 1);
+    assert_eq!(client.stat("mem_hits").unwrap(), 1);
+    assert_eq!(client.stat("disk_hits").unwrap(), 0);
+
+    // Server B shares the disk tier: a fresh process-equivalent resolves
+    // the same key from disk without simulating.
+    let addr_b = spawn_server(ServerConfig {
+        disk: RunCache::at(&dir),
+        ..ServerConfig::default()
+    });
+    let mut client_b = Client::connect(addr_b).unwrap();
+    assert_eq!(client_b.run(&key).expect("disk-tier run"), first);
+    assert_eq!(client_b.stat("simulated").unwrap(), 0);
+    assert_eq!(client_b.stat("disk_hits").unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_err_and_the_connection_survives() {
+    let addr = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // Unknown verb.
+    let err = client.run_key_text("").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    // Unparseable key.
+    let err = client.run_key_text("workload:missing-config").unwrap_err();
+    assert!(err.to_string().contains("malformed"), "{err}");
+    // Well-formed key naming an unknown workload.
+    let cfg = SystemConfig::paper_default().with_instruction_limit(100);
+    let ghost = RunKey::workload(&cfg, "nope/nope");
+    let err = client.run_key_text(ghost.as_str()).unwrap_err();
+    assert!(err.to_string().contains("unknown workload"), "{err}");
+    // Engine cells are client-side only.
+    let err = client.run_key_text("engine:wave:probe").unwrap_err();
+    assert!(err.to_string().contains("client-side"), "{err}");
+    // The same connection still works for a valid request afterwards.
+    client.ping().expect("connection survived the ERRs");
+    assert!(client.stat("errors").unwrap() >= 4);
+}
+
+#[test]
+fn truncated_connections_do_not_wedge_the_server() {
+    let addr = spawn_server(ServerConfig::default());
+    // A client that dies mid-request: no trailing newline, then EOF.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"RUN half-a-key").unwrap();
+        // Dropped here: the server sees EOF mid-line and closes.
+    }
+    // And one that sends garbage bytes with a newline.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"\x00\xffgarbage\n").unwrap();
+    }
+    // The server keeps serving fresh connections.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().expect("server alive after truncated peers");
+}

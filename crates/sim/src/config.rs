@@ -85,6 +85,51 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// [`env_u64`] for `usize` knobs (`QPRAC_JOBS`, LRU capacities).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read an optional string knob: unset, empty, or the literal `"0"` all
+/// mean *off* (`None`), mirroring [`env_flag`]'s disable semantics so
+/// `QPRAC_REMOTE=0` reliably turns the remote backend off. Any other
+/// value is returned verbatim.
+pub fn env_opt(name: &str) -> Option<String> {
+    std::env::var(name).ok().and_then(opt_value)
+}
+
+/// The value-parsing half of [`env_opt`], split out so the
+/// unset/empty/`"0"` semantics are unit-testable without mutating
+/// process environment.
+pub(crate) fn opt_value(value: String) -> Option<String> {
+    if flag_value_enables(&value) {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Read a directory knob with the run-cache convention: unset, empty or
+/// `"0"` disable it (`None`); `"1"`/`"true"` select `default`; any other
+/// value is the directory itself. `QPRAC_RUN_CACHE` (the bench runner
+/// and `qprac-serve`'s disk tier) goes through this helper.
+pub fn env_dir(name: &str, default: &str) -> Option<std::path::PathBuf> {
+    std::env::var(name).ok().and_then(|v| dir_value(v, default))
+}
+
+/// The value-parsing half of [`env_dir`].
+pub(crate) fn dir_value(value: String, default: &str) -> Option<std::path::PathBuf> {
+    let value = opt_value(value)?;
+    if value == "1" || value.eq_ignore_ascii_case("true") {
+        Some(std::path::PathBuf::from(default))
+    } else {
+        Some(std::path::PathBuf::from(value))
+    }
+}
+
 /// Read a boolean flag from the environment: set to anything except the
 /// empty string or `"0"` means *on*; unset, empty or `"0"` means *off*.
 ///
@@ -310,6 +355,51 @@ mod tests {
         assert!(flag_value_enables("1"));
         assert!(flag_value_enables("true"));
         assert!(flag_value_enables("00")); // only the literal "0" disables
+    }
+
+    #[test]
+    fn opt_value_semantics_match_env_flag() {
+        // The whole helper family shares one disable convention:
+        // unset/empty/"0" = off. `QPRAC_REMOTE=0` must not be read as a
+        // host named "0".
+        assert_eq!(opt_value(String::new()), None);
+        assert_eq!(opt_value("0".into()), None);
+        assert_eq!(opt_value("host:7117".into()), Some("host:7117".into()));
+        assert_eq!(opt_value("00".into()), Some("00".into()));
+    }
+
+    #[test]
+    fn dir_value_semantics() {
+        use std::path::PathBuf;
+        let d = "target/qprac-run-cache";
+        assert_eq!(dir_value(String::new(), d), None);
+        assert_eq!(dir_value("0".into(), d), None);
+        assert_eq!(dir_value("1".into(), d), Some(PathBuf::from(d)));
+        assert_eq!(dir_value("true".into(), d), Some(PathBuf::from(d)));
+        assert_eq!(dir_value("TRUE".into(), d), Some(PathBuf::from(d)));
+        assert_eq!(dir_value("/tmp/c".into(), d), Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn env_opt_and_dir_read_process_environment() {
+        // Unique variable names so parallel tests cannot race on them.
+        assert_eq!(env_opt("QPRAC_TEST_OPT_UNSET_XYZZY"), None);
+        std::env::set_var("QPRAC_TEST_OPT_ZERO_XYZZY", "0");
+        assert_eq!(env_opt("QPRAC_TEST_OPT_ZERO_XYZZY"), None);
+        std::env::set_var("QPRAC_TEST_OPT_SET_XYZZY", "1.2.3.4:9");
+        assert_eq!(
+            env_opt("QPRAC_TEST_OPT_SET_XYZZY"),
+            Some("1.2.3.4:9".into())
+        );
+        assert_eq!(env_dir("QPRAC_TEST_DIR_UNSET_XYZZY", "d"), None);
+        std::env::set_var("QPRAC_TEST_DIR_ONE_XYZZY", "1");
+        assert_eq!(
+            env_dir("QPRAC_TEST_DIR_ONE_XYZZY", "d"),
+            Some(std::path::PathBuf::from("d"))
+        );
+        std::env::set_var("QPRAC_TEST_USIZE_XYZZY", "17");
+        assert_eq!(env_usize("QPRAC_TEST_USIZE_XYZZY", 3), 17);
+        assert_eq!(env_usize("QPRAC_TEST_USIZE_UNSET_XYZZY", 3), 3);
     }
 
     #[test]

@@ -27,14 +27,17 @@
 
 pub mod attack;
 pub mod config;
+pub mod runcache;
 pub mod runkey;
 pub mod serdes;
 pub mod stats;
 pub mod system;
 
 pub use attack::{run_bandwidth_attack, run_bandwidth_attack_with, BwAttackStats};
-pub use config::{env_flag, env_u64, MitigationKind, SystemConfig};
-pub use runkey::RunKey;
+pub use config::{env_dir, env_flag, env_opt, env_u64, env_usize, MitigationKind, SystemConfig};
+pub use runcache::{GcReport, RunCache};
+pub use runkey::{CellSpec, RunKey};
+pub use serdes::CellResult;
 pub use stats::{geomean, RunStats};
 pub use system::System;
 

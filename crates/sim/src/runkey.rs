@@ -18,6 +18,7 @@
 use dram_core::{MappingScheme, RfmKind};
 
 use crate::config::{MitigationKind, SystemConfig};
+use crate::serdes::CellResult;
 
 /// Canonical identity of one cacheable simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,6 +81,143 @@ impl RunKey {
     pub fn file_stem(&self) -> String {
         format!("{:016x}", self.hash())
     }
+
+    /// Parse canonical key text received over the wire back into an
+    /// executable [`CellSpec`].
+    ///
+    /// Only *canonical* text is accepted: the parsed spec must re-render
+    /// to exactly the input (`CellSpec::key`), so a server and its
+    /// clients can never disagree on cache identity. Any deviation — an
+    /// unknown kind, a missing config field, a non-normalized
+    /// unmitigated config — is an error, never a guess.
+    pub fn parse_text(text: &str) -> Result<CellSpec, String> {
+        let (kind, rest) = text
+            .split_once(':')
+            .ok_or_else(|| format!("malformed run key {text:?}: missing kind"))?;
+        let spec = match kind {
+            "engine" => CellSpec::Engine { desc: rest.into() },
+            "workload" | "mix" => {
+                let (name, cfg_text) = rest
+                    .split_once(';')
+                    .ok_or_else(|| format!("malformed {kind} key {text:?}: missing config"))?;
+                let cfg = parse_config(cfg_text)?;
+                if kind == "workload" {
+                    CellSpec::Workload {
+                        cfg,
+                        workload: name.into(),
+                    }
+                } else {
+                    CellSpec::Mix {
+                        cfg,
+                        mix: name.into(),
+                    }
+                }
+            }
+            "attack" => {
+                let (params, cfg_text) = rest
+                    .split_once(';')
+                    .ok_or_else(|| format!("malformed attack key {text:?}: missing config"))?;
+                let (banks_kv, window_kv) = params
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed attack params {params:?}"))?;
+                let banks = banks_kv
+                    .strip_prefix("banks=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad attack banks in {params:?}"))?;
+                let window = window_kv
+                    .strip_prefix("window=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad attack window in {params:?}"))?;
+                CellSpec::Attack {
+                    cfg: parse_config(cfg_text)?,
+                    banks,
+                    window,
+                }
+            }
+            other => return Err(format!("unknown run-key kind {other:?}")),
+        };
+        if spec.key().as_str() != text {
+            return Err(format!(
+                "non-canonical run key {text:?} (canonical form: {:?})",
+                spec.key().as_str()
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+/// A parsed, executable description of one simulation cell — what a
+/// [`RunKey`] names. `Workload`/`Mix`/`Attack` cells are fully described
+/// by their key and can therefore run anywhere (this is what makes the
+/// `qprac-serve` wire protocol key-only); `Engine` cells wrap arbitrary
+/// bench-side closures and must execute on the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSpec {
+    /// [`crate::run_workload`]: `cfg.cores` homogeneous copies.
+    Workload {
+        /// Full system configuration (canonical form).
+        cfg: SystemConfig,
+        /// Workload name (`cpu_model::WorkloadSpec::by_name`).
+        workload: String,
+    },
+    /// [`crate::run_mix`]: one heterogeneous mix.
+    Mix {
+        /// Full system configuration (canonical form).
+        cfg: SystemConfig,
+        /// Mix name (`cpu_model::WorkloadMix::by_name`).
+        mix: String,
+    },
+    /// [`crate::run_bandwidth_attack`].
+    Attack {
+        /// Full system configuration (canonical form).
+        cfg: SystemConfig,
+        /// Banks hammered simultaneously.
+        banks: usize,
+        /// Attack window in memory cycles.
+        window: u64,
+    },
+    /// An opaque bench-side cell; not executable outside the process
+    /// that declared it.
+    Engine {
+        /// The full descriptor after `engine:`.
+        desc: String,
+    },
+}
+
+impl CellSpec {
+    /// Re-render the canonical key this spec answers to.
+    pub fn key(&self) -> RunKey {
+        match self {
+            CellSpec::Workload { cfg, workload } => RunKey::workload(cfg, workload),
+            CellSpec::Mix { cfg, mix } => RunKey::mix(cfg, mix),
+            CellSpec::Attack { cfg, banks, window } => RunKey::attack(cfg, *banks, *window),
+            CellSpec::Engine { desc } => RunKey::engine(desc),
+        }
+    }
+
+    /// Execute the cell and produce its result. Fails (rather than
+    /// panicking) on unknown workload/mix names and on `Engine` cells,
+    /// which only the declaring client can run.
+    pub fn execute(&self) -> Result<CellResult, String> {
+        match self {
+            CellSpec::Workload { cfg, workload } => {
+                let spec = cpu_model::WorkloadSpec::by_name(workload)
+                    .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+                Ok(CellResult::Stats(Box::new(crate::run_workload(cfg, &spec))))
+            }
+            CellSpec::Mix { cfg, mix } => {
+                let spec = cpu_model::WorkloadMix::by_name(mix)
+                    .ok_or_else(|| format!("unknown mix {mix:?}"))?;
+                Ok(CellResult::Stats(Box::new(crate::run_mix(cfg, &spec))))
+            }
+            CellSpec::Attack { cfg, banks, window } => Ok(CellResult::Attack(
+                crate::run_bandwidth_attack(cfg, *banks, *window),
+            )),
+            CellSpec::Engine { desc } => Err(format!(
+                "engine cell {desc:?} wraps a client-side closure and cannot execute remotely"
+            )),
+        }
+    }
 }
 
 impl std::fmt::Display for RunKey {
@@ -100,6 +238,27 @@ fn mitigation_token(m: MitigationKind) -> String {
         MitigationKind::Mithril { trh } => format!("mithril@{trh}"),
         MitigationKind::Pride { trh } => format!("pride@{trh}"),
     }
+}
+
+fn parse_mitigation_token(t: &str) -> Result<MitigationKind, String> {
+    if let Some(trh) = t.strip_prefix("mithril@") {
+        let trh = trh.parse().map_err(|e| format!("bad mithril trh: {e}"))?;
+        return Ok(MitigationKind::Mithril { trh });
+    }
+    if let Some(trh) = t.strip_prefix("pride@") {
+        let trh = trh.parse().map_err(|e| format!("bad pride trh: {e}"))?;
+        return Ok(MitigationKind::Pride { trh });
+    }
+    Ok(match t {
+        "none" => MitigationKind::None,
+        "qprac-noop" => MitigationKind::QpracNoOp,
+        "qprac" => MitigationKind::Qprac,
+        "qprac-pro" => MitigationKind::QpracProactive,
+        "qprac-pro-ea" => MitigationKind::QpracProactiveEa,
+        "qprac-ideal" => MitigationKind::QpracIdeal,
+        "moat" => MitigationKind::Moat,
+        other => return Err(format!("unknown mitigation token {other:?}")),
+    })
 }
 
 fn rfm_token(k: RfmKind) -> &'static str {
@@ -162,6 +321,77 @@ fn canonical_config(cfg: &SystemConfig) -> String {
         rfm_token(alert_rfm_kind),
         mapping_token(mapping),
     )
+}
+
+/// Parse the output of [`canonical_config`] back into a
+/// [`SystemConfig`]. Field order, count and spelling must match the
+/// canonical form exactly (the caller additionally verifies the
+/// re-rendered key equals the input, so normalization violations are
+/// caught there).
+fn parse_config(text: &str) -> Result<SystemConfig, String> {
+    let mut fields = text.split(';');
+    let mut next = |name: &str| -> Result<String, String> {
+        let kv = fields
+            .next()
+            .ok_or_else(|| format!("config truncated before field {name:?}"))?;
+        kv.strip_prefix(name)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected config field {name:?}, got {kv:?}"))
+    };
+    fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse()
+            .map_err(|e| format!("bad config field {name}={v:?}: {e}"))
+    }
+    let cores = num("cores", next("cores")?)?;
+    let channels = num("channels", next("channels")?)?;
+    let instr_limit = num("instr", next("instr")?)?;
+    let mitigation = parse_mitigation_token(&next("mit")?)?;
+    let nbo = num("nbo", next("nbo")?)?;
+    let nmit = num("nmit", next("nmit")?)?;
+    let psq_size = num("psq", next("psq")?)?;
+    let proactive_per_refs = num("pro", next("pro")?)?;
+    let alert_rfm_kind = match next("rfm")?.as_str() {
+        "ab" => RfmKind::AllBank,
+        "sb" => RfmKind::SameBank,
+        "pb" => RfmKind::PerBank,
+        other => return Err(format!("unknown rfm token {other:?}")),
+    };
+    let plain_timing = match next("plain")?.as_str() {
+        "true" => true,
+        "false" => false,
+        other => return Err(format!("bad plain flag {other:?}")),
+    };
+    let mapping = match next("map")?.as_str() {
+        "rbc" => MappingScheme::RowBankCol,
+        "mop-xor" => MappingScheme::MopXor,
+        other => return Err(format!("unknown mapping token {other:?}")),
+    };
+    let seed_text = next("seed")?;
+    let seed = seed_text
+        .strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("bad seed {seed_text:?}"))?;
+    if let Some(extra) = fields.next() {
+        return Err(format!("trailing config field {extra:?}"));
+    }
+    Ok(SystemConfig {
+        cores,
+        channels,
+        instr_limit,
+        mitigation,
+        nbo,
+        nmit,
+        psq_size,
+        proactive_per_refs,
+        alert_rfm_kind,
+        plain_timing,
+        mapping,
+        seed,
+    })
 }
 
 #[cfg(test)]
@@ -261,6 +491,85 @@ mod tests {
             RunKey::workload(&a, "ycsb/a_like"),
             RunKey::workload(&b, "ycsb/a_like")
         );
+    }
+
+    #[test]
+    fn every_key_kind_parses_back_to_an_equal_spec() {
+        let base = SystemConfig::paper_default();
+        let configs = [
+            base.clone(),
+            base.clone().with_mitigation(MitigationKind::None),
+            base.clone()
+                .with_mitigation(MitigationKind::Mithril { trh: 333 })
+                .with_channels(4),
+            SystemConfig {
+                plain_timing: true,
+                mapping: MappingScheme::RowBankCol,
+                seed: 0xDEAD_BEEF,
+                ..base
+                    .clone()
+                    .with_mitigation(MitigationKind::Pride { trh: 500 })
+            },
+        ];
+        let mut keys = Vec::new();
+        for cfg in &configs {
+            keys.push(RunKey::workload(cfg, "ycsb/a_like"));
+            keys.push(RunKey::mix(cfg, "mix/hot_quad"));
+            keys.push(RunKey::attack(cfg, 8, 123_456));
+        }
+        keys.push(RunKey::engine("wave:nmit=1:nbo=32;r1=200"));
+        for key in keys {
+            let spec = RunKey::parse_text(key.as_str())
+                .unwrap_or_else(|e| panic!("{key} failed to parse: {e}"));
+            assert_eq!(spec.key(), key, "parse/render must round-trip");
+        }
+    }
+
+    #[test]
+    fn parsed_workload_spec_executes_like_run_workload() {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Qprac)
+            .with_instruction_limit(300);
+        let key = RunKey::workload(&cfg, "ycsb/a_like");
+        let spec = RunKey::parse_text(key.as_str()).unwrap();
+        let via_spec = spec.execute().unwrap();
+        let direct = crate::run_workload(
+            &cfg,
+            &cpu_model::WorkloadSpec::by_name("ycsb/a_like").unwrap(),
+        );
+        assert_eq!(via_spec, CellResult::Stats(Box::new(direct)));
+    }
+
+    #[test]
+    fn malformed_and_non_canonical_keys_are_rejected() {
+        // Structural garbage.
+        assert!(RunKey::parse_text("").is_err());
+        assert!(RunKey::parse_text("bogus:x;y").is_err());
+        assert!(RunKey::parse_text("workload:ycsb/a_like").is_err());
+        assert!(RunKey::parse_text("attack:banks=8;cores=4").is_err());
+        // Valid structure, wrong field spelling / truncated config.
+        let good = RunKey::workload(&SystemConfig::paper_default(), "ycsb/a_like");
+        assert!(RunKey::parse_text(&good.as_str().replace("nbo=", "nbq=")).is_err());
+        let truncated = good.as_str().rsplit_once(';').unwrap().0;
+        assert!(RunKey::parse_text(truncated).is_err());
+        // Canonical-form violation: an unmitigated config whose tracker
+        // knobs were not normalized must be rejected, not re-keyed.
+        let swept = RunKey::workload(
+            &SystemConfig::paper_default()
+                .with_mitigation(MitigationKind::Qprac)
+                .with_nbo(64),
+            "ycsb/a_like",
+        );
+        let non_canonical = swept.as_str().replace("mit=qprac;", "mit=none;");
+        assert!(RunKey::parse_text(&non_canonical)
+            .unwrap_err()
+            .contains("non-canonical"));
+        // Unknown names parse (the key is well-formed) but fail execute.
+        let ghost = RunKey::workload(&SystemConfig::paper_default(), "nope/nope");
+        let spec = RunKey::parse_text(ghost.as_str()).unwrap();
+        assert!(spec.execute().unwrap_err().contains("unknown workload"));
+        let engine = RunKey::parse_text("engine:probe").unwrap();
+        assert!(engine.execute().unwrap_err().contains("client-side"));
     }
 
     #[test]

@@ -20,7 +20,100 @@ use dram_core::DeviceStats;
 use energy_model::EnergyBreakdown;
 use mem_ctrl::McStats;
 
+use crate::attack::BwAttackStats;
 use crate::stats::RunStats;
+
+/// The value one simulation cell produces — the unit of the bench run
+/// cache and of the `qprac-serve` wire protocol. (`Stats` is boxed: a
+/// `RunStats` is an order of magnitude larger than the other variants.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// A full-system run ([`crate::run_workload`] / [`crate::run_mix`]).
+    Stats(Box<RunStats>),
+    /// A bandwidth-attack run ([`crate::run_bandwidth_attack`]).
+    Attack(BwAttackStats),
+    /// A bench-side attack-engine count (client-executed closures).
+    Count(u64),
+}
+
+impl CellResult {
+    /// Short kind tag used in cache files and wire frames.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellResult::Stats(_) => "stats",
+            CellResult::Attack(_) => "attack",
+            CellResult::Count(_) => "count",
+        }
+    }
+
+    /// The lossless text payload for this result (the `kind()` tag
+    /// travels separately — in the cache-file header or the response
+    /// status line).
+    pub fn payload(&self) -> String {
+        match self {
+            CellResult::Stats(s) => to_text(s),
+            CellResult::Attack(a) => attack_to_text(a),
+            CellResult::Count(c) => c.to_string(),
+        }
+    }
+
+    /// Parse a `(kind, payload)` pair back into a result. Strict like
+    /// every parser in this module: an unknown kind or a malformed
+    /// payload is an error (cache readers treat it as a miss; the wire
+    /// layer surfaces it to the client).
+    pub fn from_payload(kind: &str, payload: &str) -> Result<CellResult, String> {
+        match kind {
+            "stats" => from_text(payload).map(|s| CellResult::Stats(Box::new(s))),
+            "attack" => attack_from_text(payload).map(CellResult::Attack),
+            "count" => payload
+                .trim()
+                .parse()
+                .map(CellResult::Count)
+                .map_err(|e| format!("bad count payload {payload:?}: {e}")),
+            other => Err(format!("unknown cell-result kind {other:?}")),
+        }
+    }
+}
+
+/// Render a [`BwAttackStats`] in the cacheable text form.
+pub fn attack_to_text(a: &BwAttackStats) -> String {
+    format!(
+        "acts={}\nmem_cycles={}\nalerts={}\nrfms={}",
+        a.acts, a.mem_cycles, a.alerts, a.rfms
+    )
+}
+
+/// Parse the output of [`attack_to_text`]. Strict: unknown, missing,
+/// duplicated or malformed fields are errors.
+pub fn attack_from_text(payload: &str) -> Result<BwAttackStats, String> {
+    let mut acts = None;
+    let mut mem_cycles = None;
+    let mut alerts = None;
+    let mut rfms = None;
+    for line in payload.lines() {
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("malformed attack line {line:?}"))?;
+        let v: u64 = p_u64(v)?;
+        let slot = match k {
+            "acts" => &mut acts,
+            "mem_cycles" => &mut mem_cycles,
+            "alerts" => &mut alerts,
+            "rfms" => &mut rfms,
+            other => return Err(format!("unknown BwAttackStats field {other:?}")),
+        };
+        if slot.replace(v).is_some() {
+            return Err(format!("duplicate BwAttackStats field {k:?}"));
+        }
+    }
+    let get = |o: Option<u64>, n: &str| o.ok_or_else(|| format!("missing attack field {n:?}"));
+    Ok(BwAttackStats {
+        acts: get(acts, "acts")?,
+        mem_cycles: get(mem_cycles, "mem_cycles")?,
+        alerts: get(alerts, "alerts")?,
+        rfms: get(rfms, "rfms")?,
+    })
+}
 
 /// Render `stats` in the cacheable text form.
 pub fn to_text(stats: &RunStats) -> String {
@@ -384,6 +477,39 @@ mod tests {
     fn duplicated_struct_field_cannot_mask_a_missing_one() {
         let text = to_text(&sample()).replace("loads: 1549", "retired: 24799");
         assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn cell_result_payloads_round_trip() {
+        let cells = [
+            CellResult::Stats(Box::new(sample())),
+            CellResult::Attack(BwAttackStats {
+                acts: 7,
+                mem_cycles: 1000,
+                alerts: 3,
+                rfms: 4,
+            }),
+            CellResult::Count(99),
+        ];
+        for cell in cells {
+            let back = CellResult::from_payload(cell.kind(), &cell.payload()).expect("parse");
+            assert_eq!(back, cell);
+        }
+    }
+
+    #[test]
+    fn attack_parser_is_strict() {
+        let good = attack_to_text(&BwAttackStats {
+            acts: 1,
+            mem_cycles: 2,
+            alerts: 3,
+            rfms: 4,
+        });
+        assert!(attack_from_text(&good.replace("rfms", "rfmz")).is_err());
+        assert!(attack_from_text(good.trim_end_matches(|c| c != '\n')).is_err());
+        assert!(attack_from_text(&format!("{good}\nacts=1")).is_err());
+        assert!(CellResult::from_payload("blob", "x").is_err());
+        assert!(CellResult::from_payload("count", "not-a-number").is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Smoke coverage for the five `examples/`: each must run end to end
+//! Smoke coverage for the `examples/`: each must run end to end
 //! without panicking. The sim-heavy ones are shrunk via `QPRAC_INSTR`
 //! and `QPRAC_ATTACK_WINDOW` so this stays fast in debug builds.
 
@@ -75,5 +75,15 @@ fn custom_mitigation_runs() {
     assert!(
         out.contains("QPRAC (5-entry PSQ)"),
         "unexpected output:\n{out}"
+    );
+}
+
+#[test]
+fn remote_sweep_runs() {
+    let out = run_example("remote_sweep");
+    assert!(out.contains("warm sweep"), "unexpected output:\n{out}");
+    assert!(
+        out.contains("simulated=3"),
+        "warm pass must not re-simulate:\n{out}"
     );
 }
