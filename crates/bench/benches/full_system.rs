@@ -24,6 +24,20 @@ fn bench_system(c: &mut Criterion) {
             });
         });
     }
+    // The 4-channel memory-bound variant: the configuration where
+    // per-channel lane parallelism (QPRAC_CHANNEL_THREADS) has work to
+    // spread. Inherits the env default, so the same bench binary
+    // measures sequential and threaded execution.
+    let spec = WorkloadSpec::by_name("ycsb/a_like").unwrap();
+    g.bench_function("memory_bound_4ch_10k_instr", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::paper_default()
+                .with_mitigation(MitigationKind::QpracProactiveEa)
+                .with_channels(4)
+                .with_instruction_limit(10_000);
+            black_box(run_workload(&cfg, &spec).ipc_sum())
+        });
+    });
     g.finish();
 }
 

@@ -183,6 +183,15 @@ impl BankBitSet {
             .find_map(|(w, &word)| (word != 0).then(|| w * 64 + word.trailing_zeros() as usize))
     }
 
+    /// The backing bit words, 64 banks per word, bank `b` at bit
+    /// `b % 64` of word `b / 64`. Exposed so per-cycle scans can
+    /// combine bank membership with other per-bank predicates in
+    /// branchless word-at-a-time passes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Set members in ascending order (matches a `0..banks` scan, so
     /// scheduler tie-breaking over this iteration is order-stable).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {

@@ -273,6 +273,11 @@ impl MemoryController {
         Some(id)
     }
 
+    /// Whether any completion notifications are waiting to be drained.
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
     /// Drain completion notifications accumulated since the last call.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)

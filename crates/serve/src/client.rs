@@ -5,6 +5,12 @@
 //! issuing [`Client::run`] repeatedly. For parallelism, open several
 //! clients — the server is thread-per-connection and coalesces
 //! duplicate in-flight keys across all of them.
+//!
+//! Payload negotiation: the first [`Client::run`] tries the binary
+//! `RUNB` verb; a server that predates it answers `ERR unknown
+//! request`, and the client falls back to text `RUN` for the rest of
+//! the connection. No version handshake, no extra round-trips on the
+//! happy path.
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
@@ -44,6 +50,8 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Whether the server understands `RUNB` (`None` = not yet probed).
+    binary: Option<bool>,
 }
 
 impl Client {
@@ -55,6 +63,7 @@ impl Client {
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
+            binary: None,
         })
     }
 
@@ -62,13 +71,43 @@ impl Client {
         write_request(&mut self.writer, req)?;
         match read_response(&mut self.reader)? {
             Response::Ok { kind, payload } => Ok((kind, payload)),
+            Response::OkBin(_) => Err(ClientError::Server(
+                "unexpected binary response to a text request".into(),
+            )),
             Response::Err(msg) => Err(ClientError::Server(msg)),
         }
     }
 
     /// Resolve one cell by canonical key text, decoding the payload
-    /// into a [`CellResult`].
+    /// into a [`CellResult`]. Prefers the binary `RUNB` verb, falling
+    /// back to text `RUN` (and remembering the answer) on servers that
+    /// predate it.
     pub fn run_key_text(&mut self, key_text: &str) -> Result<CellResult, ClientError> {
+        if self.binary.unwrap_or(true) {
+            write_request(&mut self.writer, &Request::RunBin(key_text.to_string()))?;
+            match read_response(&mut self.reader)? {
+                Response::OkBin(frame) => {
+                    self.binary = Some(true);
+                    return sim::codec::decode_cell(&frame).map_err(|e| {
+                        ClientError::Server(format!("undecodable binary response: {e}"))
+                    });
+                }
+                Response::Ok { kind, payload } => {
+                    // A RUNB-aware server never answers OK; tolerate it
+                    // anyway rather than failing a usable payload.
+                    self.binary = Some(true);
+                    return CellResult::from_payload(&kind, &payload).map_err(|e| {
+                        ClientError::Server(format!("undecodable response payload: {e}"))
+                    });
+                }
+                Response::Err(msg) if self.binary.is_none() && msg.contains("unknown request") => {
+                    // Pre-RUNB server: fall through to the text verb and
+                    // stop probing on this connection.
+                    self.binary = Some(false);
+                }
+                Response::Err(msg) => return Err(ClientError::Server(msg)),
+            }
+        }
         let (kind, payload) = self.call(&Request::Run(key_text.to_string()))?;
         CellResult::from_payload(&kind, &payload)
             .map_err(|e| ClientError::Server(format!("undecodable response payload: {e}")))

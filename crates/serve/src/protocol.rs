@@ -9,12 +9,21 @@
 //!
 //! ```text
 //! request  := "RUN " <canonical run-key text> "\n"
+//!           | "RUNB " <canonical run-key text> "\n"
 //!           | "STATS\n"
 //!           | "PING\n"
 //! response := "OK " <kind> " " <len> "\n" <len payload bytes>
+//!           | "OKB " <len> "\n" <len frame bytes>
 //!           | "ERR " <len> "\n" <len message bytes>
 //! kind     := "stats" | "attack" | "count" | "text"
 //! ```
+//!
+//! `RUNB` is the binary-payload variant of `RUN`: the same resolve
+//! path, answered with an `OKB` frame whose payload is the
+//! [`sim::codec`] cell encoding (self-describing kind, versioned,
+//! checksummed) — so warm remote hits skip text parsing entirely. A
+//! server that predates `RUNB` answers `ERR unknown request ...`;
+//! clients fall back to `RUN` and remember per connection.
 //!
 //! Requests are single lines because canonical run keys never contain
 //! newlines; responses are length-prefixed because stats payloads are
@@ -33,6 +42,9 @@ pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 pub enum Request {
     /// Resolve one cell by its canonical [`sim::RunKey`] text.
     Run(String),
+    /// [`Request::Run`] answered in the binary cell encoding
+    /// ([`Response::OkBin`]).
+    RunBin(String),
     /// Server counters (requests / hits / simulated / coalesced).
     Stats,
     /// Liveness probe.
@@ -50,6 +62,8 @@ pub enum Response {
         /// Payload body (the serdes text form).
         payload: String,
     },
+    /// Success for a `RUNB` request: a [`sim::codec`] cell frame.
+    OkBin(Vec<u8>),
     /// Failure: a human-readable reason. The connection stays usable.
     Err(String),
 }
@@ -89,6 +103,13 @@ pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
 /// server answers `ERR` and keeps the connection) — distinct from the
 /// I/O errors of [`read_line`], which close it.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    if let Some(key) = line.strip_prefix("RUNB ") {
+        let key = key.trim();
+        if key.is_empty() {
+            return Err("RUNB needs a run-key argument".into());
+        }
+        return Ok(Request::RunBin(key.to_string()));
+    }
     if let Some(key) = line.strip_prefix("RUN ") {
         let key = key.trim();
         if key.is_empty() {
@@ -100,7 +121,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         other => Err(format!(
-            "unknown request {:?} (expected RUN <key> | STATS | PING)",
+            "unknown request {:?} (expected RUN <key> | RUNB <key> | STATS | PING)",
             clip(other, 80)
         )),
     }
@@ -110,6 +131,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     match req {
         Request::Run(key) => writeln!(w, "RUN {key}"),
+        Request::RunBin(key) => writeln!(w, "RUNB {key}"),
         Request::Stats => writeln!(w, "STATS"),
         Request::Ping => writeln!(w, "PING"),
     }?;
@@ -121,6 +143,10 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
     match resp {
         Response::Ok { kind, payload } => {
             write!(w, "OK {kind} {}\n{payload}", payload.len())?;
+        }
+        Response::OkBin(frame) => {
+            writeln!(w, "OKB {}", frame.len())?;
+            w.write_all(frame)?;
         }
         Response::Err(msg) => {
             write!(w, "ERR {}\n{msg}", msg.len())?;
@@ -137,6 +163,12 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
             "connection closed before response",
         )
     })?;
+    // OKB carries raw bytes; the text arms re-validate UTF-8.
+    if let Some(len) = line.strip_prefix("OKB ") {
+        let mut frame = vec![0u8; parse_len(len, &line)?];
+        r.read_exact(&mut frame)?;
+        return Ok(Response::OkBin(frame));
+    }
     let (len, make): (usize, Box<dyn FnOnce(String) -> Response>) =
         if let Some(rest) = line.strip_prefix("OK ") {
             let (kind, len) = rest
@@ -150,7 +182,7 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
         } else if let Some(len) = line.strip_prefix("ERR ") {
             (parse_len(len, &line)?, Box::new(Response::Err))
         } else {
-            return Err(bad_frame(&line, "expected OK or ERR"));
+            return Err(bad_frame(&line, "expected OK, OKB or ERR"));
         };
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
@@ -204,6 +236,7 @@ mod tests {
     fn requests_render_and_parse() {
         for req in [
             Request::Run("workload:x;cores=4".into()),
+            Request::RunBin("workload:x;cores=4".into()),
             Request::Stats,
             Request::Ping,
         ] {
@@ -213,6 +246,7 @@ mod tests {
             assert_eq!(parse_request(&line).unwrap(), req);
         }
         assert!(parse_request("RUN ").is_err());
+        assert!(parse_request("RUNB ").is_err());
         assert!(parse_request("DELETE everything").is_err());
         assert!(parse_request("").is_err());
     }
@@ -231,6 +265,11 @@ mod tests {
         assert_eq!(round_trip_response(&empty), empty);
         let err = Response::Err("unknown workload \"nope\"".into());
         assert_eq!(round_trip_response(&err), err);
+        // Binary frames carry arbitrary (non-UTF-8) bytes untouched.
+        let bin = Response::OkBin(vec![0xFF, 0x00, b'\n', 0xC3, 0x28, 7]);
+        assert_eq!(round_trip_response(&bin), bin);
+        let bin_empty = Response::OkBin(Vec::new());
+        assert_eq!(round_trip_response(&bin_empty), bin_empty);
     }
 
     #[test]

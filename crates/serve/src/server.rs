@@ -203,6 +203,12 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                 },
                 Err(reason) => Response::Err(reason),
             },
+            // Same resolve path, binary cell frame on the wire: warm
+            // hits travel and decode without any text parsing.
+            Ok(Request::RunBin(key_text)) => match resolve(inner, &key_text) {
+                Ok(result) => Response::OkBin(sim::codec::encode_cell(&result)),
+                Err(reason) => Response::Err(reason),
+            },
             // A malformed *line* is recoverable: answer ERR and keep
             // reading — the stream is still newline-aligned.
             Err(reason) => Response::Err(reason),

@@ -3,8 +3,8 @@
 //! hit counters, and graceful handling of malformed, truncated and
 //! non-executable requests.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpStream};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 
 use qprac_serve::{Client, ClientError, Server, ServerConfig};
 use sim::{CellResult, MitigationKind, RunCache, RunKey, SystemConfig};
@@ -131,4 +131,93 @@ fn truncated_connections_do_not_wedge_the_server() {
     // The server keeps serving fresh connections.
     let mut client = Client::connect(addr).unwrap();
     client.ping().expect("server alive after truncated peers");
+}
+
+#[test]
+fn corrupt_binary_disk_entries_are_a_miss_never_a_panic() {
+    let dir = std::env::temp_dir().join(format!("qprac-serve-test-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = small_key(500);
+
+    // Server A populates the binary disk tier.
+    let addr_a = spawn_server(ServerConfig {
+        disk: RunCache::at(&dir),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr_a).unwrap();
+    let first = client.run(&key).expect("cold run");
+
+    // Flip one byte in every cache entry on disk.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = entry.path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        flipped += 1;
+    }
+    assert!(flipped > 0, "server A must have written disk entries");
+
+    // A fresh server on the damaged tier must re-simulate (a clean
+    // miss), never crash or serve silently wrong statistics.
+    let addr_b = spawn_server(ServerConfig {
+        disk: RunCache::at(&dir),
+        ..ServerConfig::default()
+    });
+    let mut client_b = Client::connect(addr_b).unwrap();
+    assert_eq!(client_b.run(&key).expect("resolve past corruption"), first);
+    assert_eq!(client_b.stat("disk_hits").unwrap(), 0, "corrupt = miss");
+    assert_eq!(client_b.stat("simulated").unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A single-connection stand-in for a server that predates `RUNB`: it
+/// answers `ERR unknown request ...` to anything but `RUN`/`PING`,
+/// exactly like the old `parse_request`, and serves `RUN` with a text
+/// `count` payload.
+fn spawn_pre_runb_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return;
+            }
+            let reply = if line.starts_with("RUN ") {
+                "OK count 2\n41".to_string()
+            } else if line.trim_end() == "PING" {
+                "OK text 4\npong".to_string()
+            } else {
+                let msg = format!("unknown request {:?}", line.trim_end());
+                format!("ERR {}\n{msg}", msg.len())
+            };
+            if writer.write_all(reply.as_bytes()).is_err() {
+                return;
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn client_falls_back_to_text_on_pre_runb_servers() {
+    let addr = spawn_pre_runb_server();
+    let mut client = Client::connect(addr).unwrap();
+    // First run probes RUNB, gets the unknown-request ERR, retries as
+    // RUN on the same connection — and remembers.
+    let key = RunKey::engine("legacy");
+    assert_eq!(
+        client.run(&key).expect("fallback run"),
+        CellResult::Count(41)
+    );
+    assert_eq!(
+        client.run(&key).expect("remembered text verb"),
+        CellResult::Count(41)
+    );
 }

@@ -1,0 +1,35 @@
+//! Quick wall-clock probe for the full-system hot path at several
+//! channel counts (`cargo run --release -p sim --example perf_probe`).
+//! Prints min/mean milliseconds per run; not a substitute for
+//! `cargo bench`, just a fast sanity probe for performance work.
+
+use cpu_model::WorkloadSpec;
+use sim::{run_workload, MitigationKind, SystemConfig};
+use std::time::Instant;
+
+fn main() {
+    let spec = WorkloadSpec::by_name("ycsb/a_like").unwrap();
+    for channels in [1usize, 2, 4] {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::QpracProactiveEa)
+            .with_channels(channels)
+            .with_instruction_limit(10_000);
+        // Warm-up.
+        let _ = run_workload(&cfg, &spec);
+        let reps = 15;
+        let mut acc = 0.0;
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            acc += run_workload(&cfg, &spec).ipc_sum();
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            best = best.min(ms);
+            total += ms;
+        }
+        println!(
+            "memory_bound_10k_instr channels={channels}: min {best:.2} ms / mean {:.2} ms (ipc acc {acc:.3})",
+            total / reps as f64
+        );
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod attack;
+pub mod codec;
 pub mod config;
 pub mod runcache;
 pub mod runkey;
@@ -34,8 +35,9 @@ pub mod stats;
 pub mod system;
 
 pub use attack::{run_bandwidth_attack, run_bandwidth_attack_with, BwAttackStats};
+pub use codec::{decode_cell, encode_cell};
 pub use config::{env_dir, env_flag, env_opt, env_u64, env_usize, MitigationKind, SystemConfig};
-pub use runcache::{GcReport, RunCache};
+pub use runcache::{CacheFormat, GcReport, RunCache};
 pub use runkey::{CellSpec, RunKey};
 pub use serdes::CellResult;
 pub use stats::{geomean, RunStats};

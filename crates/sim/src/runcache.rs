@@ -1,36 +1,67 @@
-//! The persistent, deduplicating run cache — one text file per
-//! [`RunKey`] — shared by the bench runner (`qprac_bench::runner`) and
-//! the `qprac-serve` disk tier.
+//! The persistent, deduplicating run cache — one file per [`RunKey`] —
+//! shared by the bench runner (`qprac_bench::runner`) and the
+//! `qprac-serve` disk tier.
 //!
-//! Layout: `<dir>/<fnv64-of-key>.txt` containing the full canonical key
-//! (collision + staleness guard), the result kind, and the payload in
-//! the [`crate::serdes`] text form. Any read problem — missing file,
-//! key mismatch, parse error from a stats struct having gained a field
-//! — is a miss, never an error: the cell re-runs and the entry is
-//! rewritten.
+//! Two on-disk forms share the directory:
+//!
+//! - **Binary** (`<dir>/<fnv64-of-key>.qbc`, the default write format):
+//!   a `QBC1` magic, the length-prefixed canonical key (collision +
+//!   staleness guard), then the [`crate::codec`] frame — versioned,
+//!   field-counted, checksummed. Warm hits decode without any text
+//!   parsing.
+//! - **Text** (`<dir>/<fnv64-of-key>.txt`, the pre-binary format):
+//!   the key, the result kind and the [`crate::serdes`] payload.
+//!   Still written under [`CacheFormat::Text`] and always readable, so
+//!   existing cache directories stay valid — a warm text entry hits, a
+//!   store then adds the binary twin.
+//!
+//! The read path tries binary first, then text. Any read problem —
+//! missing file, bad magic, key mismatch, checksum failure, parse error
+//! from a stats struct having gained a field — is a miss, never an
+//! error: the cell re-runs and the entry is rewritten.
 //!
 //! Growth is bounded by [`RunCache::gc`]: when `QPRAC_RUN_CACHE_MAX_MB`
-//! is set, the oldest entries (by file mtime) are evicted until the
-//! directory fits the budget. Eviction is safe by construction — every
-//! entry is a pure function of its key, so a victim simply re-simulates
-//! on its next miss.
+//! is set, the oldest entries are evicted until the directory fits the
+//! budget. Eviction order is deterministic: oldest mtime first, equal
+//! mtimes broken by filename (a filesystem-order tie-break would make
+//! two identically-configured hosts evict different victims). Eviction
+//! is safe by construction — every entry is a pure function of its key,
+//! so a victim simply re-simulates on its next miss.
 
+use std::ffi::OsString;
 use std::fs;
 use std::path::PathBuf;
 use std::time::SystemTime;
 
-use crate::config::{env_dir, env_u64};
+use crate::codec;
+use crate::config::{env_dir, env_opt, env_u64};
 use crate::runkey::RunKey;
 use crate::serdes::CellResult;
 
 /// Default directory used when the env knob is set to `1`/`true`.
 pub const DEFAULT_CACHE_DIR: &str = "target/qprac-run-cache";
 
-/// On-disk result cache, one text file per [`RunKey`].
+/// Magic prefix of a binary cache entry.
+const BIN_MAGIC: &[u8; 4] = b"QBC1";
+
+/// Which on-disk form [`RunCache::store`] writes. Reads always accept
+/// both (binary first), so the format only changes what new entries
+/// look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheFormat {
+    /// `.qbc` files in the [`crate::codec`] binary frame (default).
+    #[default]
+    Binary,
+    /// Legacy `.txt` files in the [`crate::serdes`] text form.
+    Text,
+}
+
+/// On-disk result cache, one file per [`RunKey`].
 #[derive(Debug, Clone)]
 pub struct RunCache {
     dir: Option<PathBuf>,
     max_bytes: Option<u64>,
+    format: CacheFormat,
 }
 
 /// What one [`RunCache::gc`] sweep did.
@@ -38,7 +69,7 @@ pub struct RunCache {
 pub struct GcReport {
     /// Entries present before the sweep.
     pub entries: usize,
-    /// Entries evicted (oldest mtime first).
+    /// Entries evicted (oldest mtime first, filename tie-break).
     pub evicted: usize,
     /// Directory size before the sweep, in bytes.
     pub bytes_before: u64,
@@ -50,12 +81,18 @@ impl RunCache {
     /// `QPRAC_RUN_CACHE` unset/empty/`0` disables persistence; `1` or
     /// `true` uses [`DEFAULT_CACHE_DIR`]; any other value is the
     /// directory. `QPRAC_RUN_CACHE_MAX_MB` (0/unset = unbounded) sets
-    /// the [`Self::gc`] size budget.
+    /// the [`Self::gc`] size budget. `QPRAC_CACHE_FORMAT=text` keeps
+    /// writing the legacy text files (reads accept both regardless).
     pub fn from_env() -> Self {
         let max_mb = env_u64("QPRAC_RUN_CACHE_MAX_MB", 0);
+        let format = match env_opt("QPRAC_CACHE_FORMAT").as_deref() {
+            Some("text") => CacheFormat::Text,
+            _ => CacheFormat::Binary,
+        };
         RunCache {
             dir: env_dir("QPRAC_RUN_CACHE", DEFAULT_CACHE_DIR),
             max_bytes: (max_mb > 0).then(|| max_mb * 1024 * 1024),
+            format,
         }
     }
 
@@ -65,6 +102,7 @@ impl RunCache {
         RunCache {
             dir: Some(dir.into()),
             max_bytes: None,
+            format: CacheFormat::default(),
         }
     }
 
@@ -73,12 +111,19 @@ impl RunCache {
         RunCache {
             dir: None,
             max_bytes: None,
+            format: CacheFormat::default(),
         }
     }
 
     /// Set the [`Self::gc`] size budget in bytes (`None` = unbounded).
     pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
         self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Set the write format (reads always accept both).
+    pub fn with_format(mut self, format: CacheFormat) -> Self {
+        self.format = format;
         self
     }
 
@@ -92,15 +137,39 @@ impl RunCache {
         self.dir.as_deref()
     }
 
-    fn path(&self, key: &RunKey) -> Option<PathBuf> {
-        self.dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.txt", key.file_stem())))
+    /// The configured write format.
+    pub fn format(&self) -> CacheFormat {
+        self.format
     }
 
-    /// Load the cached result for `key`, if present and intact.
+    fn path(&self, key: &RunKey, ext: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.{ext}", key.file_stem())))
+    }
+
+    /// Load the cached result for `key`, if present and intact. Binary
+    /// entries are preferred; a missing or damaged binary entry falls
+    /// back to the text twin, so pre-binary cache directories keep
+    /// hitting.
     pub fn load(&self, key: &RunKey) -> Option<CellResult> {
-        let text = fs::read_to_string(self.path(key)?).ok()?;
+        self.load_binary(key).or_else(|| self.load_text(key))
+    }
+
+    fn load_binary(&self, key: &RunKey) -> Option<CellResult> {
+        let bytes = fs::read(self.path(key, "qbc")?).ok()?;
+        let rest = bytes.strip_prefix(BIN_MAGIC.as_slice())?;
+        let (len_bytes, rest) = rest.split_at_checked(4)?;
+        let key_len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        let (stored_key, frame) = rest.split_at_checked(key_len)?;
+        if stored_key != key.as_str().as_bytes() {
+            return None; // hash collision or stale format
+        }
+        codec::decode_cell(frame).ok()
+    }
+
+    fn load_text(&self, key: &RunKey) -> Option<CellResult> {
+        let text = fs::read_to_string(self.path(key, "txt")?).ok()?;
         let mut lines = text.splitn(3, '\n');
         let stored_key = lines.next()?.strip_prefix("key=")?;
         if stored_key != key.as_str() {
@@ -111,26 +180,47 @@ impl RunCache {
         CellResult::from_payload(kind, payload).ok()
     }
 
-    /// Persist `result` under `key`. Best-effort: a read-only disk must
-    /// not fail the experiment.
+    /// Persist `result` under `key` in the configured format.
+    /// Best-effort: a read-only disk must not fail the experiment.
     pub fn store(&self, key: &RunKey, result: &CellResult) {
-        let Some(path) = self.path(key) else { return };
-        let text = format!(
-            "key={}\nkind={}\n{}",
-            key.as_str(),
-            result.kind(),
-            result.payload()
-        );
+        let (path, bytes) = match self.format {
+            CacheFormat::Binary => {
+                let Some(path) = self.path(key, "qbc") else {
+                    return;
+                };
+                let key_bytes = key.as_str().as_bytes();
+                let frame = codec::encode_cell(result);
+                let mut bytes = Vec::with_capacity(8 + key_bytes.len() + frame.len());
+                bytes.extend_from_slice(BIN_MAGIC);
+                bytes.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(key_bytes);
+                bytes.extend_from_slice(&frame);
+                (path, bytes)
+            }
+            CacheFormat::Text => {
+                let Some(path) = self.path(key, "txt") else {
+                    return;
+                };
+                let text = format!(
+                    "key={}\nkind={}\n{}",
+                    key.as_str(),
+                    result.kind(),
+                    result.payload()
+                );
+                (path, text.into_bytes())
+            }
+        };
         if let Some(parent) = path.parent() {
             let _ = fs::create_dir_all(parent);
         }
-        let _ = fs::write(path, text);
+        let _ = fs::write(path, bytes);
     }
 
-    /// Evict oldest-mtime entries until the directory fits the
-    /// configured byte budget. A no-op when the cache is disabled or
-    /// unbounded. Errors (entries vanishing mid-scan, permission
-    /// problems) are skipped, best-effort like [`Self::store`].
+    /// Evict oldest entries until the directory fits the configured
+    /// byte budget. Order is deterministic: mtime ascending, filename
+    /// breaking ties. A no-op when the cache is disabled or unbounded.
+    /// Errors (entries vanishing mid-scan, permission problems) are
+    /// skipped, best-effort like [`Self::store`].
     pub fn gc(&self) -> GcReport {
         let (Some(dir), Some(max)) = (self.dir.as_ref(), self.max_bytes) else {
             return GcReport::default();
@@ -138,25 +228,28 @@ impl RunCache {
         let Ok(read) = fs::read_dir(dir) else {
             return GcReport::default();
         };
-        let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        let mut entries: Vec<(SystemTime, OsString, u64, PathBuf)> = Vec::new();
         for entry in read.flatten() {
             let path = entry.path();
-            if path.extension().is_none_or(|e| e != "txt") {
+            if path.extension().is_none_or(|e| e != "txt" && e != "qbc") {
                 continue;
             }
             let Ok(meta) = entry.metadata() else { continue };
             let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-            entries.push((mtime, meta.len(), path));
+            entries.push((mtime, entry.file_name(), meta.len(), path));
         }
-        entries.sort(); // oldest mtime first (path breaks ties deterministically)
-        let bytes_before: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        // Oldest mtime first; equal mtimes (coarse filesystem clocks
+        // stamp whole batches identically) fall back to the filename so
+        // the victim set never depends on directory iteration order.
+        entries.sort();
+        let bytes_before: u64 = entries.iter().map(|(_, _, len, _)| len).sum();
         let mut report = GcReport {
             entries: entries.len(),
             evicted: 0,
             bytes_before,
             bytes_after: bytes_before,
         };
-        for (_, len, path) in &entries {
+        for (_, _, len, path) in &entries {
             if report.bytes_after <= max {
                 break;
             }
@@ -204,13 +297,101 @@ mod tests {
     }
 
     #[test]
+    fn default_store_is_binary_and_text_twin_still_hits() {
+        let (cache, dir) = temp_cache("format");
+        let key = RunKey::engine("fmt");
+        cache.store(&key, &CellResult::Count(5));
+        assert!(cache.path(&key, "qbc").unwrap().exists());
+        assert!(!cache.path(&key, "txt").unwrap().exists());
+
+        // A text-format cache (pre-binary dirs, QPRAC_CACHE_FORMAT=text)
+        // writes the legacy file — and a default binary-writing cache
+        // still reads it.
+        let text_cache = cache.clone().with_format(CacheFormat::Text);
+        let tkey = RunKey::engine("fmt-text");
+        text_cache.store(&tkey, &CellResult::Count(6));
+        assert!(cache.path(&tkey, "txt").unwrap().exists());
+        assert_eq!(cache.load(&tkey), Some(CellResult::Count(6)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn damaged_binary_entry_falls_back_to_its_text_twin() {
+        let (cache, dir) = temp_cache("fallback");
+        let key = RunKey::engine("twin");
+        cache
+            .clone()
+            .with_format(CacheFormat::Text)
+            .store(&key, &CellResult::Count(7));
+        cache.store(&key, &CellResult::Count(7));
+        // Truncate the binary entry; the text twin must answer.
+        let qbc = cache.path(&key, "qbc").unwrap();
+        let bytes = fs::read(&qbc).unwrap();
+        fs::write(&qbc, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key), Some(CellResult::Count(7)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn every_truncation_of_a_binary_entry_is_a_miss() {
+        let (cache, dir) = temp_cache("truncate");
+        let cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
+        let key = RunKey::attack(&cfg, 8, 1000);
+        cache.store(
+            &key,
+            &CellResult::Attack(BwAttackStats {
+                acts: 1,
+                mem_cycles: 2,
+                alerts: 3,
+                rfms: 4,
+            }),
+        );
+        let path = cache.path(&key, "qbc").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                cache.load(&key).is_none(),
+                "prefix of {cut}/{} bytes must miss, not decode",
+                bytes.len()
+            );
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn every_single_byte_flip_of_a_binary_entry_is_a_miss() {
+        let (cache, dir) = temp_cache("flip");
+        let key = RunKey::engine("flip-me");
+        cache.store(&key, &CellResult::Count(0xDEAD_BEEF));
+        let path = cache.path(&key, "qbc").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for i in 0..bytes.len() {
+            for bit in [1u8, 0x10, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                fs::write(&path, &bad).unwrap();
+                assert!(
+                    cache.load(&key).is_none(),
+                    "flip of bit {bit:#x} at byte {i} must miss, not decode"
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn key_mismatch_in_a_cache_file_is_a_miss() {
         let (cache, dir) = temp_cache("mismatch");
         let key = RunKey::engine("cell-a");
         cache.store(&key, &CellResult::Count(1));
         // Corrupt: move the file to where another key would look.
         let other = RunKey::engine("cell-b");
-        fs::rename(cache.path(&key).unwrap(), cache.path(&other).unwrap()).unwrap();
+        fs::rename(
+            cache.path(&key, "qbc").unwrap(),
+            cache.path(&other, "qbc").unwrap(),
+        )
+        .unwrap();
         assert!(cache.load(&other).is_none(), "stored key must be verified");
         let _ = fs::remove_dir_all(dir);
     }
@@ -234,17 +415,20 @@ mod tests {
             cache.store(key, &CellResult::Count(i as u64));
             let f = fs::File::options()
                 .write(true)
-                .open(cache.path(key).unwrap())
+                .open(cache.path(key, "qbc").unwrap())
                 .unwrap();
             f.set_modified(t0 + std::time::Duration::from_secs(i as u64 * 600))
                 .unwrap();
         }
         let sizes: u64 = keys
             .iter()
-            .map(|k| fs::metadata(cache.path(k).unwrap()).unwrap().len())
+            .map(|k| fs::metadata(cache.path(k, "qbc").unwrap()).unwrap().len())
             .sum();
         // Budget that fits exactly the two newest entries.
-        let keep_two = sizes - fs::metadata(cache.path(&keys[0]).unwrap()).unwrap().len();
+        let keep_two = sizes
+            - fs::metadata(cache.path(&keys[0], "qbc").unwrap())
+                .unwrap()
+                .len();
         let report = cache.clone().with_max_bytes(Some(keep_two)).gc();
         assert_eq!(report.entries, 3);
         assert_eq!(report.evicted, 1);
@@ -258,6 +442,46 @@ mod tests {
         assert_eq!(report.evicted, 0);
         // Unbounded cache never evicts.
         assert_eq!(cache.gc(), GcReport::default());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_ties_on_equal_mtimes_evict_in_filename_order() {
+        let (cache, dir) = temp_cache("gc-tie");
+        // Several same-size entries stamped with the SAME mtime — the
+        // coarse-clock batch case. Eviction must proceed in filename
+        // order, regardless of store or directory iteration order.
+        let keys: Vec<RunKey> = [3u64, 0, 2, 1]
+            .iter()
+            .map(|i| RunKey::engine(&format!("tie-{i}")))
+            .collect();
+        let stamp = SystemTime::now() - std::time::Duration::from_secs(1000);
+        for key in &keys {
+            cache.store(key, &CellResult::Count(42));
+            let f = fs::File::options()
+                .write(true)
+                .open(cache.path(key, "qbc").unwrap())
+                .unwrap();
+            f.set_modified(stamp).unwrap();
+        }
+        let mut names: Vec<(OsString, RunKey)> = keys
+            .iter()
+            .map(|k| {
+                let p = cache.path(k, "qbc").unwrap();
+                (p.file_name().unwrap().to_os_string(), k.clone())
+            })
+            .collect();
+        names.sort();
+        let entry_len = fs::metadata(cache.path(&keys[0], "qbc").unwrap())
+            .unwrap()
+            .len();
+        // Budget for exactly two survivors: the two largest filenames.
+        let report = cache.clone().with_max_bytes(Some(2 * entry_len)).gc();
+        assert_eq!(report.evicted, 2);
+        assert!(cache.load(&names[0].1).is_none(), "smallest filename first");
+        assert!(cache.load(&names[1].1).is_none(), "then the next filename");
+        assert!(cache.load(&names[2].1).is_some());
+        assert!(cache.load(&names[3].1).is_some());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -24,16 +24,33 @@
 //! bit-exact with the cycle-by-cycle loop (differential tests enforce
 //! this at 1, 2 and 4 channels). Set `QPRAC_NO_FASTFORWARD=1` to force
 //! the plain loop.
+//!
+//! ## Two-phase memory ticks and channel threads
+//!
+//! Each memory cycle runs in two phases. Phase A advances every channel
+//! *lane* (feed pending accesses, then tick or provably elide the
+//! controller) — lanes share nothing, so phase A is data-parallel by
+//! construction. Phase B drains the buffered completions in channel
+//! order on the coordinating thread: LLC fills, core wakeups and
+//! dirty-victim writebacks all happen there, so the shared state sees
+//! one deterministic order regardless of how phase A was scheduled.
+//! `QPRAC_CHANNEL_THREADS=K` (or [`System::with_channel_threads`])
+//! spreads phase A across K threads in per-cycle lockstep; results are
+//! bit-exact with the sequential path because both run the identical
+//! per-lane code and phase B is always sequential. Threads only pay off
+//! with multiple physical cores; the default is 1.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use cpu_model::{CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource};
 use dram_core::{AddressMapper, DeviceStats, DramAddr, DramDevice};
 use energy_model::{EnergyBreakdown, EnergyParams};
 use mem_ctrl::{McStats, MemoryController, ReqKind};
 
-use crate::config::{env_flag, SystemConfig};
+use crate::config::{env_flag, env_usize, SystemConfig};
 use crate::stats::RunStats;
 
 /// CPU-cycle cost of moving a filled line from the LLC to the core.
@@ -88,6 +105,228 @@ impl MemSide {
     }
 }
 
+/// Per-channel scheduling state for the memory-tick fast paths.
+struct LaneState {
+    /// The channel's controller provably cannot act before this memory
+    /// cycle (assuming no enqueues, which reset it to 0 = unknown).
+    /// Written back from ticks *and* from `channel_event` probes so a
+    /// fast-forward attempt never recomputes a bound it already knows.
+    next_event: u64,
+    /// The head of the pending-issue queue was rejected by
+    /// `can_accept`; capacity can only change when the controller
+    /// ticks, so the feed can be skipped until then.
+    head_blocked: bool,
+    /// Elided/jumped controller cycles not yet reported to
+    /// `account_idle_cycles`. The controller's alert state is constant
+    /// between two of its ticks (only ticks mutate the device), so
+    /// flushing the batch lazily — right before the next tick, or at
+    /// collection — accounts exactly the same `alert_service_cycles`
+    /// as per-cycle calls would, without a cross-crate call per cycle.
+    idle_owed: u64,
+}
+
+impl LaneState {
+    fn new() -> Self {
+        LaneState {
+            next_event: 0,
+            head_blocked: false,
+            idle_owed: 0,
+        }
+    }
+}
+
+/// Phase A for one channel: feed pending LLC misses/writebacks into the
+/// controller, then tick it — or provably elide the tick. Completions
+/// stay buffered inside the controller for phase B. This is the
+/// *entire* per-channel cycle work, shared verbatim by the sequential
+/// and threaded schedulers, which is what makes them bit-exact.
+fn lane_advance(
+    mc: &mut MemoryController,
+    pending: &mut VecDeque<PendingAccess>,
+    lane: &mut LaneState,
+    mem_cycle: u64,
+    fast_forward: bool,
+) {
+    // The capacity pre-check keeps a blocked head-of-queue from
+    // churning the controller's rejection statistics every memory cycle
+    // (and keeps blocked cycles side-effect-free for fast-forwarding).
+    if !lane.head_blocked {
+        while let Some(p) = pending.front() {
+            if !mc.can_accept(p.kind(), mc.bank_index(&p.addr)) {
+                lane.head_blocked = true;
+                break;
+            }
+            if mc.enqueue(p.kind(), p.addr, p.line, mem_cycle).is_none() {
+                debug_assert!(false, "can_accept promised capacity");
+                break;
+            }
+            pending.pop_front();
+            lane.next_event = 0;
+        }
+    }
+    if fast_forward && lane.next_event > mem_cycle {
+        // The controller provably cannot issue this cycle; eliding its
+        // tick changes nothing but the alert-window statistic, which
+        // the batched `idle_owed` flush keeps in step. No completions
+        // can appear from a tick that issues nothing.
+        lane.idle_owed += 1;
+        return;
+    }
+    if lane.idle_owed > 0 {
+        mc.account_idle_cycles(lane.idle_owed);
+        lane.idle_owed = 0;
+    }
+    lane.next_event = mc.tick(mem_cycle);
+    // The tick may have freed queue capacity; re-probe the head next
+    // cycle — exactly when the one-pass loop would have retried it.
+    lane.head_blocked = false;
+}
+
+/// Raw pointers to the per-channel arrays for one phase-A round. Lanes
+/// are partitioned by `channel % threads`, so concurrent workers always
+/// dereference disjoint elements.
+#[derive(Clone, Copy)]
+struct LaneJob {
+    mcs: *mut MemoryController,
+    pending: *mut VecDeque<PendingAccess>,
+    lanes: *mut LaneState,
+    channels: usize,
+    threads: usize,
+    mem_cycle: u64,
+    fast_forward: bool,
+}
+
+// SAFETY: a `LaneJob` is only dereferenced inside one phase-A round,
+// bracketed by the epoch/done handshake, and each thread touches only
+// its own `channel % threads` stripe of the arrays.
+unsafe impl Send for LaneJob {}
+
+impl LaneJob {
+    /// Advance this thread's stripe of lanes.
+    ///
+    /// # Safety
+    /// The pointed-to arrays must stay alive and unmoved for the whole
+    /// round, and no other thread may use the same `thread` index.
+    unsafe fn run_stripe(&self, thread: usize) {
+        let mut ch = thread;
+        while ch < self.channels {
+            lane_advance(
+                &mut *self.mcs.add(ch),
+                &mut *self.pending.add(ch),
+                &mut *self.lanes.add(ch),
+                self.mem_cycle,
+                self.fast_forward,
+            );
+            ch += self.threads;
+        }
+    }
+}
+
+/// Epoch-based handshake between the coordinating thread and the lane
+/// workers: the coordinator publishes a job, bumps `epoch`, works its
+/// own stripe, then waits for `done` to reach the worker count.
+struct CrewShared {
+    epoch: AtomicU64,
+    done: AtomicUsize,
+    stop: AtomicBool,
+    job: Mutex<Option<LaneJob>>,
+}
+
+/// Persistent worker threads for phase A, spawned lazily on the first
+/// `run()` with an effective thread count above 1 and parked (via
+/// yield-spinning) between memory cycles.
+struct ChannelCrew {
+    shared: Arc<CrewShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ChannelCrew {
+    fn spawn(threads: usize) -> Self {
+        let shared = Arc::new(CrewShared {
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            job: Mutex::new(None),
+        });
+        let workers = (1..threads)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qprac-lane-{t}"))
+                    .spawn(move || worker_loop(&shared, t))
+                    .expect("spawn channel worker")
+            })
+            .collect();
+        ChannelCrew { shared, workers }
+    }
+
+    /// Run one phase-A round: stripe 0 on the calling thread, the rest
+    /// on the crew.
+    fn round(&self, job: LaneJob) {
+        *self.shared.job.lock().expect("crew job lock") = Some(job);
+        self.shared.done.store(0, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        // SAFETY: stripe 0 is reserved for the coordinator; the arrays
+        // are fields of the `System` driving this round.
+        unsafe { job.run_stripe(0) };
+        let workers = self.workers.len();
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) < workers {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Drop for ChannelCrew {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &CrewShared, thread: usize) {
+    let mut seen = 0u64;
+    let mut spins = 0u32;
+    loop {
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        if epoch == seen {
+            spins += 1;
+            // Yield-heavy wait: crews may run on machines with fewer
+            // cores than threads, where spinning starves the
+            // coordinator.
+            if spins.is_multiple_of(16) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        seen = epoch;
+        spins = 0;
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let job = shared
+            .job
+            .lock()
+            .expect("crew job lock")
+            .expect("epoch bumped without a job");
+        // SAFETY: the coordinator published `job` for this epoch and
+        // waits for `done` before touching the arrays again; this
+        // thread's stripe is disjoint from every other stripe.
+        unsafe { job.run_stripe(thread) };
+        shared.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
 impl CoreMem for MemSide {
     fn load(&mut self, line: u64, token: u64) -> bool {
         match self.llc.access(line, false, token) {
@@ -133,12 +372,17 @@ pub struct System {
     /// Skip dead cycles (see the module docs); identical results either
     /// way, enforced by the differential tests.
     fast_forward: bool,
-    /// Cached per-channel `next_event` results: channel `c`'s controller
-    /// provably cannot act before `mc_next_event[c]` (assuming no
-    /// enqueues, which reset it to 0 = unknown). Lets `mem_tick` elide
-    /// whole controller ticks and `skip_dead_cycles` reuse the
-    /// aggregation instead of recomputing.
-    mc_next_event: Vec<u64>,
+    /// Per-channel scheduling state (cached `next_event` bounds and
+    /// blocked-head flags) letting `mem_tick` elide whole controller
+    /// ticks and `skip_dead_cycles` reuse the bounds instead of
+    /// recomputing them.
+    lane_state: Vec<LaneState>,
+    /// Requested phase-A parallelism (effective count is capped at the
+    /// channel count; 1 = sequential).
+    channel_threads: usize,
+    /// Lane workers, spawned lazily by `run()` when the effective
+    /// thread count exceeds 1.
+    crew: Option<ChannelCrew>,
     ff_attempts: u64,
     ff_jumps: u64,
     ff_skipped: u64,
@@ -207,7 +451,9 @@ impl System {
             mem_cycle: 0,
             clock_acc: 0,
             fast_forward: fast_forward_default(),
-            mc_next_event: vec![0; channels],
+            lane_state: (0..channels).map(|_| LaneState::new()).collect(),
+            channel_threads: env_usize("QPRAC_CHANNEL_THREADS", 1),
+            crew: None,
             ff_attempts: 0,
             ff_jumps: 0,
             ff_skipped: 0,
@@ -219,6 +465,15 @@ impl System {
     /// `QPRAC_NO_FASTFORWARD=1`); the differential tests run both.
     pub fn with_fast_forward(mut self, enabled: bool) -> Self {
         self.fast_forward = enabled;
+        self
+    }
+
+    /// Override the phase-A worker-thread count (defaults to
+    /// `QPRAC_CHANNEL_THREADS`, itself defaulting to 1 = sequential).
+    /// The effective count is capped at the channel count; results are
+    /// bit-exact at any setting, enforced by the differential tests.
+    pub fn with_channel_threads(mut self, threads: usize) -> Self {
+        self.channel_threads = threads.max(1);
         self
     }
 
@@ -266,71 +521,78 @@ impl System {
         }
     }
 
+    /// One memory cycle: phase A advances every lane (in parallel when
+    /// a crew is running), phase B drains completions in channel order.
     fn mem_tick(&mut self) {
-        for ch in 0..self.mcs.len() {
-            self.mem_tick_channel(ch);
-        }
-    }
-
-    fn mem_tick_channel(&mut self, ch: usize) {
-        // Feed pending LLC misses/writebacks into this channel's
-        // controller. The capacity pre-check keeps a blocked
-        // head-of-queue from churning the controller's rejection
-        // statistics every memory cycle (and keeps blocked cycles
-        // side-effect-free for fast-forwarding).
-        while let Some(p) = self.mem.pending_issue[ch].front() {
-            let mc = &mut self.mcs[ch];
-            if !mc.can_accept(p.kind(), mc.bank_index(&p.addr)) {
-                break;
+        let channels = self.mcs.len();
+        if let Some(crew) = &self.crew {
+            let threads = (self.channel_threads.min(channels)).max(1);
+            crew.round(LaneJob {
+                mcs: self.mcs.as_mut_ptr(),
+                pending: self.mem.pending_issue.as_mut_ptr(),
+                lanes: self.lane_state.as_mut_ptr(),
+                channels,
+                threads,
+                mem_cycle: self.mem_cycle,
+                fast_forward: self.fast_forward,
+            });
+        } else {
+            for ch in 0..channels {
+                lane_advance(
+                    &mut self.mcs[ch],
+                    &mut self.mem.pending_issue[ch],
+                    &mut self.lane_state[ch],
+                    self.mem_cycle,
+                    self.fast_forward,
+                );
             }
-            if mc
-                .enqueue(p.kind(), p.addr, p.line, self.mem_cycle)
-                .is_none()
-            {
-                debug_assert!(false, "can_accept promised capacity");
-                break;
-            }
-            self.mem.pending_issue[ch].pop_front();
-            self.mc_next_event[ch] = 0;
         }
-        if self.fast_forward && self.mc_next_event[ch] > self.mem_cycle {
-            // The controller provably cannot issue this cycle; eliding
-            // its tick changes nothing but the alert-window statistic,
-            // which `account_idle_cycles` keeps in step. No completions
-            // can appear from a tick that issues nothing.
-            self.mcs[ch].account_idle_cycles(1);
-            return;
-        }
-        self.mc_next_event[ch] = self.mcs[ch].tick(self.mem_cycle);
-        for done in self.mcs[ch].drain_completions() {
-            if !done.was_read {
+        // Phase B: deterministic channel-order drain of whatever the
+        // lanes completed this cycle. LLC fills, wakeups and victim
+        // writebacks all mutate shared state, so they stay sequential.
+        for ch in 0..channels {
+            if !self.mcs[ch].has_completions() {
                 continue;
             }
-            let out = self.mem.llc.fill(done.tag);
-            for token in out.waiters {
-                let due = self.cpu_cycle + FILL_TO_USE;
-                self.mem.ready.push(Reverse((due, token)));
-            }
-            if let Some(victim) = out.writeback {
-                // The victim decodes independently; it may target any
-                // channel, not necessarily this one.
-                self.mem.queue_access(victim, true);
+            for done in self.mcs[ch].drain_completions() {
+                if !done.was_read {
+                    continue;
+                }
+                let out = self.mem.llc.fill(done.tag);
+                for token in out.waiters {
+                    let due = self.cpu_cycle + FILL_TO_USE;
+                    self.mem.ready.push(Reverse((due, token)));
+                }
+                if let Some(victim) = out.writeback {
+                    // The victim decodes independently; it may target
+                    // any channel, not necessarily this one.
+                    self.mem.queue_access(victim, true);
+                }
             }
         }
     }
 
     /// The earliest memory cycle at which channel `ch` can do anything:
     /// accept its blocked head-of-queue access on the very next tick, or
-    /// issue its next possible command.
-    fn channel_event(&self, ch: usize) -> u64 {
-        match self.mem.pending_issue[ch].front() {
-            Some(p) if self.mcs[ch].can_accept(p.kind(), self.mcs[ch].bank_index(&p.addr)) => {
+    /// issue its next possible command. Freshly computed bounds are
+    /// written back to the lane state so repeated fast-forward attempts
+    /// (and the elide branch in `lane_advance`) reuse them for free.
+    fn channel_event(&mut self, ch: usize) -> u64 {
+        let lane = &self.lane_state[ch];
+        if let Some(p) = self.mem.pending_issue[ch].front() {
+            if !lane.head_blocked
+                && self.mcs[ch].can_accept(p.kind(), self.mcs[ch].bank_index(&p.addr))
+            {
                 // The very next memory tick will enqueue it.
-                self.mem_cycle + 1
+                return self.mem_cycle + 1;
             }
-            _ if self.mc_next_event[ch] > self.mem_cycle => self.mc_next_event[ch],
-            _ => self.mcs[ch].next_event(self.mem_cycle),
         }
+        if lane.next_event > self.mem_cycle {
+            return lane.next_event;
+        }
+        let bound = self.mcs[ch].next_event(self.mem_cycle);
+        self.lane_state[ch].next_event = bound;
+        bound
     }
 
     /// If every core is provably stalled on loads, jump the clocks to the
@@ -375,8 +637,8 @@ impl System {
             core.skip_stalled_cycles(skip);
         }
         let new_mem_cycle = 4 * self.cpu_cycle / 5;
-        for mc in &mut self.mcs {
-            mc.account_idle_cycles(new_mem_cycle - self.mem_cycle);
+        for lane in &mut self.lane_state {
+            lane.idle_owed += new_mem_cycle - self.mem_cycle;
         }
         self.mem_cycle = new_mem_cycle;
         self.clock_acc = 4 * self.cpu_cycle % 5;
@@ -387,6 +649,10 @@ impl System {
     pub fn run(mut self) -> RunStats {
         let safety_cap = self.cfg.instr_limit.saturating_mul(4000).max(10_000_000);
         let debug = env_flag("QPRAC_DEBUG_PROGRESS");
+        let threads = (self.channel_threads.min(self.mcs.len())).max(1);
+        if threads > 1 && self.crew.is_none() {
+            self.crew = Some(ChannelCrew::spawn(threads));
+        }
         while self.finished_at.iter().any(Option::is_none) {
             if self.fast_forward {
                 self.skip_dead_cycles();
@@ -416,7 +682,16 @@ impl System {
         self.collect()
     }
 
-    fn collect(self) -> RunStats {
+    fn collect(mut self) -> RunStats {
+        // Flush idle cycles still owed to each controller (the batch is
+        // exact because alert state cannot have changed since that
+        // controller's last tick).
+        for (mc, lane) in self.mcs.iter_mut().zip(&mut self.lane_state) {
+            if lane.idle_owed > 0 {
+                mc.account_idle_cycles(lane.idle_owed);
+                lane.idle_owed = 0;
+            }
+        }
         if env_flag("QPRAC_FF_STATS") {
             eprintln!(
                 "[sim] ff: cycles={} stepped={} skipped={} attempts={} jumps={}",
