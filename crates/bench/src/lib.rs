@@ -32,7 +32,7 @@ pub mod spec;
 
 pub use csv::CsvWriter;
 pub use runner::{
-    execute, execute_with, executor_from_env, run_specs, CellExecutor, LocalExecutor,
+    execute, execute_with, executor_from_env, run_specs, CellExecutor, FaultStats, LocalExecutor,
     RemoteExecutor, RunReport,
 };
 pub use spec::{ExperimentSpec, Job, JobResult, ResultSet};

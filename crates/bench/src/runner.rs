@@ -7,10 +7,13 @@
 //!
 //! - [`LocalExecutor`] (the default) runs cells on the in-process work
 //!   pool ([`crate::harness::parallel`], capped by `QPRAC_JOBS`);
-//! - [`RemoteExecutor`] (`QPRAC_REMOTE=host:port`) ships each cell's
-//!   canonical key to a `qprac-serve` daemon, so any number of figure
-//!   binaries, CI shards and sweeps share one warm cache and one worker
-//!   pool. `Engine` cells wrap local closures and always run locally.
+//! - [`RemoteExecutor`] (`QPRAC_REMOTE=host:port[,host:port...]`)
+//!   ships each cell's canonical key to a cluster of `qprac-serve`
+//!   replicas — with deadlines, jittered retry, circuit-breaker
+//!   failover and graceful degradation to the local pool — so any
+//!   number of figure binaries, CI shards and sweeps share one warm
+//!   cache and one worker pool. `Engine` cells wrap local closures and
+//!   always run locally.
 //!
 //! Identical cells shared by several figures — e.g. the unmitigated
 //! baseline of every sensitivity sweep — resolve exactly once per
@@ -18,6 +21,8 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sim::{RunCache, RunKey};
@@ -89,84 +94,302 @@ impl CellExecutor for LocalExecutor {
     }
 }
 
-/// Execution against a `qprac-serve` daemon (`QPRAC_REMOTE=host:port`).
-///
-/// Each pool worker keeps one pipelined connection for its whole share
-/// of the cells (a fresh connection per cell would make connection
-/// churn dominate warm passes) — the server is thread-per-connection
-/// and single-flights duplicate keys, so parallel workers never
-/// duplicate a simulation. [`Job::Engine`] cells (opaque local
-/// closures) run on the local pool as always.
-#[derive(Debug, Clone)]
-pub struct RemoteExecutor {
-    /// `host:port` of the daemon.
-    pub addr: String,
+/// Fault-path counters for one [`RemoteExecutor`]'s lifetime, printed
+/// as the greppable `remote-fault:` summary after a pass in which any
+/// of them fired.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Re-driven attempts after a retryable failure (per attempt, not
+    /// per cell).
+    pub retries: AtomicU64,
+    /// Attempts routed to a different replica than the previous one.
+    pub failovers: AtomicU64,
+    /// Circuit-breaker open events (including half-open probes that
+    /// failed and re-opened).
+    pub breaker_opens: AtomicU64,
+    /// Cells that exhausted every remote avenue and ran on the local
+    /// pool instead.
+    pub local_fallbacks: AtomicU64,
+    /// Whether the one-line local-fallback warning has been printed.
+    warned: AtomicBool,
+}
+
+impl FaultStats {
+    /// The `remote-fault:` one-liner, or `None` when nothing went wrong
+    /// (the common case — silence is the healthy signal).
+    pub fn summary(&self) -> Option<String> {
+        let (r, f, b, l) = (
+            self.retries.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.breaker_opens.load(Ordering::Relaxed),
+            self.local_fallbacks.load(Ordering::Relaxed),
+        );
+        if r + f + b + l == 0 {
+            return None;
+        }
+        Some(format!(
+            "remote-fault: retries={r} failovers={f} breaker-opens={b} local-fallbacks={l}"
+        ))
+    }
+}
+
+/// Per-replica health as seen by one pool worker: the cached pipelined
+/// connection plus the circuit-breaker bookkeeping. Worker-local (no
+/// cross-thread sharing) so a slow replica discovered by one worker
+/// never serializes the others behind a lock.
+#[derive(Default)]
+struct ReplicaState {
+    client: Option<qprac_serve::Client>,
+    /// Consecutive failures; reset on any success.
+    fails: u32,
+    /// `Some(t)` = breaker open until `t`; after `t` the next pick is a
+    /// half-open probe (success closes it, failure re-opens).
+    open_until: Option<Instant>,
+}
+
+impl ReplicaState {
+    fn available(&self, now: Instant) -> bool {
+        self.open_until.is_none_or(|t| now >= t)
+    }
 }
 
 std::thread_local! {
-    /// One cached connection per pool worker thread, keyed by address
-    /// (worker threads are fresh per `parallel` call, but the executor
-    /// may also run on a caller's long-lived thread).
-    static REMOTE_CLIENT: std::cell::RefCell<Option<(String, qprac_serve::Client)>> =
-        const { std::cell::RefCell::new(None) };
+    /// Per-worker replica table, keyed by address (worker threads are
+    /// fresh per `parallel` call, but the executor may also run on a
+    /// caller's long-lived thread).
+    static REPLICAS: std::cell::RefCell<HashMap<String, ReplicaState>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// Execution against a cluster of `qprac-serve` replicas
+/// (`QPRAC_REMOTE=host:port[,host:port...]`), with the full
+/// fault-tolerance stack:
+///
+/// - every connect/read/write carries the `QPRAC_REMOTE_TIMEOUT_MS`
+///   deadline, so a hung replica costs one timeout, never a stalled
+///   pool worker;
+/// - retryable failures (transport errors, a panicked worker's
+///   single-flight poison) are re-driven with jittered exponential
+///   backoff, deterministic per cell (seeded from [`RunKey::hash`]);
+/// - attempts rotate across replicas; a per-worker circuit breaker
+///   opens after [`Self::BREAKER_THRESHOLD`] consecutive failures and
+///   half-open-probes after a cooldown, so dead replicas stop eating
+///   timeouts;
+/// - a cell that exhausts every attempt (or hits an authoritative
+///   server error) degrades to the local pool — one warning line, the
+///   figure completes.
+///
+/// Retrying is safe by design: the protocol is key-only and
+/// idempotent, so at-least-once delivery can only cost duplicate work
+/// (which the server's single-flight layer coalesces anyway), never
+/// wrong results. Each pool worker keeps one pipelined connection per
+/// replica (fresh connections per cell would make churn dominate warm
+/// passes). [`Job::Engine`] cells (opaque local closures) run on the
+/// local pool as always.
+#[derive(Debug, Clone)]
+pub struct RemoteExecutor {
+    replicas: Vec<String>,
+    timeout: Duration,
+    policy: qprac_serve::RetryPolicy,
+    cooldown: Duration,
+    stats: Arc<FaultStats>,
 }
 
 impl RemoteExecutor {
-    fn run_remote(&self, key: &RunKey) -> JobResult {
-        REMOTE_CLIENT.with(|slot| {
-            let mut slot = slot.borrow_mut();
-            // Two attempts: a cached connection may have gone stale
-            // (server restart, idle timeout); retry once on a fresh one.
-            for attempt in 0..2 {
-                if slot.as_ref().is_none_or(|(addr, _)| *addr != self.addr) {
-                    let client =
-                        qprac_serve::Client::connect(self.addr.as_str()).unwrap_or_else(|e| {
-                            panic!("cannot reach qprac-serve at {}: {e}", self.addr)
-                        });
-                    *slot = Some((self.addr.clone(), client));
+    /// Consecutive failures before a worker's breaker opens for a
+    /// replica.
+    pub const BREAKER_THRESHOLD: u32 = 3;
+    /// Default breaker cooldown before the half-open probe.
+    pub const BREAKER_COOLDOWN: Duration = Duration::from_millis(1_000);
+
+    /// Build from a comma-separated replica list (`host:port[,...]`;
+    /// whitespace and empty entries tolerated). An empty list is legal
+    /// and degrades every cell to the local pool.
+    pub fn new(addrs: &str) -> RemoteExecutor {
+        RemoteExecutor {
+            replicas: addrs
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
+            timeout: qprac_serve::timeout_from_env(),
+            policy: qprac_serve::RetryPolicy::default(),
+            cooldown: Self::BREAKER_COOLDOWN,
+            stats: Arc::new(FaultStats::default()),
+        }
+    }
+
+    /// Override the per-operation deadline (tests use short ones).
+    pub fn with_timeout(mut self, timeout: Duration) -> RemoteExecutor {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Override the retry/backoff policy.
+    pub fn with_retry(mut self, policy: qprac_serve::RetryPolicy) -> RemoteExecutor {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the breaker cooldown.
+    pub fn with_cooldown(mut self, cooldown: Duration) -> RemoteExecutor {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// The configured replica list, in rotation order.
+    pub fn replicas(&self) -> &[String] {
+        &self.replicas
+    }
+
+    /// The fault counters accumulated so far (shared across clones).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// One remote attempt against `addr` through the worker's cached
+    /// connection (opening it if needed, with deadlines).
+    fn attempt(
+        &self,
+        state: &mut ReplicaState,
+        addr: &str,
+        key: &RunKey,
+    ) -> Result<JobResult, qprac_serve::ClientError> {
+        if state.client.is_none() {
+            state.client = Some(qprac_serve::Client::connect_timeout(addr, self.timeout)?);
+        }
+        state.client.as_mut().unwrap().run(key)
+    }
+
+    /// Record a success: close the breaker, keep the connection.
+    fn note_success(state: &mut ReplicaState) {
+        state.fails = 0;
+        state.open_until = None;
+    }
+
+    /// Record a failure: drop the (possibly poisoned) connection and
+    /// open / re-open the breaker when warranted.
+    fn note_failure(&self, state: &mut ReplicaState, now: Instant) {
+        state.client = None;
+        state.fails += 1;
+        // A failed half-open probe re-opens immediately; otherwise open
+        // once the consecutive-failure threshold is crossed.
+        if state.open_until.is_some() || state.fails >= Self::BREAKER_THRESHOLD {
+            state.open_until = Some(now + self.cooldown);
+            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drive one cell through the retry/failover ladder. `Err` carries
+    /// the reason the cell must fall back to the local pool.
+    fn run_remote(&self, key: &RunKey) -> Result<JobResult, String> {
+        let n = self.replicas.len();
+        if n == 0 {
+            return Err("no replicas configured".into());
+        }
+        let seed = key.hash();
+        let sleeps = qprac_serve::schedule(seed, self.policy);
+        let mut last_err = String::from("no attempt made");
+        let mut last_replica: Option<usize> = None;
+        REPLICAS.with(|cell| {
+            let mut table = cell.borrow_mut();
+            for attempt in 0..self.policy.attempts.max(1) as usize {
+                if attempt > 0 {
+                    std::thread::sleep(sleeps[attempt - 1]);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
                 }
-                match slot.as_mut().unwrap().1.run(key) {
-                    Ok(result) => return result,
-                    // A server-side ERR is authoritative (bad cell);
-                    // the connection itself is still fine.
-                    Err(e @ qprac_serve::ClientError::Server(_)) => {
-                        panic!("remote cell {key} failed: {e}")
+                let now = Instant::now();
+                // Rotate the starting replica by key so load spreads,
+                // then by attempt so a retry prefers a different
+                // replica; skip open breakers.
+                let Some(idx) = (0..n)
+                    .map(|off| (seed as usize).wrapping_add(attempt + off) % n)
+                    .find(|&i| {
+                        table
+                            .entry(self.replicas[i].clone())
+                            .or_default()
+                            .available(now)
+                    })
+                else {
+                    last_err = format!("all {n} replica breaker(s) open");
+                    continue; // the backoff sleep may outlive a cooldown
+                };
+                if last_replica.is_some_and(|prev| prev != idx) {
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                last_replica = Some(idx);
+                let addr = &self.replicas[idx];
+                let state = table.get_mut(addr).expect("entry inserted above");
+                match self.attempt(state, addr, key) {
+                    Ok(result) => {
+                        Self::note_success(state);
+                        return Ok(result);
                     }
-                    Err(e @ qprac_serve::ClientError::Io(_)) => {
-                        *slot = None;
-                        if attempt == 1 {
-                            panic!("remote cell {key} failed after reconnect: {e}");
+                    Err(e) => {
+                        let retryable = e.is_retryable();
+                        self.note_failure(state, Instant::now());
+                        last_err = format!("{addr}: {e}");
+                        if !retryable {
+                            // Authoritative rejection: the same key
+                            // fails the same way on every replica.
+                            return Err(last_err);
                         }
                     }
                 }
             }
-            unreachable!("both remote attempts returned");
+            Err(last_err)
         })
+    }
+
+    /// The graceful-degradation tail: count it, warn once, run locally.
+    fn fall_back_local(&self, job: &Job, key: &RunKey, why: &str) -> JobResult {
+        self.stats.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if !self.stats.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: remote execution failed for {key} ({why}); \
+                 falling back to the local pool (further fallbacks counted, not logged)"
+            );
+        }
+        job.run()
     }
 }
 
 impl CellExecutor for RemoteExecutor {
     fn describe(&self) -> String {
-        format!("remote qprac-serve at {}", self.addr)
+        format!(
+            "remote qprac-serve at {} ({} replica(s), timeout {:?})",
+            self.replicas.join(","),
+            self.replicas.len(),
+            self.timeout,
+        )
     }
 
     fn execute_cells(&self, cells: &[(&Job, RunKey)]) -> Vec<JobResult> {
-        parallel(cells.len(), |i| {
+        let out = parallel(cells.len(), |i| {
             let (job, key) = &cells[i];
             if matches!(job, Job::Engine { .. }) {
                 job.run()
             } else {
-                self.run_remote(key)
+                match self.run_remote(key) {
+                    Ok(result) => result,
+                    Err(why) => self.fall_back_local(job, key, &why),
+                }
             }
-        })
+        });
+        if let Some(line) = self.stats.summary() {
+            println!("{line}");
+        }
+        out
     }
 }
 
 /// The executor selected by the environment: [`RemoteExecutor`] when
-/// `QPRAC_REMOTE` is set (unset/empty/`0` = off), else [`LocalExecutor`].
+/// `QPRAC_REMOTE` is set (unset/empty/`0` = off; a comma-separated
+/// list enables failover), else [`LocalExecutor`].
 pub fn executor_from_env() -> Box<dyn CellExecutor> {
     match sim::env_opt("QPRAC_REMOTE") {
-        Some(addr) => Box::new(RemoteExecutor { addr }),
+        Some(addrs) => Box::new(RemoteExecutor::new(&addrs)),
         None => Box::new(LocalExecutor),
     }
 }
@@ -234,9 +457,22 @@ pub fn execute_with(
         to_run.len(),
         "executor must answer every cell"
     );
+    let mut first_store_err: Option<io::Error> = None;
     for ((_, key), out) in to_run.into_iter().zip(outputs) {
-        cache.store(&key, &out);
+        if let Err(e) = cache.store(&key, &out) {
+            first_store_err.get_or_insert(e);
+        }
         results.insert(key, out);
+    }
+    if cache.failed_stores() > 0 {
+        eprintln!(
+            "warning: {} run-cache store(s) failed (first: {}); results are unaffected, \
+             the cells will re-simulate next pass",
+            cache.failed_stores(),
+            first_store_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "see earlier passes".into()),
+        );
     }
     // Keep the persistent cache inside its size budget (a no-op unless
     // QPRAC_RUN_CACHE_MAX_MB is set / with_max_bytes was called).
@@ -347,5 +583,139 @@ mod tests {
     fn executor_from_env_defaults_to_local() {
         // QPRAC_REMOTE is not set in the test environment.
         assert_eq!(executor_from_env().describe(), "local pool");
+    }
+
+    #[test]
+    fn replica_lists_parse_with_whitespace_and_empty_entries() {
+        let exec = RemoteExecutor::new(" a:1 , ,b:2,");
+        assert_eq!(exec.replicas(), ["a:1".to_string(), "b:2".to_string()]);
+        assert!(RemoteExecutor::new("").replicas().is_empty());
+        assert!(RemoteExecutor::new(",, ,").replicas().is_empty());
+    }
+
+    /// A listener that accepts connections and never answers them —
+    /// the pathological peer the per-operation deadline exists for.
+    fn hung_listener() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for conn in listener.incoming() {
+                held.push(conn);
+            }
+        });
+        addr
+    }
+
+    fn tiny_workload_job() -> (Job, RunKey) {
+        use cpu_model::WorkloadSpec;
+        use sim::{MitigationKind, SystemConfig};
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(MitigationKind::Qprac)
+            .with_instruction_limit(300);
+        let job = Job::workload(cfg, WorkloadSpec::by_name("ycsb/a_like").unwrap());
+        let key = job.key();
+        (job, key)
+    }
+
+    /// Acceptance pin: a hung replica costs bounded timeouts, the
+    /// worker's circuit breaker opens after the consecutive-failure
+    /// threshold, and the cell still completes (here: on the local
+    /// pool, since the hung replica is the only one).
+    #[test]
+    fn hung_replica_opens_the_breaker_and_the_cell_completes() {
+        let (job, key) = tiny_workload_job();
+        let exec = RemoteExecutor::new(&hung_listener())
+            .with_timeout(Duration::from_millis(120))
+            .with_retry(qprac_serve::RetryPolicy {
+                attempts: 5,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            })
+            .with_cooldown(Duration::from_secs(30));
+        let t0 = Instant::now();
+        let out = exec.execute_cells(&[(&job, key)]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], JobResult::Stats(_)));
+        // 3 timeouts open the breaker; attempts 4-5 skip it instantly.
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadlines must bound the stall (took {:?})",
+            t0.elapsed()
+        );
+        let stats = exec.fault_stats();
+        assert!(stats.breaker_opens.load(Ordering::Relaxed) >= 1);
+        assert!(stats.retries.load(Ordering::Relaxed) >= RemoteExecutor::BREAKER_THRESHOLD as u64);
+        assert_eq!(stats.local_fallbacks.load(Ordering::Relaxed), 1);
+    }
+
+    /// With a healthy replica beside the hung one, the cell completes
+    /// remotely: the deadline fires, the attempt rotates over, and no
+    /// local fallback is needed.
+    #[test]
+    fn failover_routes_around_a_hung_replica() {
+        let (job, key) = tiny_workload_job();
+        let live = qprac_serve::Server::bind("127.0.0.1:0", qprac_serve::ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap()
+            .to_string();
+        let hung = hung_listener();
+        // Arrange the list so attempt 0 deterministically picks the
+        // hung replica (the rotation starts at key.hash() % n).
+        let addrs = if key.hash() % 2 == 0 {
+            format!("{hung},{live}")
+        } else {
+            format!("{live},{hung}")
+        };
+        let exec = RemoteExecutor::new(&addrs)
+            .with_timeout(Duration::from_millis(150))
+            .with_retry(qprac_serve::RetryPolicy {
+                attempts: 4,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            });
+        let out = exec.execute_cells(&[(&job, key)]);
+        assert!(matches!(out[0], JobResult::Stats(_)));
+        let stats = exec.fault_stats();
+        assert!(stats.retries.load(Ordering::Relaxed) >= 1, "hung first");
+        assert!(stats.failovers.load(Ordering::Relaxed) >= 1, "rotated over");
+        assert_eq!(
+            stats.local_fallbacks.load(Ordering::Relaxed),
+            0,
+            "the healthy replica must answer"
+        );
+    }
+
+    /// A server-side rejection ("unknown workload") is authoritative:
+    /// every replica would answer the same, so the executor must not
+    /// burn the retry ladder before degrading.
+    #[test]
+    fn authoritative_server_errors_skip_retries() {
+        use sim::SystemConfig;
+        let live = qprac_serve::Server::bind("127.0.0.1:0", qprac_serve::ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap()
+            .to_string();
+        let exec = RemoteExecutor::new(&live);
+        let cfg = SystemConfig::paper_default().with_instruction_limit(100);
+        let err = exec
+            .run_remote(&RunKey::workload(&cfg, "nope/nope"))
+            .unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        assert_eq!(
+            exec.fault_stats().retries.load(Ordering::Relaxed),
+            0,
+            "authoritative errors must not burn the retry ladder"
+        );
+        // Sanity: the same executor still serves good keys remotely.
+        let good = exec
+            .run_remote(&RunKey::workload(
+                &cfg.with_mitigation(sim::MitigationKind::Qprac),
+                "ycsb/a_like",
+            ))
+            .unwrap();
+        assert!(matches!(good, JobResult::Stats(_)));
     }
 }

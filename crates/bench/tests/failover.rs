@@ -1,0 +1,173 @@
+//! Fault-tolerance integration for the spec runner: a flaky two-replica
+//! cluster (one replica dead, deterministic chaos on the survivor) must
+//! emit byte-identical CSVs to local execution, and an
+//! all-replicas-down cluster must degrade to the local pool and still
+//! complete — the figure never has holes.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use cpu_model::WorkloadSpec;
+use qprac_bench::{execute_with, CsvWriter, ExperimentSpec, Job, LocalExecutor, RemoteExecutor};
+use qprac_serve::{ChaosSpec, RetryPolicy, Server, ServerConfig};
+use sim::{MitigationKind, RunCache, SystemConfig};
+
+const INSTR: u64 = 400;
+
+/// A small heterogeneous suite: two workloads under two mitigations
+/// (sharing baselines) plus an engine cell that must stay client-side.
+fn make_specs(dir: PathBuf) -> Vec<ExperimentSpec> {
+    let base = SystemConfig::paper_default()
+        .with_instruction_limit(INSTR)
+        .with_mitigation(MitigationKind::None);
+    let qprac = base.clone().with_mitigation(MitigationKind::Qprac);
+    let workloads = ["ycsb/a_like", "ycsb/c_like"];
+    let mut jobs = Vec::new();
+    for w in workloads {
+        let spec = WorkloadSpec::by_name(w).unwrap();
+        for cfg in [&base, &qprac] {
+            jobs.push(Job::workload(cfg.clone(), spec.clone()));
+        }
+    }
+    jobs.push(Job::engine("failover:probe", || 4242));
+    let emit_dir = dir.clone();
+    vec![ExperimentSpec::new("failover", jobs, move |r| {
+        let mut csv = CsvWriter::create_in(&emit_dir, "failover", &["workload", "qprac", "probe"])?;
+        let base = SystemConfig::paper_default()
+            .with_instruction_limit(INSTR)
+            .with_mitigation(MitigationKind::None);
+        let qprac = base.clone().with_mitigation(MitigationKind::Qprac);
+        let probe = r.engine("failover:probe");
+        for w in ["ycsb/a_like", "ycsb/c_like"] {
+            let spec = WorkloadSpec::by_name(w).unwrap();
+            let b = r.stats(&base, &spec);
+            let q = r.stats(&qprac, &spec).normalized_perf(b);
+            csv.row(&[w.into(), format!("{q:.6}"), probe.to_string()])?;
+        }
+        Ok(())
+    })]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qprac-failover-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_csv(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("failover.csv")).expect("emitted csv")
+}
+
+/// An address that refuses connections: bind an ephemeral port, then
+/// free it (the closed port stands in for a killed replica).
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn flaky_cluster_emits_byte_identical_csvs() {
+    // Ground truth: a pure local pass.
+    let local_dir = temp_dir("local");
+    execute_with(
+        &make_specs(local_dir.clone()),
+        &LocalExecutor,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    let local_csv = read_csv(&local_dir);
+
+    // A two-replica cluster where one replica is dead and the survivor
+    // runs seeded chaos: delayed reads, truncated frames, and one
+    // single-flight leader killed mid-simulation. Every fault is
+    // retryable; the cluster may be slow but must never be wrong.
+    let survivor = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            chaos: Some(ChaosSpec::parse("7:delay=0.2/10,trunc=0.1,kill=1").unwrap()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+    .to_string();
+    let remote = RemoteExecutor::new(&format!("{},{survivor}", dead_addr()))
+        .with_timeout(Duration::from_secs(10))
+        .with_retry(RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+        });
+    let remote_dir = temp_dir("remote");
+    execute_with(
+        &make_specs(remote_dir.clone()),
+        &remote,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        read_csv(&remote_dir),
+        local_csv,
+        "a chaotic cluster must slow results down, never change them"
+    );
+    // The dead replica forced rotation; chaos forced re-drives.
+    let stats = remote.fault_stats();
+    assert!(stats.failovers.load(Ordering::Relaxed) >= 1, "dead replica");
+
+    for dir in [local_dir, remote_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn all_replicas_down_degrades_to_the_local_pool() {
+    let local_dir = temp_dir("truth");
+    execute_with(
+        &make_specs(local_dir.clone()),
+        &LocalExecutor,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    let local_csv = read_csv(&local_dir);
+
+    // Two replicas, both refusing connections: every remotable cell
+    // must exhaust its ladder fast and complete on the local pool.
+    let remote = RemoteExecutor::new(&format!("{},{}", dead_addr(), dead_addr()))
+        .with_timeout(Duration::from_millis(200))
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        });
+    let down_dir = temp_dir("down");
+    execute_with(
+        &make_specs(down_dir.clone()),
+        &remote,
+        &RunCache::disabled(),
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        read_csv(&down_dir),
+        local_csv,
+        "graceful degradation must preserve results exactly"
+    );
+    assert_eq!(
+        remote.fault_stats().local_fallbacks.load(Ordering::Relaxed),
+        4,
+        "all 4 remotable workload cells degrade locally (the engine cell never leaves)"
+    );
+
+    for dir in [local_dir, down_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

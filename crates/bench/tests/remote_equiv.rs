@@ -103,9 +103,7 @@ fn remote_execution_is_byte_identical_to_local() {
         .unwrap()
         .spawn()
         .unwrap();
-    let remote = RemoteExecutor {
-        addr: addr.to_string(),
-    };
+    let remote = RemoteExecutor::new(&addr.to_string());
     let remote_dir = temp_dir("remote");
     execute_with(
         &make_specs(remote_dir.clone()),

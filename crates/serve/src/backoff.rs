@@ -1,0 +1,194 @@
+//! Deterministic jittered exponential backoff.
+//!
+//! Retrying a remote cell needs jitter (synchronized retries from a
+//! whole worker pool would hammer a recovering replica in lockstep) but
+//! the test suite needs reproducibility — so the jitter comes from a
+//! [`SplitMix64`] PRNG seeded by the caller, typically with the cell's
+//! [`sim::RunKey::hash`]. Same key, same schedule, every run.
+//!
+//! The schedule is *full jitter over the upper half*: attempt `i`
+//! sleeps a uniform value in `[base·2ⁱ/2, base·2ⁱ]`, capped. The lower
+//! bound keeps a floor under the wait (pure full jitter can draw ~0 and
+//! retry hot); the exponential upper bound spreads a thundering herd.
+
+use std::time::Duration;
+
+/// A tiny, seedable, std-only PRNG (Steele et al., *Fast Splittable
+/// Pseudorandom Number Generators*). Used for backoff jitter and for
+/// [`crate::chaos`] fault decisions — NOT cryptographic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the generator. Any seed is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to
+    /// `[0, 1]`). Always consumes exactly one `u64` of state, so a
+    /// spec with `p = 0` still advances deterministically.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Bounds of one retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). 1 = no retries.
+    pub attempts: u32,
+    /// Backoff base: the upper bound of the first retry's sleep.
+    pub base: Duration,
+    /// Ceiling on any single sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 25 ms base, 400 ms cap — ~1 s of total backoff
+    /// worst-case, far below any sane per-cell deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The full sleep schedule for one key: `attempts - 1` durations, the
+/// sleep *before* each retry. Deterministic in `(seed, policy)`.
+pub fn schedule(seed: u64, policy: RetryPolicy) -> Vec<Duration> {
+    let mut rng = SplitMix64::new(seed);
+    let cap = policy.cap.as_micros() as u64;
+    (0..policy.attempts.saturating_sub(1))
+        .map(|i| {
+            let upper = (policy.base.as_micros() as u64)
+                .saturating_mul(1u64 << i.min(20))
+                .min(cap)
+                .max(1);
+            let jittered = upper / 2 + (rng.next_f64() * (upper - upper / 2) as f64) as u64;
+            Duration::from_micros(jittered)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_well_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        let mut uniq = xs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), xs.len(), "no short cycles at this scale");
+        let mut c = SplitMix64::new(43);
+        assert_ne!(c.next_u64(), xs[0], "different seed, different stream");
+    }
+
+    #[test]
+    fn chance_respects_edges_and_advances_state() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+        }
+        for _ in 0..100 {
+            assert!(rng.chance(1.1), "p >= 1 always fires");
+        }
+        // p=0 draws still advance the stream (position-determinism).
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let _ = a.chance(0.0);
+        let _ = b.chance(1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn schedule_is_pinned_under_a_fixed_seed() {
+        // The acceptance criterion: exact, reproducible values. If the
+        // jitter formula changes these change — update them consciously.
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        };
+        let a = schedule(0xDEAD_BEEF, policy);
+        let b = schedule(0xDEAD_BEEF, policy);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 3);
+        let micros: Vec<u64> = a.iter().map(|d| d.as_micros() as u64).collect();
+        assert_eq!(micros, vec![16155, 46713, 50414]);
+        // A different seed jitters differently within the same bounds.
+        let c = schedule(1, policy);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schedule_bounds_hold_for_any_seed() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+        };
+        for seed in 0..200u64 {
+            for (i, d) in schedule(seed, policy).iter().enumerate() {
+                let upper = Duration::from_millis((10u64 << i).min(80));
+                assert!(*d <= upper, "seed {seed} attempt {i}: {d:?} > {upper:?}");
+                assert!(
+                    *d >= upper / 2,
+                    "seed {seed} attempt {i}: {d:?} below the jitter floor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_policies_are_safe() {
+        assert!(schedule(
+            5,
+            RetryPolicy {
+                attempts: 1,
+                ..RetryPolicy::default()
+            }
+        )
+        .is_empty());
+        assert!(schedule(
+            5,
+            RetryPolicy {
+                attempts: 0,
+                ..RetryPolicy::default()
+            }
+        )
+        .is_empty());
+        // Zero base still yields non-panicking (>= 0) sleeps.
+        let zs = schedule(
+            5,
+            RetryPolicy {
+                attempts: 3,
+                base: Duration::ZERO,
+                cap: Duration::ZERO,
+            },
+        );
+        assert_eq!(zs.len(), 2);
+    }
+}

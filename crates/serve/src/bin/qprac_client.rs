@@ -6,14 +6,17 @@
 //! commands:
 //!   ping           liveness probe (exit 0 iff the server answers)
 //!   stats          print the server's counter block
+//!   health         print the server's HEALTH block (uptime, queue)
+//!   shutdown       ask the server to drain and exit gracefully
 //!   run <key>      submit one canonical run key, print the payload
 //!   batch          read keys from stdin (one per line), submit each in
 //!                  order, print `=== <key>` headers + payloads
 //! ```
 //!
-//! The address defaults to `QPRAC_REMOTE`, then `127.0.0.1:7117` — the
-//! same knob the bench runner uses, so `QPRAC_REMOTE=host:port
-//! qprac-client stats` inspects exactly the server a sweep talks to.
+//! The address defaults to `QPRAC_REMOTE` (first replica if it is a
+//! comma-separated list), then `127.0.0.1:7117` — the same knob the
+//! bench runner uses, so `QPRAC_REMOTE=host:port qprac-client stats`
+//! inspects exactly the server a sweep talks to.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -21,13 +24,22 @@ use std::process::ExitCode;
 use qprac_serve::{Client, DEFAULT_ADDR};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: qprac-client [--addr host:port] <ping|stats|run <key>|batch>");
+    eprintln!(
+        "usage: qprac-client [--addr host:port] <ping|stats|health|shutdown|run <key>|batch>"
+    );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut addr = sim::env_opt("QPRAC_REMOTE").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let mut addr = sim::env_opt("QPRAC_REMOTE")
+        .and_then(|list| {
+            list.split(',')
+                .map(str::trim)
+                .find(|s| !s.is_empty())
+                .map(String::from)
+        })
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
     if args.first().map(String::as_str) == Some("--addr") {
         if args.len() < 2 {
             return usage();
@@ -48,6 +60,8 @@ fn main() -> ExitCode {
     let outcome = match (command.as_str(), args.get(1)) {
         ("ping", None) => client.ping().map(|()| println!("pong from {addr}")),
         ("stats", None) => client.stats().map(|s| println!("{s}")),
+        ("health", None) => client.health().map(|s| println!("{s}")),
+        ("shutdown", None) => client.shutdown().map(|()| println!("draining {addr}")),
         ("run", Some(key)) => client.run_key_text(key).map(|r| {
             println!("{}", r.payload());
         }),

@@ -8,7 +8,9 @@
 //! Tuning comes from the shared env knobs: `QPRAC_JOBS` (simulation
 //! worker bound), `QPRAC_SERVE_LRU` (in-memory entries),
 //! `QPRAC_RUN_CACHE` / `QPRAC_RUN_CACHE_MAX_MB` (persistent disk tier
-//! and its GC budget). Serves until killed.
+//! and its GC budget), `QPRAC_CHAOS` (seeded fault injection for
+//! tests/CI). Serves until a `SHUTDOWN` request (`qprac-client
+//! shutdown`), which drains in-flight work and exits 0.
 
 use qprac_serve::{Server, ServerConfig, DEFAULT_ADDR};
 
@@ -33,5 +35,7 @@ fn main() -> std::io::Result<()> {
         "qprac-serve: listening on {} (workers={workers}, lru={lru}, disk-cache={disk})",
         server.local_addr()?,
     );
-    server.serve()
+    server.serve()?;
+    println!("qprac-serve: drained and stopped");
+    Ok(())
 }

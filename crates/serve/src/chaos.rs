@@ -1,0 +1,387 @@
+//! Deterministic fault injection for the service stack.
+//!
+//! `QPRAC_CHAOS=<seed>:<spec>` arms a seeded fault injector inside the
+//! server: connections can be dropped at accept, reads delayed, response
+//! frames truncated mid-payload, and single-flight *leaders* killed
+//! mid-simulation (exercising the poison-publication path that keeps
+//! followers from hanging). The injector is std-only and driven by one
+//! [`SplitMix64`] stream, so a given seed produces a reproducible fault
+//! sequence — the chaos integration suite replays the same flaky
+//! cluster on every run.
+//!
+//! `<spec>` is a comma-separated fault list:
+//!
+//! | token        | fault                                                |
+//! |--------------|------------------------------------------------------|
+//! | `drop=P`     | close an accepted connection immediately, prob. `P`  |
+//! | `delay=P/MS` | stall a socket read `MS` ms, probability `P`         |
+//! | `trunc=P`    | cut a response frame mid-payload and kill the socket |
+//! | `kill=N`     | panic the first `N` single-flight leaders mid-run    |
+//!
+//! e.g. `QPRAC_CHAOS=7:drop=0.05,delay=0.1/20,trunc=0.05,kill=1`.
+//!
+//! Faults are *transient by construction* — every one maps to an error
+//! the retry/failover path classifies as retryable, so a chaotic
+//! cluster slows clients down but never changes their results (the
+//! key-only protocol is idempotent; re-driving a key is always safe).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::backoff::SplitMix64;
+
+/// Parsed `QPRAC_CHAOS` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// PRNG seed for every probabilistic fault decision.
+    pub seed: u64,
+    /// Probability an accepted connection is dropped on the floor.
+    pub drop_prob: f64,
+    /// Probability any single read is delayed by [`Self::delay`].
+    pub delay_prob: f64,
+    /// Read-stall injected when the delay fault fires.
+    pub delay: Duration,
+    /// Probability a response write is truncated mid-frame.
+    pub trunc_prob: f64,
+    /// Number of single-flight leaders to kill (a budget, not a
+    /// probability: tests need "exactly one leader dies").
+    pub kill_leaders: u32,
+}
+
+impl ChaosSpec {
+    /// Parse `<seed>:<spec>` (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<ChaosSpec, String> {
+        let (seed, tokens) = text
+            .split_once(':')
+            .ok_or_else(|| format!("chaos spec {text:?}: expected <seed>:<faults>"))?;
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|_| format!("chaos spec {text:?}: seed must be a u64"))?;
+        let mut spec = ChaosSpec {
+            seed,
+            ..ChaosSpec::default()
+        };
+        for token in tokens.split(',').filter(|t| !t.trim().is_empty()) {
+            let (name, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("chaos fault {token:?}: expected name=value"))?;
+            let parse_prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("chaos fault {token:?}: bad probability"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos fault {token:?}: probability outside [0,1]"));
+                }
+                Ok(p)
+            };
+            match name.trim() {
+                "drop" => spec.drop_prob = parse_prob(value)?,
+                "trunc" => spec.trunc_prob = parse_prob(value)?,
+                "delay" => {
+                    let (p, ms) = value
+                        .split_once('/')
+                        .ok_or_else(|| format!("chaos fault {token:?}: expected delay=P/MS"))?;
+                    spec.delay_prob = parse_prob(p)?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("chaos fault {token:?}: bad delay ms"))?;
+                    spec.delay = Duration::from_millis(ms);
+                }
+                "kill" => {
+                    spec.kill_leaders = value
+                        .parse()
+                        .map_err(|_| format!("chaos fault {token:?}: kill takes a count"))?;
+                }
+                other => return Err(format!("unknown chaos fault {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The `QPRAC_CHAOS` environment knob (unset/empty/`0` = off).
+    /// A malformed spec aborts loudly — silently running *without*
+    /// requested fault injection would make a chaos CI pass vacuous.
+    pub fn from_env() -> Option<ChaosSpec> {
+        let text = sim::env_opt("QPRAC_CHAOS")?;
+        match ChaosSpec::parse(&text) {
+            Ok(spec) => Some(spec),
+            Err(e) => panic!("QPRAC_CHAOS: {e}"),
+        }
+    }
+}
+
+/// The armed injector: one shared PRNG stream plus fired-fault counters
+/// (reported by the server's `STATS`/`HEALTH` output so a chaos CI run
+/// can prove faults actually fired).
+#[derive(Debug)]
+pub struct Chaos {
+    spec: ChaosSpec,
+    rng: Mutex<SplitMix64>,
+    kills_left: AtomicU32,
+    /// Connections dropped at accept.
+    pub dropped: AtomicU64,
+    /// Reads delayed.
+    pub delayed: AtomicU64,
+    /// Response frames truncated.
+    pub truncated: AtomicU64,
+    /// Single-flight leaders killed.
+    pub killed: AtomicU64,
+}
+
+impl Chaos {
+    /// Arm a spec.
+    pub fn new(spec: ChaosSpec) -> Chaos {
+        Chaos {
+            rng: Mutex::new(SplitMix64::new(spec.seed)),
+            kills_left: AtomicU32::new(spec.kill_leaders),
+            spec,
+            dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            killed: AtomicU64::new(0),
+        }
+    }
+
+    fn chance(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false; // no faults armed: skip the lock entirely
+        }
+        self.rng.lock().unwrap().chance(p)
+    }
+
+    /// Should this freshly-accepted connection be dropped?
+    pub fn drop_connection(&self) -> bool {
+        let fired = self.chance(self.spec.drop_prob);
+        if fired {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Stall to inject before a read, if the delay fault fires.
+    pub fn read_delay(&self) -> Option<Duration> {
+        if self.chance(self.spec.delay_prob) {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            Some(self.spec.delay)
+        } else {
+            None
+        }
+    }
+
+    /// Should this response write be truncated mid-frame?
+    pub fn truncate_write(&self) -> bool {
+        let fired = self.chance(self.spec.trunc_prob);
+        if fired {
+            self.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Kill the calling single-flight leader if any kill budget
+    /// remains. Panics (that is the fault); the server's leader guard
+    /// publishes the poison value to followers.
+    pub fn kill_leader(&self) {
+        let armed = self
+            .kills_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |k| k.checked_sub(1))
+            .is_ok();
+        if armed {
+            self.killed.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: single-flight leader killed mid-simulation");
+        }
+    }
+
+    /// `name=value` counter block of fired faults.
+    pub fn render(&self) -> String {
+        format!(
+            "chaos_dropped={}\nchaos_delayed={}\nchaos_truncated={}\nchaos_killed={}",
+            self.dropped.load(Ordering::Relaxed),
+            self.delayed.load(Ordering::Relaxed),
+            self.truncated.load(Ordering::Relaxed),
+            self.killed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A [`TcpStream`] wrapper that injects the read-delay and
+/// write-truncation faults. Truncation writes half the caller's bytes,
+/// shuts the socket down both ways and reports `BrokenPipe` — exactly
+/// what a peer observing a mid-frame crash would see.
+pub struct ChaosStream<'a> {
+    inner: TcpStream,
+    chaos: &'a Chaos,
+    dead: bool,
+}
+
+impl<'a> ChaosStream<'a> {
+    /// Wrap one direction of a connection.
+    pub fn new(inner: TcpStream, chaos: &'a Chaos) -> Self {
+        ChaosStream {
+            inner,
+            chaos,
+            dead: false,
+        }
+    }
+}
+
+impl Read for ChaosStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Ok(0); // a killed socket reads as EOF
+        }
+        if let Some(delay) = self.chaos.read_delay() {
+            std::thread::sleep(delay);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos-killed"));
+        }
+        if !buf.is_empty() && self.chaos.truncate_write() {
+            let cut = buf.len() / 2;
+            if cut > 0 {
+                let _ = self.inner.write(&buf[..cut]);
+            }
+            let _ = self.inner.flush();
+            let _ = self.inner.shutdown(Shutdown::Both);
+            self.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: frame truncated mid-payload",
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos-killed"));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn specs_parse_and_reject_garbage() {
+        let spec = ChaosSpec::parse("7:drop=0.05,delay=0.1/20,trunc=0.5,kill=2").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.drop_prob, 0.05);
+        assert_eq!(spec.delay_prob, 0.1);
+        assert_eq!(spec.delay, Duration::from_millis(20));
+        assert_eq!(spec.trunc_prob, 0.5);
+        assert_eq!(spec.kill_leaders, 2);
+        // Seed with no faults = a quiet injector.
+        assert_eq!(
+            ChaosSpec::parse("42:").unwrap(),
+            ChaosSpec {
+                seed: 42,
+                ..ChaosSpec::default()
+            }
+        );
+        for bad in [
+            "no-colon",
+            "x:drop=0.1",
+            "1:drop=2.0",
+            "1:drop=-0.1",
+            "1:delay=0.5",
+            "1:delay=0.5/ms",
+            "1:kill=0.5",
+            "1:explode=1",
+            "1:drop",
+        ] {
+            assert!(ChaosSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let spec = ChaosSpec::parse("99:drop=0.3,trunc=0.3").unwrap();
+        let decisions = |chaos: &Chaos| -> Vec<bool> {
+            (0..64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        chaos.drop_connection()
+                    } else {
+                        chaos.truncate_write()
+                    }
+                })
+                .collect()
+        };
+        let a = decisions(&Chaos::new(spec));
+        let b = decisions(&Chaos::new(spec));
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.iter().any(|&f| f), "p=0.3 over 64 draws fires");
+        assert!(!a.iter().all(|&f| f), "p=0.3 over 64 draws also misses");
+    }
+
+    #[test]
+    fn kill_budget_fires_exactly_n_times() {
+        let chaos = Chaos::new(ChaosSpec::parse("1:kill=2").unwrap());
+        for _ in 0..2 {
+            let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chaos.kill_leader();
+            }));
+            assert!(died.is_err(), "armed kill must panic");
+        }
+        chaos.kill_leader(); // budget exhausted: a no-op, not a panic
+        assert_eq!(chaos.killed.load(Ordering::Relaxed), 2);
+        assert!(chaos.render().contains("chaos_killed=2"));
+    }
+
+    /// A connected local socket pair.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn truncation_cuts_the_frame_and_kills_the_socket() {
+        let (tx, mut rx) = socket_pair();
+        let chaos = Chaos::new(ChaosSpec::parse("1:trunc=1").unwrap());
+        let mut stream = ChaosStream::new(tx, &chaos);
+        let err = stream.write(b"0123456789abcdef").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The peer sees exactly the truncated prefix, then EOF.
+        let mut got = Vec::new();
+        rx.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"01234567", "half the frame, then the cut");
+        // The chaos side is dead for good.
+        assert!(stream.write(b"more").is_err());
+        assert_eq!(stream.read(&mut [0u8; 4]).unwrap(), 0, "EOF after kill");
+        assert_eq!(chaos.truncated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn read_delay_stalls_then_delivers_intact() {
+        let (tx, rx) = socket_pair();
+        let chaos = Chaos::new(ChaosSpec::parse("1:delay=1/30").unwrap());
+        let mut stream = ChaosStream::new(rx, &chaos);
+        let mut tx = tx;
+        tx.write_all(b"payload").unwrap();
+        let t0 = std::time::Instant::now();
+        let mut buf = [0u8; 7];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"payload", "delay must not corrupt data");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "the armed delay must actually stall the read"
+        );
+        assert!(chaos.delayed.load(Ordering::Relaxed) >= 1);
+    }
+}

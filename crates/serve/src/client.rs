@@ -15,10 +15,25 @@
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sim::{CellResult, RunKey};
 
 use crate::protocol::{read_response, write_request, Request, Response};
+
+/// Default connect/read/write deadline (`QPRAC_REMOTE_TIMEOUT_MS`):
+/// bounded — a hung replica must fail the call, not the pool — but
+/// generous enough for a full-scale simulation cell to complete.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_millis(30_000);
+
+/// The `QPRAC_REMOTE_TIMEOUT_MS` knob (unset/empty/`0` =
+/// [`DEFAULT_TIMEOUT`], never infinite).
+pub fn timeout_from_env() -> Duration {
+    match sim::env_u64("QPRAC_REMOTE_TIMEOUT_MS", 0) {
+        0 => DEFAULT_TIMEOUT,
+        ms => Duration::from_millis(ms),
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -46,6 +61,22 @@ impl From<io::Error> for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying the same key can succeed. Transport failures
+    /// (timeouts, resets, truncated frames) are transient by
+    /// definition; among server-side `ERR`s only a dead worker — the
+    /// single-flight poison or a caught simulation panic — is worth
+    /// re-driving, since the protocol is key-only and idempotent.
+    /// Everything else ("unknown workload", malformed key) is
+    /// authoritative: the same request will fail the same way anywhere.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Server(msg) => msg.contains("panicked"),
+        }
+    }
+}
+
 /// A connected `qprac-serve` client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -55,9 +86,36 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server address (`host:port`).
+    /// Connect to a server address (`host:port`) with no deadlines
+    /// (blocking calls wait forever — fine for trusted local tests;
+    /// failover paths should use [`Client::connect_timeout`]).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with deadlines on every operation: `timeout` bounds the
+    /// TCP connect, every read and every write, so a hung or
+    /// half-dead server turns into a timeout error instead of a
+    /// stalled worker thread.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Client::from_stream(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true).ok(); // request/response round-trips
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -132,6 +190,25 @@ impl Client {
             .find_map(|l| l.strip_prefix(name)?.strip_prefix('='))
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| ClientError::Server(format!("counter {name:?} missing in {stats:?}")))
+    }
+
+    /// Fetch the server's `HEALTH` block (`name=value` per line:
+    /// status, uptime, queue depth, in-flight work).
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        Ok(self.call(&Request::Health)?.1)
+    }
+
+    /// Ask the server to shut down gracefully: it stops accepting,
+    /// drains in-flight work, and exits its accept loop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let (_, payload) = self.call(&Request::Shutdown)?;
+        if payload == "draining" {
+            Ok(())
+        } else {
+            Err(ClientError::Server(format!(
+                "unexpected shutdown reply {payload:?}"
+            )))
+        }
     }
 
     /// Liveness probe.

@@ -36,11 +36,15 @@
 //! assert!(matches!(result, sim::CellResult::Stats(_)));
 //! ```
 
+pub mod backoff;
+pub mod chaos;
 pub mod client;
 pub mod memcache;
 pub mod protocol;
 pub mod server;
 pub mod singleflight;
 
-pub use client::{Client, ClientError};
+pub use backoff::{schedule, RetryPolicy, SplitMix64};
+pub use chaos::{Chaos, ChaosSpec, ChaosStream};
+pub use client::{timeout_from_env, Client, ClientError, DEFAULT_TIMEOUT};
 pub use server::{Server, ServerConfig, DEFAULT_ADDR};

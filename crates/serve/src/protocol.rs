@@ -11,6 +11,8 @@
 //! request  := "RUN " <canonical run-key text> "\n"
 //!           | "RUNB " <canonical run-key text> "\n"
 //!           | "STATS\n"
+//!           | "HEALTH\n"
+//!           | "SHUTDOWN\n"
 //!           | "PING\n"
 //! response := "OK " <kind> " " <len> "\n" <len payload bytes>
 //!           | "OKB " <len> "\n" <len frame bytes>
@@ -47,6 +49,11 @@ pub enum Request {
     RunBin(String),
     /// Server counters (requests / hits / simulated / coalesced).
     Stats,
+    /// Replica health: uptime, queue depth, in-flight work — what a
+    /// failover-aware client routes on.
+    Health,
+    /// Graceful teardown: stop accepting, drain in-flight work, exit.
+    Shutdown,
     /// Liveness probe.
     Ping,
 }
@@ -119,9 +126,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     match line.trim_end() {
         "STATS" => Ok(Request::Stats),
+        "HEALTH" => Ok(Request::Health),
+        "SHUTDOWN" => Ok(Request::Shutdown),
         "PING" => Ok(Request::Ping),
         other => Err(format!(
-            "unknown request {:?} (expected RUN <key> | RUNB <key> | STATS | PING)",
+            "unknown request {:?} (expected RUN <key> | RUNB <key> | STATS | HEALTH | SHUTDOWN | PING)",
             clip(other, 80)
         )),
     }
@@ -133,6 +142,8 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         Request::Run(key) => writeln!(w, "RUN {key}"),
         Request::RunBin(key) => writeln!(w, "RUNB {key}"),
         Request::Stats => writeln!(w, "STATS"),
+        Request::Health => writeln!(w, "HEALTH"),
+        Request::Shutdown => writeln!(w, "SHUTDOWN"),
         Request::Ping => writeln!(w, "PING"),
     }?;
     w.flush()
@@ -238,6 +249,8 @@ mod tests {
             Request::Run("workload:x;cores=4".into()),
             Request::RunBin("workload:x;cores=4".into()),
             Request::Stats,
+            Request::Health,
+            Request::Shutdown,
             Request::Ping,
         ] {
             let mut buf = Vec::new();

@@ -17,14 +17,16 @@
 //! parallelism, so a thousand clients asking for twelve distinct cells
 //! produce at most `workers` concurrent simulations and zero duplicates.
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use sim::{CellResult, RunCache, RunKey};
 
+use crate::chaos::{Chaos, ChaosSpec, ChaosStream};
 use crate::memcache::LruCache;
 use crate::protocol::{parse_request, read_line, write_response, Request, Response};
 use crate::singleflight::Group;
@@ -46,12 +48,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Persistent disk tier (use [`RunCache::disabled`] for none).
     pub disk: RunCache,
+    /// Deterministic fault injection (`QPRAC_CHAOS`); `None` = off.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl ServerConfig {
     /// Environment-driven configuration: `QPRAC_SERVE_LRU`,
     /// `QPRAC_JOBS` (same knob as the bench pool; 0/unset = machine
-    /// parallelism), `QPRAC_RUN_CACHE`/`QPRAC_RUN_CACHE_MAX_MB`.
+    /// parallelism), `QPRAC_RUN_CACHE`/`QPRAC_RUN_CACHE_MAX_MB`, and
+    /// `QPRAC_CHAOS` (seeded fault injection, tests/CI only).
     pub fn from_env() -> Self {
         let available = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -65,6 +70,7 @@ impl ServerConfig {
                 jobs.min(available)
             },
             disk: RunCache::from_env(),
+            chaos: ChaosSpec::from_env(),
         }
     }
 }
@@ -77,6 +83,7 @@ impl Default for ServerConfig {
                 .map(|p| p.get())
                 .unwrap_or(8),
             disk: RunCache::disabled(),
+            chaos: None,
         }
     }
 }
@@ -99,9 +106,9 @@ pub struct Counters {
 }
 
 impl Counters {
-    fn render(&self, in_flight: usize) -> String {
+    fn render(&self, in_flight: usize, store_errors: u64) -> String {
         format!(
-            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nin_flight={in_flight}",
+            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nstore_errors={store_errors}\nin_flight={in_flight}",
             self.requests.load(Ordering::Relaxed),
             self.mem_hits.load(Ordering::Relaxed),
             self.disk_hits.load(Ordering::Relaxed),
@@ -124,8 +131,17 @@ struct Inner {
     disk: RunCache,
     flights: Group<RunKey, Result<Arc<CellResult>, String>>,
     workers: Semaphore,
+    worker_count: usize,
     counters: Counters,
     stores: AtomicU64,
+    chaos: Option<Chaos>,
+    start: Instant,
+    addr: SocketAddr,
+    /// Set by `SHUTDOWN`: stop accepting, drain, exit [`Server::serve`].
+    shutting_down: AtomicBool,
+    /// `RUN`/`RUNB` requests currently being resolved (queue depth on
+    /// top of the worker bound; what `SHUTDOWN` drains).
+    active: AtomicUsize,
 }
 
 impl Server {
@@ -133,6 +149,7 @@ impl Server {
     /// ephemeral test port).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(Server {
             listener,
             inner: Arc::new(Inner {
@@ -140,8 +157,14 @@ impl Server {
                 disk: config.disk,
                 flights: Group::new(Err("simulation worker panicked".into())),
                 workers: Semaphore::new(config.workers.max(1)),
+                worker_count: config.workers.max(1),
                 counters: Counters::default(),
                 stores: AtomicU64::new(0),
+                chaos: config.chaos.map(Chaos::new),
+                start: Instant::now(),
+                addr,
+                shutting_down: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
             }),
         })
     }
@@ -151,12 +174,23 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accept loop: one thread per connection, forever.
+    /// Accept loop: one thread per connection, until a `SHUTDOWN`
+    /// request. Teardown is graceful: accepting stops, in-flight
+    /// resolves drain, then the call returns `Ok` — so the daemon can
+    /// exit cleanly instead of being killed mid-simulation.
     pub fn serve(self) -> io::Result<()> {
         for stream in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                break; // the wake-up dial from the SHUTDOWN handler
+            }
             let stream = stream?;
             let inner = Arc::clone(&self.inner);
             std::thread::spawn(move || handle_connection(&inner, stream));
+        }
+        // Drain: every RUN in progress (including queued ones waiting
+        // on the worker semaphore) completes before we return.
+        while self.inner.active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
         }
         Ok(())
     }
@@ -177,8 +211,23 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    // With chaos armed, the connection may be dropped at accept and all
+    // traffic flows through the fault-injecting stream wrapper.
+    if let Some(chaos) = &inner.chaos {
+        if chaos.drop_connection() {
+            return; // the fault: hang up without a byte
+        }
+        serve_streams(
+            inner,
+            BufReader::new(ChaosStream::new(read_half, chaos)),
+            BufWriter::new(ChaosStream::new(stream, chaos)),
+        );
+    } else {
+        serve_streams(inner, BufReader::new(read_half), BufWriter::new(stream));
+    }
+}
+
+fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write) {
     loop {
         // I/O or framing failure (including EOF mid-line from a client
         // that died) closes the connection; nothing to answer.
@@ -194,8 +243,24 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
             },
             Ok(Request::Stats) => Response::Ok {
                 kind: "text".into(),
-                payload: inner.counters.render(inner.flights.in_flight()),
+                payload: inner
+                    .counters
+                    .render(inner.flights.in_flight(), inner.disk.failed_stores()),
             },
+            Ok(Request::Health) => Response::Ok {
+                kind: "text".into(),
+                payload: render_health(inner),
+            },
+            Ok(Request::Shutdown) => {
+                inner.shutting_down.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag; the
+                // dial needs no payload, accept alone unblocks it.
+                let _ = TcpStream::connect_timeout(&inner.addr, Duration::from_secs(1));
+                Response::Ok {
+                    kind: "text".into(),
+                    payload: "draining".into(),
+                }
+            }
             Ok(Request::Run(key_text)) => match resolve(inner, &key_text) {
                 Ok(result) => Response::Ok {
                     kind: result.kind().into(),
@@ -222,8 +287,50 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
     }
 }
 
+/// The `HEALTH` payload: liveness plus the load signals a
+/// failover-aware client routes on.
+fn render_health(inner: &Inner) -> String {
+    let active = inner.active.load(Ordering::SeqCst);
+    let mut text = format!(
+        "status={}\nuptime_ms={}\nworkers={}\nactive={active}\nqueue_depth={}\nin_flight={}",
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "ok"
+        },
+        inner.start.elapsed().as_millis(),
+        inner.worker_count,
+        active.saturating_sub(inner.worker_count),
+        inner.flights.in_flight(),
+    );
+    if let Some(chaos) = &inner.chaos {
+        text.push('\n');
+        text.push_str(&chaos.render());
+    }
+    text
+}
+
+/// Panic-safe tally of resolves in progress ([`Inner::active`]): the
+/// chaos leader-kill unwinds straight through `resolve`, and a stuck
+/// counter would wedge the `SHUTDOWN` drain loop forever.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ActiveGuard<'a> {
+    fn enter(count: &'a AtomicUsize) -> Self {
+        count.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(count)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The three-tier resolve: memory, disk, then single-flight simulate.
 fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
+    let _active = ActiveGuard::enter(&inner.active);
     let spec = RunKey::parse_text(key_text)?;
     let key = spec.key();
     if let Some(hit) = inner.lru.lock().unwrap().get(&key) {
@@ -249,6 +356,13 @@ fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
             return Ok(Arc::new(hit));
         }
         let _permit = inner.workers.acquire();
+        if let Some(chaos) = &inner.chaos {
+            // The leader-death fault: panic OUTSIDE the catch_unwind
+            // below, so the unwind escapes the flight closure and the
+            // single-flight guard must publish its poison value to the
+            // followers (the property the chaos suite pins).
+            chaos.kill_leader();
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute()))
             .map_err(|panic| {
                 let msg = panic
@@ -261,7 +375,11 @@ fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
             .map_err(|e| format!("cannot execute cell: {e}"))?;
         inner.counters.simulated.fetch_add(1, Ordering::Relaxed);
         let result = Arc::new(outcome);
-        inner.disk.store(&key, &result);
+        if let Err(e) = inner.disk.store(&key, &result) {
+            // Counted by the cache (STATS `store_errors`); the result
+            // itself still flows to the caller and the memory tier.
+            eprintln!("qprac-serve: disk-cache store failed: {e}");
+        }
         if inner
             .stores
             .fetch_add(1, Ordering::Relaxed)
@@ -343,7 +461,7 @@ mod tests {
     fn counters_render_all_fields() {
         let c = Counters::default();
         c.requests.store(3, Ordering::Relaxed);
-        let text = c.render(1);
+        let text = c.render(1, 2);
         for field in [
             "requests=3",
             "mem_hits=0",
@@ -351,6 +469,7 @@ mod tests {
             "simulated=0",
             "coalesced=0",
             "errors=0",
+            "store_errors=2",
             "in_flight=1",
         ] {
             assert!(text.contains(field), "{field} missing from {text:?}");

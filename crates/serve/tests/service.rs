@@ -5,8 +5,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 
-use qprac_serve::{Client, ClientError, Server, ServerConfig};
+use qprac_serve::{ChaosSpec, Client, ClientError, Server, ServerConfig};
 use sim::{CellResult, MitigationKind, RunCache, RunKey, SystemConfig};
 
 /// A tiny-but-real workload cell (~milliseconds of simulation).
@@ -203,6 +204,135 @@ fn spawn_pre_runb_server() -> SocketAddr {
         }
     });
     addr
+}
+
+/// The satellite-d pin: a single-flight leader killed mid-simulation
+/// (chaos `kill=1`) must not strand its followers. The leader's
+/// connection dies (EOF — a retryable transport error), followers
+/// observe the poison `ERR ... panicked` (retryable by
+/// [`ClientError::is_retryable`]), and every client that re-drives the
+/// key gets the real result — simulated exactly once more.
+#[test]
+fn chaos_killed_leader_poisons_followers_who_redrive() {
+    let addr = spawn_server(ServerConfig {
+        chaos: Some(ChaosSpec::parse("1:kill=1").unwrap()),
+        ..ServerConfig::default()
+    });
+    let key = small_key(650);
+    const CLIENTS: usize = 6;
+    let (results, retries): (Vec<CellResult>, Vec<u32>) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let key = key.clone();
+                s.spawn(move || {
+                    let mut retries = 0u32;
+                    loop {
+                        let mut client = Client::connect(addr).expect("connect");
+                        match client.run(&key) {
+                            Ok(result) => return (result, retries),
+                            Err(e) => {
+                                assert!(e.is_retryable(), "chaos fault not retryable: {e}");
+                                retries += 1;
+                                assert!(retries < 8, "cell never converged: {e}");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).unzip()
+    });
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    assert!(matches!(results[0], CellResult::Stats(_)));
+    // Exactly one leader died; at least that client had to re-drive.
+    assert!(
+        retries.iter().sum::<u32>() >= 1,
+        "a kill must force a retry"
+    );
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.health().unwrap().contains("chaos_killed=1"));
+    assert_eq!(
+        client.stat("simulated").unwrap(),
+        1,
+        "the re-driven flight simulates once; everyone else shares it"
+    );
+}
+
+#[test]
+fn health_reports_status_and_load_signals() {
+    let addr = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let health = client.health().expect("health");
+    let field = |name: &str| -> String {
+        health
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix('='))
+            .unwrap_or_else(|| panic!("{name} missing in {health:?}"))
+            .to_string()
+    };
+    assert_eq!(field("status"), "ok");
+    assert!(field("workers").parse::<u64>().unwrap() >= 1);
+    assert_eq!(field("active"), "0");
+    assert_eq!(field("queue_depth"), "0");
+    assert_eq!(field("in_flight"), "0");
+    let _uptime: u64 = field("uptime_ms").parse().unwrap();
+    // Chaos counters only appear when chaos is armed.
+    assert!(!health.contains("chaos_"), "quiet server, quiet health");
+}
+
+/// Graceful teardown: `SHUTDOWN` answers `draining`, in-flight work
+/// completes with a real result, and `serve()` returns so the daemon
+/// process can exit 0.
+#[test]
+fn shutdown_drains_in_flight_work_and_serve_returns() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve_thread = std::thread::spawn(move || server.serve());
+    let key = small_key(30_000);
+    let runner = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.run(&key)
+    });
+    // Let the RUN get in flight, then ask for teardown.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut ctl = Client::connect(addr).expect("control connection");
+    ctl.shutdown().expect("draining reply");
+    serve_thread
+        .join()
+        .unwrap()
+        .expect("serve() returns cleanly after the drain");
+    // The in-flight cell completed despite the shutdown racing it.
+    let result = runner.join().unwrap().expect("drained run completes");
+    assert!(matches!(result, CellResult::Stats(_)));
+    // The listener is gone: fresh connections are refused.
+    assert!(TcpStream::connect(addr).is_err(), "accepting must stop");
+}
+
+/// The acceptance-criteria hang test: a server that accepts and never
+/// replies must cost a client one bounded timeout, not a stalled
+/// worker.
+#[test]
+fn hung_server_times_out_instead_of_stalling() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        // Accept and hold connections forever, never writing a byte.
+        let mut held = Vec::new();
+        for conn in listener.incoming() {
+            held.push(conn);
+        }
+    });
+    let t0 = Instant::now();
+    let mut client =
+        Client::connect_timeout(addr, Duration::from_millis(200)).expect("connect succeeds");
+    let err = client.run(&small_key(100)).unwrap_err();
+    assert!(matches!(err, ClientError::Io(_)), "{err}");
+    assert!(err.is_retryable(), "a timeout is transient");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "the deadline must bound the stall (took {:?})",
+        t0.elapsed()
+    );
 }
 
 #[test]

@@ -20,6 +20,12 @@
 //! from a stats struct having gained a field — is a miss, never an
 //! error: the cell re-runs and the entry is rewritten.
 //!
+//! Stores are **crash-safe**: [`RunCache::store`] writes a unique
+//! same-directory temp file and `rename`s it into place, so a process
+//! dying mid-store never leaves a torn entry under a live name, and
+//! I/O failures are returned to the caller and counted
+//! ([`RunCache::failed_stores`]) instead of being swallowed.
+//!
 //! Growth is bounded by [`RunCache::gc`]: when `QPRAC_RUN_CACHE_MAX_MB`
 //! is set, the oldest entries are evicted until the directory fits the
 //! budget. Eviction order is deterministic: oldest mtime first, equal
@@ -30,7 +36,10 @@
 
 use std::ffi::OsString;
 use std::fs;
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 use crate::codec;
@@ -62,7 +71,14 @@ pub struct RunCache {
     dir: Option<PathBuf>,
     max_bytes: Option<u64>,
     format: CacheFormat,
+    /// Stores that failed with an I/O error (shared across clones so a
+    /// server or runner can report the total for its whole pass).
+    failed_stores: Arc<AtomicU64>,
 }
+
+/// Sequence for unique same-directory temp names (concurrent stores of
+/// the same key from several threads must never share a temp file).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// What one [`RunCache::gc`] sweep did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +109,7 @@ impl RunCache {
             dir: env_dir("QPRAC_RUN_CACHE", DEFAULT_CACHE_DIR),
             max_bytes: (max_mb > 0).then(|| max_mb * 1024 * 1024),
             format,
+            failed_stores: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -103,6 +120,7 @@ impl RunCache {
             dir: Some(dir.into()),
             max_bytes: None,
             format: CacheFormat::default(),
+            failed_stores: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -112,6 +130,7 @@ impl RunCache {
             dir: None,
             max_bytes: None,
             format: CacheFormat::default(),
+            failed_stores: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -180,13 +199,27 @@ impl RunCache {
         CellResult::from_payload(kind, payload).ok()
     }
 
+    /// Stores that failed with an I/O error since this cache (or any
+    /// clone sharing its counter) was built — `store_errors` in the
+    /// server's `STATS` block and the runner's warning line.
+    pub fn failed_stores(&self) -> u64 {
+        self.failed_stores.load(Ordering::Relaxed)
+    }
+
     /// Persist `result` under `key` in the configured format.
-    /// Best-effort: a read-only disk must not fail the experiment.
-    pub fn store(&self, key: &RunKey, result: &CellResult) {
+    ///
+    /// The commit is crash-safe: bytes land in a same-directory temp
+    /// file first and are `rename`d into place, so a crash mid-store
+    /// can never leave a torn entry where a reader would find it
+    /// (readers verify checksums anyway; this keeps the *directory*
+    /// clean too). I/O errors are surfaced to the caller **and**
+    /// counted in [`Self::failed_stores`] — a full or read-only disk
+    /// must not fail the experiment, but it must not be silent either.
+    pub fn store(&self, key: &RunKey, result: &CellResult) -> io::Result<()> {
         let (path, bytes) = match self.format {
             CacheFormat::Binary => {
                 let Some(path) = self.path(key, "qbc") else {
-                    return;
+                    return Ok(());
                 };
                 let key_bytes = key.as_str().as_bytes();
                 let frame = codec::encode_cell(result);
@@ -199,7 +232,7 @@ impl RunCache {
             }
             CacheFormat::Text => {
                 let Some(path) = self.path(key, "txt") else {
-                    return;
+                    return Ok(());
                 };
                 let text = format!(
                     "key={}\nkind={}\n{}",
@@ -210,10 +243,11 @@ impl RunCache {
                 (path, text.into_bytes())
             }
         };
-        if let Some(parent) = path.parent() {
-            let _ = fs::create_dir_all(parent);
+        let outcome = write_atomic(&path, &bytes);
+        if outcome.is_err() {
+            self.failed_stores.fetch_add(1, Ordering::Relaxed);
         }
-        let _ = fs::write(path, bytes);
+        outcome
     }
 
     /// Evict oldest entries until the directory fits the configured
@@ -232,6 +266,14 @@ impl RunCache {
         for entry in read.flatten() {
             let path = entry.path();
             if path.extension().is_none_or(|e| e != "txt" && e != "qbc") {
+                // Stale temp files are commit leftovers from a crashed
+                // writer — sweep them rather than budgeting them.
+                if path
+                    .extension()
+                    .is_some_and(|e| e.to_string_lossy().starts_with("tmp"))
+                {
+                    let _ = fs::remove_file(&path);
+                }
                 continue;
             }
             let Ok(meta) = entry.metadata() else { continue };
@@ -262,6 +304,28 @@ impl RunCache {
     }
 }
 
+/// Write `bytes` to `path` via a unique same-directory temp file and an
+/// atomic `rename`, so readers (and post-crash directory scans) only
+/// ever see complete entries.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let ext = path
+        .extension()
+        .map(|e| e.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tmp = path.with_extension(format!(
+        "{ext}.tmp{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,11 +351,11 @@ mod tests {
             rfms: 4,
         });
         assert!(cache.load(&key).is_none());
-        cache.store(&key, &val);
+        cache.store(&key, &val).unwrap();
         assert_eq!(cache.load(&key), Some(val));
 
         let ck = RunKey::engine("wave:probe");
-        cache.store(&ck, &CellResult::Count(99));
+        cache.store(&ck, &CellResult::Count(99)).unwrap();
         assert_eq!(cache.load(&ck), Some(CellResult::Count(99)));
         let _ = fs::remove_dir_all(dir);
     }
@@ -300,7 +364,7 @@ mod tests {
     fn default_store_is_binary_and_text_twin_still_hits() {
         let (cache, dir) = temp_cache("format");
         let key = RunKey::engine("fmt");
-        cache.store(&key, &CellResult::Count(5));
+        cache.store(&key, &CellResult::Count(5)).unwrap();
         assert!(cache.path(&key, "qbc").unwrap().exists());
         assert!(!cache.path(&key, "txt").unwrap().exists());
 
@@ -309,7 +373,7 @@ mod tests {
         // still reads it.
         let text_cache = cache.clone().with_format(CacheFormat::Text);
         let tkey = RunKey::engine("fmt-text");
-        text_cache.store(&tkey, &CellResult::Count(6));
+        text_cache.store(&tkey, &CellResult::Count(6)).unwrap();
         assert!(cache.path(&tkey, "txt").unwrap().exists());
         assert_eq!(cache.load(&tkey), Some(CellResult::Count(6)));
         let _ = fs::remove_dir_all(dir);
@@ -322,8 +386,9 @@ mod tests {
         cache
             .clone()
             .with_format(CacheFormat::Text)
-            .store(&key, &CellResult::Count(7));
-        cache.store(&key, &CellResult::Count(7));
+            .store(&key, &CellResult::Count(7))
+            .unwrap();
+        cache.store(&key, &CellResult::Count(7)).unwrap();
         // Truncate the binary entry; the text twin must answer.
         let qbc = cache.path(&key, "qbc").unwrap();
         let bytes = fs::read(&qbc).unwrap();
@@ -337,15 +402,17 @@ mod tests {
         let (cache, dir) = temp_cache("truncate");
         let cfg = SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac);
         let key = RunKey::attack(&cfg, 8, 1000);
-        cache.store(
-            &key,
-            &CellResult::Attack(BwAttackStats {
-                acts: 1,
-                mem_cycles: 2,
-                alerts: 3,
-                rfms: 4,
-            }),
-        );
+        cache
+            .store(
+                &key,
+                &CellResult::Attack(BwAttackStats {
+                    acts: 1,
+                    mem_cycles: 2,
+                    alerts: 3,
+                    rfms: 4,
+                }),
+            )
+            .unwrap();
         let path = cache.path(&key, "qbc").unwrap();
         let bytes = fs::read(&path).unwrap();
         for cut in 0..bytes.len() {
@@ -363,7 +430,7 @@ mod tests {
     fn every_single_byte_flip_of_a_binary_entry_is_a_miss() {
         let (cache, dir) = temp_cache("flip");
         let key = RunKey::engine("flip-me");
-        cache.store(&key, &CellResult::Count(0xDEAD_BEEF));
+        cache.store(&key, &CellResult::Count(0xDEAD_BEEF)).unwrap();
         let path = cache.path(&key, "qbc").unwrap();
         let bytes = fs::read(&path).unwrap();
         for i in 0..bytes.len() {
@@ -384,7 +451,7 @@ mod tests {
     fn key_mismatch_in_a_cache_file_is_a_miss() {
         let (cache, dir) = temp_cache("mismatch");
         let key = RunKey::engine("cell-a");
-        cache.store(&key, &CellResult::Count(1));
+        cache.store(&key, &CellResult::Count(1)).unwrap();
         // Corrupt: move the file to where another key would look.
         let other = RunKey::engine("cell-b");
         fs::rename(
@@ -400,7 +467,7 @@ mod tests {
     fn disabled_cache_never_stores() {
         let cache = RunCache::disabled();
         let key = RunKey::engine("nope");
-        cache.store(&key, &CellResult::Count(5));
+        cache.store(&key, &CellResult::Count(5)).unwrap();
         assert!(cache.load(&key).is_none());
         assert_eq!(cache.gc(), GcReport::default());
     }
@@ -412,7 +479,7 @@ mod tests {
         let keys: Vec<RunKey> = (0..3).map(|i| RunKey::engine(&format!("gc-{i}"))).collect();
         let t0 = SystemTime::now() - std::time::Duration::from_secs(3000);
         for (i, key) in keys.iter().enumerate() {
-            cache.store(key, &CellResult::Count(i as u64));
+            cache.store(key, &CellResult::Count(i as u64)).unwrap();
             let f = fs::File::options()
                 .write(true)
                 .open(cache.path(key, "qbc").unwrap())
@@ -457,7 +524,7 @@ mod tests {
             .collect();
         let stamp = SystemTime::now() - std::time::Duration::from_secs(1000);
         for key in &keys {
-            cache.store(key, &CellResult::Count(42));
+            cache.store(key, &CellResult::Count(42)).unwrap();
             let f = fs::File::options()
                 .write(true)
                 .open(cache.path(key, "qbc").unwrap())
@@ -482,6 +549,62 @@ mod tests {
         assert!(cache.load(&names[1].1).is_none(), "then the next filename");
         assert!(cache.load(&names[2].1).is_some());
         assert!(cache.load(&names[3].1).is_some());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_commits_atomically_and_leaves_no_temp_files() {
+        let (cache, dir) = temp_cache("atomic");
+        let key = RunKey::engine("atomic");
+        cache.store(&key, &CellResult::Count(11)).unwrap();
+        // Overwrite of a live entry goes through the same commit path.
+        cache.store(&key, &CellResult::Count(12)).unwrap();
+        assert_eq!(cache.load(&key), Some(CellResult::Count(12)));
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_none_or(|x| x != "qbc"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert_eq!(cache.failed_stores(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_stores_surface_an_error_and_are_counted() {
+        // A *file* where the cache directory should be: create_dir_all
+        // fails, the error is returned, and the shared counter ticks.
+        let blocker = std::env::temp_dir().join(format!(
+            "qprac-runcache-test-blocked-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&blocker);
+        fs::write(&blocker, b"not a directory").unwrap();
+        let cache = RunCache::at(&blocker);
+        let clone = cache.clone(); // counter is shared across clones
+        let key = RunKey::engine("blocked");
+        assert!(cache.store(&key, &CellResult::Count(1)).is_err());
+        assert!(clone.store(&key, &CellResult::Count(2)).is_err());
+        assert_eq!(cache.failed_stores(), 2);
+        assert_eq!(clone.failed_stores(), 2);
+        let _ = fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn gc_sweeps_stale_temp_files_from_crashed_writers() {
+        let (cache, dir) = temp_cache("tmp-sweep");
+        let key = RunKey::engine("survivor");
+        cache.store(&key, &CellResult::Count(3)).unwrap();
+        // A crashed writer's leftover: entry-shaped name, tmp extension.
+        let stale = dir.join("deadbeefdeadbeef.qbc.tmp12345-0");
+        fs::write(&stale, b"half-written junk").unwrap();
+        let report = cache.clone().with_max_bytes(Some(u64::MAX)).gc();
+        assert!(!stale.exists(), "stale temp file must be swept");
+        assert_eq!(report.evicted, 0, "live entries untouched");
+        assert_eq!(cache.load(&key), Some(CellResult::Count(3)));
         let _ = fs::remove_dir_all(dir);
     }
 
