@@ -1,0 +1,13 @@
+//! The mitigation arena: replays the sensitivity workload suite across
+//! every design in `mitigations::registry()` and emits one
+//! `compare_<stem>.csv` per design plus the cross-design
+//! `compare_summary.csv` (measured slowdown joined with storage,
+//! provable T_RH and tREFI-tax columns from the registry). Baselines
+//! are deduped by RunKey, so the insecure reference simulates once.
+use qprac_bench::experiments::{compare, sensitivity_suite};
+
+fn main() -> std::io::Result<()> {
+    qprac_bench::run_specs(vec![
+        compare::compare_mitigations_spec(&sensitivity_suite()),
+    ])
+}

@@ -8,7 +8,8 @@
 //! Results land in `results/*.csv`; the dedupe ratio and cache hits are
 //! reported on the final `run-cache:` line.
 use qprac_bench::experiments::{
-    ablations, attack_figs, full_suite, mix, perf_figs, security_figs, sensitivity_suite, tables,
+    ablations, attack_figs, compare, full_suite, mix, perf_figs, security_figs, sensitivity_suite,
+    tables,
 };
 use qprac_bench::ExperimentSpec;
 
@@ -41,6 +42,7 @@ fn main() -> std::io::Result<()> {
     ];
     specs.extend(ablations::all_specs(&sens));
     specs.push(mix::mix_speedup_spec());
+    specs.push(compare::compare_mitigations_spec(&sens));
     qprac_bench::execute(&specs)?;
     println!(
         "=== complete in {:.1} min ===",

@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod attack_figs;
+pub mod compare;
 pub mod mix;
 pub mod perf_figs;
 pub mod security_figs;

@@ -82,6 +82,7 @@ bin_smoke!(
     wave_validate,
     ablations,
     mix_speedup,
+    compare_mitigations,
 );
 
 /// `run_all` re-runs every experiment above (through the global

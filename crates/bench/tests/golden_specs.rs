@@ -77,3 +77,61 @@ fn fig18_matches_pre_refactor_snapshot() {
         &[("fig18", include_str!("golden/fig18.csv"))],
     );
 }
+
+/// Canonical-key fidelity through the registry refactor: the exact key
+/// text the pre-registry code rendered for every legacy mitigation,
+/// pinned as literals. A byte of drift here silently orphans every
+/// persisted run-cache entry and every warm `qprac-serve` disk tier,
+/// so this is a golden, not a round-trip property.
+#[test]
+fn legacy_canonical_keys_are_byte_identical() {
+    use sim::{MitigationKind, RunKey, SystemConfig};
+    let pre_refactor = [
+        (
+            MitigationKind::None,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=none;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::QpracNoOp,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=qprac-noop;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::Qprac,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=qprac;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::QpracProactive,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=qprac-pro;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::QpracProactiveEa,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=qprac-pro-ea;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::QpracIdeal,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=qprac-ideal;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::Moat,
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=moat;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::Mithril { trh: 512 },
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=mithril@512;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+        (
+            MitigationKind::Pride { trh: 512 },
+            "workload:ycsb/a_like;cores=4;channels=1;instr=100000;mit=pride@512;nbo=32;nmit=1;psq=5;pro=1;rfm=ab;plain=false;map=mop-xor;seed=0xd5",
+        ),
+    ];
+    for (kind, golden) in pre_refactor {
+        let cfg = SystemConfig::paper_default()
+            .with_mitigation(kind)
+            .with_instruction_limit(100_000);
+        assert_eq!(
+            RunKey::workload(&cfg, "ycsb/a_like").as_str(),
+            golden,
+            "canonical key drifted for {kind:?}"
+        );
+    }
+}

@@ -145,3 +145,77 @@ fn remote_execution_is_byte_identical_to_local() {
         let _ = std::fs::remove_dir_all(d);
     }
 }
+
+/// The mitigation arena end to end, local vs `QPRAC_REMOTE`: every
+/// registered design — including the three zoo additions — must
+/// round-trip the key-only wire protocol (`RunKey::parse_text` →
+/// `CellSpec::execute` on the server) and produce byte-identical CSVs.
+/// Runs the real binary as subprocesses so the env-driven remote
+/// selection path is the one exercised, without mutating this process'
+/// environment.
+#[test]
+fn compare_mitigations_is_byte_identical_local_vs_remote() {
+    let addr = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let exe = env!("CARGO_BIN_EXE_compare_mitigations");
+    let run = |dir: &Path, remote: Option<&str>| {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.env("QPRAC_INSTR", "400")
+            .env("QPRAC_RESULTS_DIR", dir)
+            .env_remove("QPRAC_RUN_CACHE")
+            .env_remove("QPRAC_JOBS")
+            .env_remove("QPRAC_FULL_SUITE");
+        match remote {
+            Some(addr) => cmd.env("QPRAC_REMOTE", addr),
+            None => cmd.env_remove("QPRAC_REMOTE"),
+        };
+        let out = cmd.output().expect("spawn compare_mitigations");
+        assert!(
+            out.status.success(),
+            "compare_mitigations failed ({:?}):\n{}",
+            remote,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let local_dir = temp_dir("cmp-local");
+    let remote_dir = temp_dir("cmp-remote");
+    run(&local_dir, None);
+    run(&remote_dir, Some(&addr.to_string()));
+
+    let mut names: Vec<String> = std::fs::read_dir(&local_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(
+        names.contains(&"compare_summary.csv".to_string()),
+        "summary CSV missing: {names:?}"
+    );
+    // One per-design CSV and one summary row per registry entry.
+    assert_eq!(names.len(), mitigations::registry().len() + 1, "{names:?}");
+    let summary = std::fs::read_to_string(local_dir.join("compare_summary.csv")).unwrap();
+    for spec in mitigations::registry() {
+        assert!(
+            summary.contains(&format!("\n{},", spec.stem)),
+            "{} missing from summary",
+            spec.stem
+        );
+    }
+    for name in &names {
+        let local = std::fs::read_to_string(local_dir.join(name)).unwrap();
+        let remote = std::fs::read_to_string(remote_dir.join(name)).unwrap();
+        assert_eq!(local, remote, "{name} diverged between local and remote");
+    }
+
+    // Every simulated cell crossed the wire: the server answered all
+    // registered designs, zoo additions included.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.stat("simulated").unwrap() > 0);
+    assert_eq!(client.stat("unknown_mitigation").unwrap(), 0);
+
+    for d in [local_dir, remote_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

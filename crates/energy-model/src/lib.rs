@@ -15,4 +15,6 @@ pub mod energy;
 pub mod storage;
 
 pub use energy::{EnergyBreakdown, EnergyParams};
-pub use storage::{cat_bytes, misra_gries_bytes, qprac_bytes, twice_bytes, StorageRow};
+pub use storage::{
+    cat_bytes, misra_gries_bytes, qprac_bytes, tracker_bytes, twice_bytes, zoo_table_iv, StorageRow,
+};

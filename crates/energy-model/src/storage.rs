@@ -8,7 +8,14 @@
 //! per-bank cost at `T_RH = 4K` (Misra-Gries/Graphene 42.5 KB, TWiCe
 //! 300 KB, CAT 196 KB — the anchors in Table IV), which the `T_RH = 100`
 //! column then reproduces. QPRAC is constant: five PSQ entries of
-//! 17 + 7 bits.
+//! 17 + 7 bits, read off the mitigation registry's tracker factory so
+//! this table and the simulated tracker can never disagree.
+//!
+//! [`zoo_table_iv`] extends the paper table with one row per design in
+//! [`mitigations::registry`] — same bytes-per-bank columns, storage
+//! read off each freshly built tracker.
+
+use mitigations::{MitigationKind, TrackerParams};
 
 /// Published per-bank bytes at the calibration threshold (4096).
 const CAL_TRH: f64 = 4096.0;
@@ -29,8 +36,24 @@ pub fn cat_bytes(trh: u32) -> f64 {
 }
 
 /// QPRAC per-bank bytes — threshold independent (paper: 15 bytes).
+/// Derived from the registry's tracker factory (five PSQ entries of
+/// 17 + 7 bits), not restated here.
 pub fn qprac_bytes(_trh: u32) -> f64 {
-    (5 * (17 + 7)) as f64 / 8.0
+    tracker_bytes(MitigationKind::Qprac, 4096)
+}
+
+/// Per-bank bytes of any registered design at `trh`, read off a tracker
+/// built by its registry factory. The threshold only matters for the
+/// rate-based designs (their capacity scales with T_RH); everything
+/// else is constant.
+pub fn tracker_bytes(kind: MitigationKind, trh: u32) -> f64 {
+    let spec = mitigations::spec_of(kind);
+    let kind = match spec.at_trh {
+        Some(at) => at(trh),
+        None => kind,
+    };
+    let params = TrackerParams::paper_default(kind);
+    spec.storage_bits(&params) as f64 / 8.0
 }
 
 /// One row of Table IV.
@@ -57,6 +80,19 @@ pub fn table_iv() -> Vec<StorageRow> {
         mk("CAT", cat_bytes),
         mk("QPRAC", qprac_bytes),
     ]
+}
+
+/// Table IV extended over the whole mitigation zoo: the paper's four
+/// literature rows followed by one row per registered design (labelled
+/// by canonical-key stem), bytes read off each registry factory.
+pub fn zoo_table_iv() -> Vec<StorageRow> {
+    let mut rows = table_iv();
+    rows.extend(mitigations::registry().iter().map(|spec| StorageRow {
+        name: spec.stem,
+        at_4k: tracker_bytes(spec.default_kind, 4096),
+        at_100: tracker_bytes(spec.default_kind, 100),
+    }));
+    rows
 }
 
 #[cfg(test)]
@@ -108,5 +144,26 @@ mod tests {
     #[test]
     fn table_has_four_rows() {
         assert_eq!(table_iv().len(), 4);
+    }
+
+    #[test]
+    fn zoo_table_covers_every_registered_design() {
+        let rows = zoo_table_iv();
+        assert_eq!(rows.len(), 4 + mitigations::registry().len());
+        for spec in mitigations::registry() {
+            let row = rows
+                .iter()
+                .find(|r| r.name == spec.stem)
+                .unwrap_or_else(|| panic!("{} missing from zoo table", spec.stem));
+            assert!(row.at_4k >= 0.0 && row.at_100 >= 0.0);
+        }
+        // The registry-backed QPRAC row agrees with the paper row.
+        let paper = rows.iter().find(|r| r.name == "QPRAC").unwrap();
+        let zoo = rows.iter().find(|r| r.name == "qprac").unwrap();
+        assert_eq!(paper.at_4k, zoo.at_4k);
+        assert_eq!(paper.at_100, zoo.at_100);
+        // Rate-based capacity scales with the threshold.
+        let mithril = rows.iter().find(|r| r.name == "mithril").unwrap();
+        assert!(mithril.at_100 > mithril.at_4k);
     }
 }

@@ -1,0 +1,260 @@
+//! CnC-PRAC (Lin et al., arXiv:2506.11970) — *coalesce, not cache*,
+//! per-row activation counts.
+//!
+//! PRAC's expensive step is writing the incremented activation counter
+//! back into the row. CnC-PRAC batches those write-backs in a small
+//! coalescing queue: a repeat activation of a row already queued merges
+//! into the existing entry (one write-back covers the whole burst)
+//! instead of occupying a second slot. The queue doubles as the
+//! mitigation tracker — its maximal entry raises the ABO alert and RFMs
+//! service it — so the coalesce rate is directly observable as the
+//! fraction of activations that never cost a queue slot.
+//!
+//! Write-backs drain in FIFO order on REF (oldest pending entry first);
+//! mitigation service pops the maximal count. Both are deterministic,
+//! with ties on row id.
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+use crate::registry::{sec_abo_proactive, InertKnobs, MitigationKind, MitigationSpec};
+
+/// CnC-PRAC tracker: coalescing write-back queue.
+#[derive(Debug, Clone)]
+pub struct CncPrac {
+    nbo: u32,
+    capacity: usize,
+    /// Pending write-backs in arrival order (front = oldest).
+    queue: Vec<(RowId, u32)>,
+    proactive_per_refs: u32,
+    refs_seen: u64,
+    /// Activations offered to the queue.
+    pub offers: u64,
+    /// Offers that merged into an existing entry (no new slot).
+    pub coalesced: u64,
+    /// Full-queue offers that evicted a weaker incumbent.
+    pub evictions: u64,
+}
+
+impl CncPrac {
+    /// Create a tracker with `capacity` queue entries, alerting at
+    /// `nbo`, draining one write-back every `proactive_per_refs` REFs
+    /// (0 disables REF drains).
+    pub fn new(nbo: u32, capacity: usize, proactive_per_refs: u32) -> Self {
+        assert!(capacity > 0, "coalescing queue needs at least one entry");
+        CncPrac {
+            nbo,
+            capacity,
+            queue: Vec::with_capacity(capacity),
+            proactive_per_refs,
+            refs_seen: 0,
+            offers: 0,
+            coalesced: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Fraction of offered activations that coalesced into an existing
+    /// entry — the stat the paper's efficiency argument rests on.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.offers == 0 {
+            return 0.0;
+        }
+        self.coalesced as f64 / self.offers as f64
+    }
+
+    /// Snapshot of pending entries in arrival order.
+    pub fn entries(&self) -> Vec<(RowId, u32)> {
+        self.queue.clone()
+    }
+
+    fn offer(&mut self, row: RowId, count: u32) {
+        self.offers += 1;
+        if let Some(e) = self.queue.iter_mut().find(|e| e.0 == row) {
+            // Coalesce: the pending write-back absorbs the new count.
+            e.1 = e.1.max(count);
+            self.coalesced += 1;
+            return;
+        }
+        if self.queue.len() < self.capacity {
+            self.queue.push((row, count));
+            return;
+        }
+        // Full: the weakest pending entry write-backs immediately
+        // (modeled as eviction) if the newcomer strictly beats it; the
+        // newcomer then queues at the back as the youngest entry.
+        if let Some(i) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.1, e.0 .0))
+            .map(|(i, _)| i)
+        {
+            if self.queue[i].1 < count {
+                self.queue.remove(i);
+                self.queue.push((row, count));
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<RowId> {
+        let i = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.1, std::cmp::Reverse(e.0 .0)))
+            .map(|(i, _)| i)?;
+        Some(self.queue.remove(i).0)
+    }
+}
+
+impl InDramMitigation for CncPrac {
+    fn name(&self) -> &'static str {
+        "cnc-prac"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        self.offer(row, count);
+    }
+
+    fn on_victim_refresh(&mut self, row: RowId, count: u32) {
+        self.offer(row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.queue.iter().any(|e| e.1 >= self.nbo)
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        // Opportunistic: any RFM retires the hottest pending entry.
+        self.pop_max()
+    }
+
+    fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
+        if self.proactive_per_refs == 0 {
+            return None;
+        }
+        self.refs_seen += 1;
+        if !self
+            .refs_seen
+            .is_multiple_of(self.proactive_per_refs as u64)
+        {
+            return None;
+        }
+        // Drain the oldest pending write-back.
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.queue.remove(0).0)
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.capacity as u64 * (17 + 7)
+    }
+}
+
+/// Registry entry. `psq_size` is the coalescing-queue capacity and
+/// `proactive_per_refs` the write-back drain cadence; only the
+/// probabilistic seed is inert.
+pub(crate) const SPEC: MitigationSpec = MitigationSpec {
+    stem: "cnc-prac",
+    label: "CnC-PRAC",
+    paper: "arXiv:2506.11970",
+    knobs: "nbo, nmit, psq, pro, rfm",
+    default_kind: MitigationKind::CncPrac,
+    at_trh: None,
+    inert: InertKnobs::SEED_ONLY,
+    build: |p| Box::new(CncPrac::new(p.nbo, p.psq_size, p.proactive_per_refs)),
+    periodic_rfm: None,
+    security: sec_abo_proactive,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx() -> RfmContext {
+        RfmContext {
+            alerting: false,
+            alert_service: false,
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_coalesce_instead_of_queueing() {
+        let mut t = CncPrac::new(32, 4, 0);
+        t.on_activate(RowId(7), 1);
+        t.on_activate(RowId(7), 2);
+        t.on_activate(RowId(7), 3);
+        t.on_activate(RowId(9), 1);
+        assert_eq!(t.entries(), vec![(RowId(7), 3), (RowId(9), 1)]);
+        assert_eq!(t.offers, 4);
+        assert_eq!(t.coalesced, 2);
+        assert!((t.coalesce_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_and_rfm_service_the_max() {
+        let mut t = CncPrac::new(32, 4, 0);
+        t.on_activate(RowId(1), 10);
+        t.on_activate(RowId(2), 32);
+        t.on_activate(RowId(3), 20);
+        assert!(t.needs_alert());
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(2)));
+        assert!(!t.needs_alert());
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(3)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(1)));
+        assert_eq!(t.on_rfm(&mut c, ctx()), None);
+    }
+
+    #[test]
+    fn ref_drains_oldest_pending_writeback() {
+        let mut t = CncPrac::new(32, 4, 1);
+        t.on_activate(RowId(5), 9);
+        t.on_activate(RowId(6), 30);
+        let mut c = PracCounters::new(16, false);
+        // FIFO drain order, independent of counts.
+        assert_eq!(t.on_ref(&mut c), Some(RowId(5)));
+        assert_eq!(t.on_ref(&mut c), Some(RowId(6)));
+        assert_eq!(t.on_ref(&mut c), None);
+    }
+
+    #[test]
+    fn full_queue_evicts_weakest_only_when_beaten() {
+        let mut t = CncPrac::new(32, 2, 0);
+        t.on_activate(RowId(1), 10);
+        t.on_activate(RowId(2), 20);
+        t.on_activate(RowId(3), 10); // ties the min: rejected
+        assert_eq!(t.entries(), vec![(RowId(1), 10), (RowId(2), 20)]);
+        assert_eq!(t.evictions, 0);
+        t.on_activate(RowId(4), 11); // beats row 1: evicts it, queues young
+        assert_eq!(t.entries(), vec![(RowId(2), 20), (RowId(4), 11)]);
+        assert_eq!(t.evictions, 1);
+        // A coalescing hit still works at full capacity.
+        t.on_activate(RowId(2), 25);
+        assert_eq!(t.entries(), vec![(RowId(2), 25), (RowId(4), 11)]);
+    }
+
+    #[test]
+    fn cadence_and_disable() {
+        let mut t = CncPrac::new(32, 4, 2);
+        t.on_activate(RowId(0), 5);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_ref(&mut c), None);
+        assert_eq!(t.on_ref(&mut c), Some(RowId(0)));
+        let mut t = CncPrac::new(32, 4, 0);
+        t.on_activate(RowId(0), 5);
+        assert_eq!(t.on_ref(&mut c), None);
+    }
+
+    #[test]
+    fn storage_matches_qprac_footprint_at_equal_capacity() {
+        // The coalescing queue stores the same (row, count) pairs as a
+        // PSQ: 5 x 24 bits = 15 bytes at the paper point.
+        assert_eq!(CncPrac::new(32, 5, 1).storage_bits(), 120);
+        assert_eq!(CncPrac::new(32, 5, 1).name(), "cnc-prac");
+    }
+}

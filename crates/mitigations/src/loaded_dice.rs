@@ -1,0 +1,282 @@
+//! Loaded Dice (Woo et al., arXiv:2605.17358) — scalable probabilistic
+//! row selection with the non-selection fix.
+//!
+//! The tracker keeps a small candidate table (PSQ-style bounded offer:
+//! duplicates update in place, a full table evicts its minimum only
+//! when strictly beaten). On each RFM it rolls *loaded dice*: a
+//! candidate is selected with probability proportional to its
+//! activation count, which scales to large tables because no sorted
+//! service order must be maintained.
+//!
+//! Naive probabilistic selection suffers the **non-selection problem**:
+//! a near-threshold row can keep losing rolls while the attacker tops
+//! it up, voiding any deterministic security bound. The fix: whenever
+//! a candidate has reached the Back-Off threshold, a roll that lands
+//! elsewhere is overridden and the maximal candidate is serviced
+//! deterministically. A non-empty table therefore never wastes an RFM,
+//! and the about-to-alert row is always the one mitigated — restoring
+//! the ABO bound of the deterministic designs.
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::registry::{sec_abo_reactive, InertKnobs, MitigationKind, MitigationSpec};
+
+/// Loaded Dice tracker: count-weighted probabilistic selection.
+#[derive(Debug, Clone)]
+pub struct LoadedDice {
+    nbo: u32,
+    capacity: usize,
+    entries: Vec<(RowId, u32)>,
+    rng: SmallRng,
+    /// RFM selections decided by the dice roll.
+    pub dice_picks: u64,
+    /// Rolls overridden by the non-selection fix (a candidate at or
+    /// above N_BO lost the roll and was serviced anyway).
+    pub fix_picks: u64,
+}
+
+impl LoadedDice {
+    /// Create a tracker with `capacity` candidate entries, alerting at
+    /// `nbo`. Deterministic per `seed`.
+    pub fn new(nbo: u32, capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "candidate table needs at least one entry");
+        LoadedDice {
+            nbo,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            rng: SmallRng::seed_from_u64(seed),
+            dice_picks: 0,
+            fix_picks: 0,
+        }
+    }
+
+    /// Snapshot of candidates as `(row, count)`, sorted by row id.
+    pub fn entries(&self) -> Vec<(RowId, u32)> {
+        let mut all = self.entries.clone();
+        all.sort_by_key(|e| e.0 .0);
+        all
+    }
+
+    fn offer(&mut self, row: RowId, count: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == row) {
+            e.1 = e.1.max(count);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((row, count));
+            return;
+        }
+        if let Some(min) = self.entries.iter_mut().min_by_key(|e| (e.1, e.0 .0)) {
+            if min.1 < count {
+                *min = (row, count);
+            }
+        }
+    }
+
+    /// Index of the maximal candidate (ties toward the lower row id).
+    fn max_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.1, std::cmp::Reverse(e.0 .0)))
+            .map(|(i, _)| i)
+    }
+}
+
+impl InDramMitigation for LoadedDice {
+    fn name(&self) -> &'static str {
+        "loaded-dice"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        self.offer(row, count);
+    }
+
+    fn on_victim_refresh(&mut self, row: RowId, count: u32) {
+        self.offer(row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.entries.iter().any(|e| e.1 >= self.nbo)
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, _ctx: RfmContext) -> Option<RowId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // Loaded dice: select proportionally to the activation count
+        // (zero-count entries still get one ticket so the total is
+        // never zero and every candidate remains selectable).
+        let total: u64 = self.entries.iter().map(|e| e.1.max(1) as u64).sum();
+        let mut roll = self.rng.gen_range(0..total);
+        let mut picked = self.entries.len() - 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            let weight = e.1.max(1) as u64;
+            if roll < weight {
+                picked = i;
+                break;
+            }
+            roll -= weight;
+        }
+        // Non-selection fix: a candidate at the Back-Off threshold must
+        // not lose the roll, or the bound degrades to a probability.
+        let max = self.max_index().expect("non-empty table has a max");
+        if self.entries[max].1 >= self.nbo && picked != max {
+            picked = max;
+            self.fix_picks += 1;
+        } else {
+            self.dice_picks += 1;
+        }
+        Some(self.entries.swap_remove(picked).0)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Candidate table plus the sampler's 64-bit LFSR state.
+        self.capacity as u64 * (17 + 7) + 64
+    }
+}
+
+/// Registry entry. `psq_size` is the candidate-table capacity; the
+/// proactive cadence is inert (no REF-time behavior) and the seed is
+/// live (it drives the dice).
+pub(crate) const SPEC: MitigationSpec = MitigationSpec {
+    stem: "loaded-dice",
+    label: "Loaded Dice",
+    paper: "arXiv:2605.17358",
+    knobs: "nbo, nmit, psq, rfm, seed",
+    default_kind: MitigationKind::LoadedDice,
+    at_trh: None,
+    inert: InertKnobs {
+        proactive: true,
+        ..InertKnobs::ACTIVE
+    },
+    build: |p| Box::new(LoadedDice::new(p.nbo, p.psq_size, p.seed ^ p.bank as u64)),
+    periodic_rfm: None,
+    security: sec_abo_reactive,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx() -> RfmContext {
+        RfmContext {
+            alerting: true,
+            alert_service: true,
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = LoadedDice::new(32, 5, 42);
+        let mut b = LoadedDice::new(32, 5, 42);
+        let mut c = PracCounters::new(16, false);
+        for i in 0..500u32 {
+            a.on_activate(RowId(i % 9), i % 40);
+            b.on_activate(RowId(i % 9), i % 40);
+            if i % 50 == 0 {
+                assert_eq!(a.on_rfm(&mut c, ctx()), b.on_rfm(&mut c, ctx()));
+            }
+        }
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.fix_picks, b.fix_picks);
+    }
+
+    #[test]
+    fn nonempty_table_never_wastes_an_rfm() {
+        // The dice always land on someone: with at least one candidate,
+        // on_rfm must return a row (the scalability argument assumes no
+        // idle service slots).
+        let mut t = LoadedDice::new(32, 5, 7);
+        let mut c = PracCounters::new(16, false);
+        for round in 0..100u32 {
+            t.on_activate(RowId(round % 5), 0);
+            assert!(t.on_rfm(&mut c, ctx()).is_some(), "round {round}");
+        }
+        assert!(t.on_rfm(&mut c, ctx()).is_none(), "drained table");
+    }
+
+    #[test]
+    fn non_selection_fix_services_the_threshold_row() {
+        // With a candidate at N_BO, every RFM must service the maximal
+        // row no matter how the dice land.
+        for seed in 0..20u64 {
+            let mut t = LoadedDice::new(32, 5, seed);
+            t.on_activate(RowId(1), 5);
+            t.on_activate(RowId(2), 6);
+            t.on_activate(RowId(3), 32); // at threshold
+            assert!(t.needs_alert());
+            let mut c = PracCounters::new(16, false);
+            assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(3)), "seed {seed}");
+            assert!(!t.needs_alert());
+        }
+    }
+
+    #[test]
+    fn fix_engages_only_below_certainty() {
+        // A single candidate at threshold is always dice-picked (it owns
+        // every ticket), so the fix never fires.
+        let mut t = LoadedDice::new(32, 5, 3);
+        t.on_activate(RowId(9), 40);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx()), Some(RowId(9)));
+        assert_eq!(t.fix_picks, 0);
+        assert_eq!(t.dice_picks, 1);
+        // Crowded table at threshold: over many seeds the fix fires at
+        // least once (the dice do sometimes land elsewhere).
+        let mut fixes = 0;
+        for seed in 0..50u64 {
+            let mut t = LoadedDice::new(32, 5, seed);
+            for r in 0..4u32 {
+                t.on_activate(RowId(r), 20);
+            }
+            t.on_activate(RowId(9), 32);
+            let _ = t.on_rfm(&mut c, ctx());
+            fixes += t.fix_picks;
+        }
+        assert!(fixes > 0, "non-selection fix never engaged across seeds");
+    }
+
+    #[test]
+    fn hot_rows_win_the_dice_more_often() {
+        // Weighted selection: a 50x hotter row wins the large majority
+        // of rolls below threshold.
+        let mut hot_wins = 0;
+        for seed in 0..200u64 {
+            let mut t = LoadedDice::new(1000, 5, seed);
+            t.on_activate(RowId(1), 100);
+            t.on_activate(RowId(2), 2);
+            let mut c = PracCounters::new(16, false);
+            if t.on_rfm(&mut c, ctx()) == Some(RowId(1)) {
+                hot_wins += 1;
+            }
+            assert_eq!(t.fix_picks, 0, "below threshold the fix must stay out");
+        }
+        assert!(
+            (170..=200).contains(&hot_wins),
+            "expected ~98% hot-row wins, got {hot_wins}/200"
+        );
+    }
+
+    #[test]
+    fn bounded_offer_semantics() {
+        let mut t = LoadedDice::new(32, 2, 0);
+        t.on_activate(RowId(1), 10);
+        t.on_activate(RowId(2), 20);
+        t.on_activate(RowId(3), 10); // ties the min: rejected
+        assert_eq!(t.entries(), vec![(RowId(1), 10), (RowId(2), 20)]);
+        t.on_activate(RowId(3), 11); // strictly beats: evicts row 1
+        assert_eq!(t.entries(), vec![(RowId(2), 20), (RowId(3), 11)]);
+        t.on_activate(RowId(2), 25); // duplicate updates in place
+        assert_eq!(t.entries(), vec![(RowId(2), 25), (RowId(3), 11)]);
+    }
+
+    #[test]
+    fn storage_includes_sampler_state() {
+        assert_eq!(LoadedDice::new(32, 5, 0).storage_bits(), 5 * 24 + 64);
+        assert_eq!(LoadedDice::new(32, 5, 0).name(), "loaded-dice");
+    }
+}

@@ -1,0 +1,320 @@
+//! PRACtical (Nazaraliyev et al., arXiv:2507.18581) — subarray-level
+//! counter update and bank-level recovery isolation for PRAC.
+//!
+//! Instead of one bank-wide service queue, PRACtical partitions the
+//! bank's rows into [`SUBARRAYS`] groups and gives each its own small
+//! update queue, mirroring where the PRAC counters physically live.
+//! Two consequences the model captures:
+//!
+//! 1. **Subarray-level counter update**: an activation only contends
+//!    with its own subarray's queue, so a hot subarray cannot evict
+//!    tracking state belonging to the rest of the bank.
+//! 2. **Recovery isolation**: when this bank raises the alert, the RFM
+//!    recovery drains only the *offending* subarray group (the one
+//!    holding the maximal count) — the other subarrays' state is
+//!    untouched, which is the paper's bank-level isolation argument for
+//!    why recovery stalls less of the device.
+//!
+//! Opportunistic RFMs (another bank alerting) and proactive REF drains
+//! service the globally hottest entry, round-robining across subarrays
+//! so no group starves.
+
+use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+
+use crate::registry::{sec_abo_reactive, InertKnobs, MitigationKind, MitigationSpec};
+
+/// Subarray groups per bank (the paper evaluates 8-group isolation).
+pub const SUBARRAYS: usize = 8;
+
+/// Which subarray group a row's counter lives in.
+pub fn subarray_of(row: RowId) -> usize {
+    row.0 as usize % SUBARRAYS
+}
+
+/// One subarray's bounded update queue. Same service discipline as the
+/// QPRAC PSQ: duplicate offers update in place, a full queue evicts its
+/// minimum only when strictly beaten. All ties break on row id so the
+/// structure is fully deterministic (eviction victims toward the lower
+/// row, pop-max winners toward the lower row).
+#[derive(Debug, Clone, Default)]
+struct SubQueue {
+    entries: Vec<(RowId, u32)>,
+}
+
+impl SubQueue {
+    fn offer(&mut self, capacity: usize, row: RowId, count: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == row) {
+            e.1 = e.1.max(count);
+            return;
+        }
+        if self.entries.len() < capacity {
+            self.entries.push((row, count));
+            return;
+        }
+        if let Some(min) = self.entries.iter_mut().min_by_key(|e| (e.1, e.0 .0)) {
+            if min.1 < count {
+                *min = (row, count);
+            }
+        }
+    }
+
+    fn max_count(&self) -> u32 {
+        self.entries.iter().map(|e| e.1).max().unwrap_or(0)
+    }
+
+    fn pop_max(&mut self) -> Option<RowId> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.1, std::cmp::Reverse(e.0 .0)))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(i).0)
+    }
+}
+
+/// PRACtical tracker: per-subarray update queues + recovery isolation.
+#[derive(Debug, Clone)]
+pub struct Practical {
+    nbo: u32,
+    per_queue: usize,
+    queues: Vec<SubQueue>,
+    proactive_per_refs: u32,
+    refs_seen: u64,
+    next_drain: usize,
+    /// Alert-service RFMs that drained only the offending subarray.
+    pub isolated_rfms: u64,
+    /// Opportunistic / periodic RFMs serviced from the global maximum.
+    pub opportunistic_rfms: u64,
+}
+
+impl Practical {
+    /// Create a tracker with `per_queue` entries per subarray group,
+    /// alerting at `nbo`, draining proactively every
+    /// `proactive_per_refs` REFs (0 disables proactive drains).
+    pub fn new(nbo: u32, per_queue: usize, proactive_per_refs: u32) -> Self {
+        assert!(per_queue > 0, "subarray queues need at least one entry");
+        Practical {
+            nbo,
+            per_queue,
+            queues: vec![SubQueue::default(); SUBARRAYS],
+            proactive_per_refs,
+            refs_seen: 0,
+            next_drain: 0,
+            isolated_rfms: 0,
+            opportunistic_rfms: 0,
+        }
+    }
+
+    /// Snapshot of all tracked entries as `(row, count)`, sorted by row
+    /// id — the observable state the differential tests compare.
+    pub fn entries(&self) -> Vec<(RowId, u32)> {
+        let mut all: Vec<_> = self
+            .queues
+            .iter()
+            .flat_map(|q| q.entries.iter().copied())
+            .collect();
+        all.sort_by_key(|e| e.0 .0);
+        all
+    }
+
+    /// Index of the subarray holding the globally maximal count, ties
+    /// toward the lower subarray index. `None` when fully drained.
+    fn hottest_subarray(&self) -> Option<usize> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.entries.is_empty())
+            .max_by_key(|(i, q)| (q.max_count(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+    }
+}
+
+impl InDramMitigation for Practical {
+    fn name(&self) -> &'static str {
+        "practical"
+    }
+
+    fn on_activate(&mut self, row: RowId, count: u32) {
+        self.queues[subarray_of(row)].offer(self.per_queue, row, count);
+    }
+
+    fn on_victim_refresh(&mut self, row: RowId, count: u32) {
+        // Transitive aggressors re-enter their subarray's queue.
+        self.queues[subarray_of(row)].offer(self.per_queue, row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.queues.iter().any(|q| q.max_count() >= self.nbo)
+    }
+
+    fn on_rfm(&mut self, _counters: &mut dyn CounterAccess, ctx: RfmContext) -> Option<RowId> {
+        let sub = self.hottest_subarray()?;
+        let row = self.queues[sub].pop_max();
+        if row.is_some() {
+            if ctx.alerting {
+                // Recovery isolation: only `sub`'s group is stalled.
+                self.isolated_rfms += 1;
+            } else {
+                self.opportunistic_rfms += 1;
+            }
+        }
+        row
+    }
+
+    fn on_ref(&mut self, _counters: &mut dyn CounterAccess) -> Option<RowId> {
+        if self.proactive_per_refs == 0 {
+            return None;
+        }
+        self.refs_seen += 1;
+        if !self
+            .refs_seen
+            .is_multiple_of(self.proactive_per_refs as u64)
+        {
+            return None;
+        }
+        // Round-robin across subarray groups so proactive drains never
+        // starve a cold group behind a persistently hot one.
+        for step in 0..SUBARRAYS {
+            let sub = (self.next_drain + step) % SUBARRAYS;
+            if let Some(row) = self.queues[sub].pop_max() {
+                self.next_drain = (sub + 1) % SUBARRAYS;
+                return Some(row);
+            }
+        }
+        None
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: 17-bit row id + 7-bit count, per group: a 3-bit
+        // drain cursor share (log2(SUBARRAYS) bits amortized).
+        (SUBARRAYS * self.per_queue) as u64 * (17 + 7) + SUBARRAYS as u64 * 3
+    }
+}
+
+/// Registry entry. `psq_size` is the per-subarray queue capacity and
+/// `proactive_per_refs` the drain cadence; only the probabilistic seed
+/// is inert.
+pub(crate) const SPEC: MitigationSpec = MitigationSpec {
+    stem: "practical",
+    label: "PRACtical",
+    paper: "arXiv:2507.18581",
+    knobs: "nbo, nmit, psq, pro, rfm",
+    default_kind: MitigationKind::Practical,
+    at_trh: None,
+    inert: InertKnobs::SEED_ONLY,
+    build: |p| Box::new(Practical::new(p.nbo, p.psq_size, p.proactive_per_refs)),
+    periodic_rfm: None,
+    security: sec_abo_reactive,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::PracCounters;
+
+    fn ctx(alerting: bool) -> RfmContext {
+        RfmContext {
+            alerting,
+            alert_service: alerting,
+        }
+    }
+
+    #[test]
+    fn activations_land_in_their_subarray() {
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(0), 5); // subarray 0
+        t.on_activate(RowId(1), 9); // subarray 1
+        t.on_activate(RowId(8), 3); // subarray 0
+        assert_eq!(
+            t.entries(),
+            vec![(RowId(0), 5), (RowId(1), 9), (RowId(8), 3)]
+        );
+        // A hot subarray cannot evict another group's state: flooding
+        // subarray 0 leaves row 1 tracked.
+        for i in 0..20u32 {
+            t.on_activate(RowId(8 * i), 100 + i);
+        }
+        assert!(t.entries().iter().any(|e| e.0 == RowId(1)));
+    }
+
+    #[test]
+    fn alert_fires_on_any_subarray_reaching_nbo() {
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(3), 31);
+        assert!(!t.needs_alert());
+        t.on_activate(RowId(3), 32);
+        assert!(t.needs_alert());
+    }
+
+    #[test]
+    fn alerting_rfm_isolates_recovery_to_the_offending_subarray() {
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(2), 40); // subarray 2 — the offender
+        t.on_activate(RowId(5), 10); // subarray 5 — innocent bystander
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx(true)), Some(RowId(2)));
+        assert_eq!(t.isolated_rfms, 1);
+        assert_eq!(t.opportunistic_rfms, 0);
+        // The bystander subarray's state survived recovery untouched.
+        assert_eq!(t.entries(), vec![(RowId(5), 10)]);
+        assert!(!t.needs_alert());
+    }
+
+    #[test]
+    fn opportunistic_rfms_service_the_global_max() {
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(1), 7);
+        t.on_activate(RowId(4), 19);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_rfm(&mut c, ctx(false)), Some(RowId(4)));
+        assert_eq!(t.opportunistic_rfms, 1);
+        assert_eq!(t.on_rfm(&mut c, ctx(false)), Some(RowId(1)));
+        assert_eq!(t.on_rfm(&mut c, ctx(false)), None);
+    }
+
+    #[test]
+    fn proactive_drain_round_robins_across_subarrays() {
+        let mut t = Practical::new(32, 2, 1);
+        t.on_activate(RowId(0), 5); // subarray 0
+        t.on_activate(RowId(8), 6); // subarray 0
+        t.on_activate(RowId(3), 4); // subarray 3
+        let mut c = PracCounters::new(16, false);
+        // First REF drains subarray 0's max; the cursor then moves past
+        // it, so the next REF reaches subarray 3 before returning.
+        assert_eq!(t.on_ref(&mut c), Some(RowId(8)));
+        assert_eq!(t.on_ref(&mut c), Some(RowId(3)));
+        assert_eq!(t.on_ref(&mut c), Some(RowId(0)));
+        assert_eq!(t.on_ref(&mut c), None);
+    }
+
+    #[test]
+    fn proactive_cadence_and_disable() {
+        let mut t = Practical::new(32, 2, 2);
+        t.on_activate(RowId(0), 5);
+        let mut c = PracCounters::new(16, false);
+        assert_eq!(t.on_ref(&mut c), None, "first REF is off-cadence");
+        assert_eq!(t.on_ref(&mut c), Some(RowId(0)));
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(0), 5);
+        assert_eq!(t.on_ref(&mut c), None, "cadence 0 disables drains");
+    }
+
+    #[test]
+    fn full_queue_evicts_min_only_when_strictly_beaten() {
+        let mut t = Practical::new(32, 2, 0);
+        t.on_activate(RowId(0), 10);
+        t.on_activate(RowId(8), 20);
+        t.on_activate(RowId(16), 10); // ties the min: rejected
+        assert_eq!(t.entries(), vec![(RowId(0), 10), (RowId(8), 20)]);
+        t.on_activate(RowId(24), 11); // strictly beats: evicts row 0
+        assert_eq!(t.entries(), vec![(RowId(8), 20), (RowId(24), 11)]);
+    }
+
+    #[test]
+    fn storage_scales_with_groups_and_capacity() {
+        let t = Practical::new(32, 5, 1);
+        assert_eq!(t.storage_bits(), 8 * 5 * 24 + 8 * 3);
+        assert_eq!(t.name(), "practical");
+    }
+}

@@ -1,0 +1,340 @@
+//! Randomized differential tests for the three zoo additions —
+//! PRACtical, CnC-PRAC and Loaded Dice — against naive sorted-vec
+//! oracles, in the style of the PSQ oracle test (`qprac/tests/
+//! psq_oracle.rs`). Seeded `StdRng` only — reproducible, no heavy
+//! dependencies.
+
+use dram_core::{InDramMitigation, PracCounters, RfmContext, RowId};
+use mitigations::practical::{subarray_of, SUBARRAYS};
+use mitigations::{CncPrac, LoadedDice, Practical};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ctx(alerting: bool) -> RfmContext {
+    RfmContext {
+        alerting,
+        alert_service: alerting,
+    }
+}
+
+/// Literal transcription of the zoo designs' shared bounded-offer
+/// discipline: hit-update to the max of old and new count, insert into
+/// free slots, otherwise evict the minimum entry iff the newcomer
+/// strictly beats it. Minimum = lowest `(count, row)`; maximum = highest
+/// count, ties toward the *lower* row id.
+#[derive(Clone, Default)]
+struct BoundedOracle {
+    entries: Vec<(u32, u32)>, // (count, row), kept sorted ascending
+}
+
+impl BoundedOracle {
+    fn offer(&mut self, capacity: usize, row: u32, count: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.1 == row) {
+            e.0 = e.0.max(count);
+        } else if self.entries.len() < capacity {
+            self.entries.push((count, row));
+        } else if !self.entries.is_empty() && count > self.entries[0].0 {
+            self.entries[0] = (count, row);
+        }
+        self.entries.sort_unstable();
+    }
+
+    fn max_count(&self) -> u32 {
+        self.entries.last().map_or(0, |e| e.0)
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u32)> {
+        let max = self.entries.last()?.0;
+        // Ties toward the lower row id: the *first* entry of the
+        // maximal-count group (the vec is sorted by (count, row)).
+        let i = self.entries.iter().position(|e| e.0 == max)?;
+        Some(self.entries.remove(i))
+    }
+
+    fn remove_row(&mut self, row: u32) -> bool {
+        match self.entries.iter().position(|e| e.1 == row) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// `(row, count)` state sorted by row id, the shape the trackers'
+/// `entries()` snapshots use.
+fn by_row(entries: impl IntoIterator<Item = (u32, u32)>) -> Vec<(RowId, u32)> {
+    let mut v: Vec<(RowId, u32)> = entries
+        .into_iter()
+        .map(|(count, row)| (RowId(row), count))
+        .collect();
+    v.sort_by_key(|e| e.0 .0);
+    v
+}
+
+/// Oracle for PRACtical: one bounded oracle per subarray group plus the
+/// round-robin drain cursor.
+struct PracticalOracle {
+    per_queue: usize,
+    nbo: u32,
+    queues: Vec<BoundedOracle>,
+    next_drain: usize,
+}
+
+impl PracticalOracle {
+    fn new(nbo: u32, per_queue: usize) -> Self {
+        PracticalOracle {
+            per_queue,
+            nbo,
+            queues: vec![BoundedOracle::default(); SUBARRAYS],
+            next_drain: 0,
+        }
+    }
+
+    fn offer(&mut self, row: u32, count: u32) {
+        self.queues[subarray_of(RowId(row))].offer(self.per_queue, row, count);
+    }
+
+    fn needs_alert(&self) -> bool {
+        self.queues.iter().any(|q| q.max_count() >= self.nbo)
+    }
+
+    fn pop_hottest(&mut self) -> Option<(u32, u32)> {
+        let sub = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.entries.is_empty())
+            .max_by_key(|(i, q)| (q.max_count(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)?;
+        self.queues[sub].pop_max()
+    }
+
+    fn drain_round_robin(&mut self) -> Option<(u32, u32)> {
+        for step in 0..SUBARRAYS {
+            let sub = (self.next_drain + step) % SUBARRAYS;
+            if let Some(e) = self.queues[sub].pop_max() {
+                self.next_drain = (sub + 1) % SUBARRAYS;
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    fn state(&self) -> Vec<(RowId, u32)> {
+        by_row(self.queues.iter().flat_map(|q| q.entries.iter().copied()))
+    }
+}
+
+#[test]
+fn practical_matches_per_subarray_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x9141_5AC0_2507_1858);
+    let mut counters = PracCounters::new(64, false);
+    for _ in 0..60 {
+        let per_queue = rng.gen_range(1usize..=4);
+        let row_space = rng.gen_range(4u32..48);
+        let nbo = rng.gen_range(8u32..40);
+        // Cadence 1 so every on_ref drains (the cadence counter itself
+        // is unit-tested in the module).
+        let mut t = Practical::new(nbo, per_queue, 1);
+        let mut o = PracticalOracle::new(nbo, per_queue);
+        let mut prac = vec![0u32; row_space as usize];
+        for op in 0..200 {
+            let row = rng.gen_range(0..row_space);
+            prac[row as usize] += rng.gen_range(1u32..4);
+            let count = prac[row as usize];
+            t.on_activate(RowId(row), count);
+            o.offer(row, count);
+            assert_eq!(t.entries(), o.state(), "state diverged at op {op}");
+            assert_eq!(t.needs_alert(), o.needs_alert(), "alert diverged at {op}");
+            if rng.gen_bool(0.08) {
+                let alerting = rng.gen_bool(0.5);
+                let got = t.on_rfm(&mut counters, ctx(alerting));
+                let want = o.pop_hottest().map(|(_, row)| RowId(row));
+                assert_eq!(got, want, "rfm diverged at op {op}");
+            }
+            if rng.gen_bool(0.08) {
+                let got = t.on_ref(&mut counters);
+                let want = o.drain_round_robin().map(|(_, row)| RowId(row));
+                assert_eq!(got, want, "ref drain diverged at op {op}");
+            }
+        }
+        // Final drain through alert-service RFMs must agree entry for
+        // entry (hottest-first across subarray groups).
+        loop {
+            let got = t.on_rfm(&mut counters, ctx(true));
+            let want = o.pop_hottest().map(|(_, row)| RowId(row));
+            assert_eq!(got, want, "final drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// Oracle for CnC-PRAC: arrival-ordered vec with coalescing hits,
+/// strict-beat eviction (evictee leaves, newcomer re-queues young) and
+/// two service orders: pop-max for RFMs, pop-front for REF write-backs.
+#[derive(Default)]
+struct CncOracle {
+    entries: Vec<(u32, u32)>, // (row, count), arrival order
+}
+
+impl CncOracle {
+    fn offer(&mut self, capacity: usize, row: u32, count: u32) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == row) {
+            e.1 = e.1.max(count);
+            return true; // coalesced
+        }
+        if self.entries.len() < capacity {
+            self.entries.push((row, count));
+        } else if let Some(i) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.1, e.0))
+            .map(|(i, _)| i)
+        {
+            if self.entries[i].1 < count {
+                self.entries.remove(i);
+                self.entries.push((row, count));
+            }
+        }
+        false
+    }
+
+    fn pop_max(&mut self) -> Option<u32> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.1, std::cmp::Reverse(e.0)))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(i).0)
+    }
+
+    fn pop_front(&mut self) -> Option<u32> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).0)
+        }
+    }
+
+    fn state(&self) -> Vec<(RowId, u32)> {
+        self.entries
+            .iter()
+            .map(|&(row, count)| (RowId(row), count))
+            .collect()
+    }
+}
+
+#[test]
+fn cnc_prac_matches_arrival_order_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x9141_5AC0_2506_1197);
+    let mut counters = PracCounters::new(64, false);
+    for _ in 0..60 {
+        let capacity = rng.gen_range(1usize..=6);
+        let row_space = rng.gen_range(2u32..32);
+        let mut t = CncPrac::new(32, capacity, 1);
+        let mut o = CncOracle::default();
+        let mut prac = vec![0u32; row_space as usize];
+        let mut coalesced = 0u64;
+        let mut offers = 0u64;
+        for op in 0..250 {
+            let row = rng.gen_range(0..row_space);
+            prac[row as usize] += rng.gen_range(1u32..4);
+            let count = prac[row as usize];
+            t.on_activate(RowId(row), count);
+            offers += 1;
+            if o.offer(capacity, row, count) {
+                coalesced += 1;
+            }
+            assert_eq!(t.entries(), o.state(), "state diverged at op {op}");
+            assert_eq!(
+                (t.offers, t.coalesced),
+                (offers, coalesced),
+                "coalesce stats diverged at op {op}"
+            );
+            if rng.gen_bool(0.06) {
+                let got = t.on_rfm(&mut counters, ctx(rng.gen_bool(0.5)));
+                assert_eq!(got, o.pop_max().map(RowId), "rfm diverged at op {op}");
+            }
+            if rng.gen_bool(0.06) {
+                let got = t.on_ref(&mut counters);
+                assert_eq!(got, o.pop_front().map(RowId), "ref diverged at op {op}");
+            }
+        }
+        loop {
+            let got = t.on_rfm(&mut counters, ctx(true));
+            let want = o.pop_max().map(RowId);
+            assert_eq!(got, want, "final drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn loaded_dice_tracks_oracle_membership_and_threshold_service() {
+    // The dice roll itself is seeded-random, so the oracle checks the
+    // properties rather than the exact pick: the offer side must match
+    // the bounded oracle exactly; every RFM pick must be a tracked
+    // member; and with any candidate at N_BO the pick is forced to the
+    // maximal entry (ties toward the lower row id) — the non-selection
+    // fix. Two same-seed trackers must agree exactly throughout.
+    let mut rng = StdRng::seed_from_u64(0x9141_5AC0_2605_1735);
+    let mut counters = PracCounters::new(64, false);
+    for _ in 0..60 {
+        let capacity = rng.gen_range(1usize..=6);
+        let row_space = rng.gen_range(2u32..32);
+        let nbo = rng.gen_range(6u32..30);
+        let seed = rng.gen();
+        let mut t = LoadedDice::new(nbo, capacity, seed);
+        let mut twin = LoadedDice::new(nbo, capacity, seed);
+        let mut o = BoundedOracle::default();
+        let mut prac = vec![0u32; row_space as usize];
+        for op in 0..250 {
+            let row = rng.gen_range(0..row_space);
+            prac[row as usize] += rng.gen_range(1u32..4);
+            let count = prac[row as usize];
+            t.on_activate(RowId(row), count);
+            twin.on_activate(RowId(row), count);
+            o.offer(capacity, row, count);
+            assert_eq!(t.entries(), by_row(o.entries.iter().copied()));
+            assert_eq!(
+                t.needs_alert(),
+                o.max_count() >= nbo,
+                "alert diverged at op {op}"
+            );
+            if rng.gen_bool(0.1) {
+                let at_threshold = o.max_count() >= nbo;
+                let got = t.on_rfm(&mut counters, ctx(true));
+                assert_eq!(
+                    got,
+                    twin.on_rfm(&mut counters, ctx(true)),
+                    "same-seed twins diverged at op {op}"
+                );
+                let row =
+                    got.unwrap_or_else(|| panic!("non-empty table returned no row at op {op}"));
+                if at_threshold {
+                    // Non-selection fix: the pick is forced to the
+                    // maximal entry, deterministically.
+                    let want = o.pop_max().expect("oracle non-empty");
+                    assert_eq!(row, RowId(want.1), "fix must pick the max at op {op}");
+                } else {
+                    // Below threshold the dice decide, but only among
+                    // tracked members.
+                    assert!(o.remove_row(row.0), "untracked {row:?} at op {op}");
+                }
+                assert_eq!(
+                    t.entries(),
+                    by_row(o.entries.iter().copied()),
+                    "post-RFM state diverged at op {op}"
+                );
+            }
+        }
+    }
+}

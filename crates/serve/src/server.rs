@@ -103,18 +103,24 @@ pub struct Counters {
     pub coalesced: AtomicU64,
     /// Requests answered with `ERR`.
     pub errors: AtomicU64,
+    /// `RUN`s naming a mitigation this build does not register — the
+    /// forward-compatibility signal that a newer peer is in the fleet
+    /// (a subset of `errors`, counted separately so operators can tell
+    /// version skew from garbage input).
+    pub unknown_mitigation: AtomicU64,
 }
 
 impl Counters {
     fn render(&self, in_flight: usize, store_errors: u64) -> String {
         format!(
-            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nstore_errors={store_errors}\nin_flight={in_flight}",
+            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nunknown_mitigation={}\nstore_errors={store_errors}\nin_flight={in_flight}",
             self.requests.load(Ordering::Relaxed),
             self.mem_hits.load(Ordering::Relaxed),
             self.disk_hits.load(Ordering::Relaxed),
             self.simulated.load(Ordering::Relaxed),
             self.coalesced.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
+            self.unknown_mitigation.load(Ordering::Relaxed),
         )
     }
 }
@@ -331,7 +337,18 @@ impl Drop for ActiveGuard<'_> {
 /// The three-tier resolve: memory, disk, then single-flight simulate.
 fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
     let _active = ActiveGuard::enter(&inner.active);
-    let spec = RunKey::parse_text(key_text)?;
+    let spec = RunKey::parse_text(key_text).map_err(|e| {
+        // Version-skew signal: a newer peer minted a key for a design
+        // this build does not register. Counted (STATS) and answered
+        // with a clean ERR the client treats as authoritative.
+        if matches!(e, sim::KeyError::UnknownMitigation(_)) {
+            inner
+                .counters
+                .unknown_mitigation
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        e.to_string()
+    })?;
     let key = spec.key();
     if let Some(hit) = inner.lru.lock().unwrap().get(&key) {
         inner.counters.mem_hits.fetch_add(1, Ordering::Relaxed);
@@ -469,6 +486,7 @@ mod tests {
             "simulated=0",
             "coalesced=0",
             "errors=0",
+            "unknown_mitigation=0",
             "store_errors=2",
             "in_flight=1",
         ] {

@@ -116,6 +116,32 @@ fn malformed_requests_get_err_and_the_connection_survives() {
 }
 
 #[test]
+fn unknown_mitigation_keys_get_a_counted_clean_err() {
+    let addr = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // A key a newer build could legitimately mint: canonical in every
+    // respect except the mitigation token.
+    let known = small_key(100);
+    let future = known.as_str().replace("mit=qprac;", "mit=hydra-prac;");
+    let err = client.run_key_text(&future).unwrap_err();
+    // The ERR is authoritative (a Server error, not a transport fault,
+    // and not a worker panic the client would retry elsewhere).
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert!(err.to_string().contains("unknown mitigation"), "{err}");
+    assert!(!err.to_string().contains("panicked"), "{err}");
+    // Counted under its own STATS reason, distinct from plain errors.
+    assert_eq!(client.stat("unknown_mitigation").unwrap(), 1);
+    assert_eq!(client.stat("errors").unwrap(), 1);
+    // A malformed key is an error but NOT an unknown mitigation.
+    let err = client.run_key_text("workload:missing-config").unwrap_err();
+    assert!(err.to_string().contains("malformed"), "{err}");
+    assert_eq!(client.stat("unknown_mitigation").unwrap(), 1);
+    assert_eq!(client.stat("errors").unwrap(), 2);
+    // The connection survives and the server still simulates.
+    client.ping().expect("connection survived the ERRs");
+}
+
+#[test]
 fn truncated_connections_do_not_wedge_the_server() {
     let addr = spawn_server(ServerConfig::default());
     // A client that dies mid-request: no trailing newline, then EOF.

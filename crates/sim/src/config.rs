@@ -1,45 +1,14 @@
 //! Full-system configuration: which mitigation runs where, with which
 //! PRAC parameters (paper §V "Evaluated Designs" and Table II).
 
-use dram_core::{
-    DramConfig, InDramMitigation, MappingScheme, NoMitigation, RfmKind, Timing, TimingNs,
-};
+use dram_core::{DramConfig, InDramMitigation, MappingScheme, RfmKind, Timing, TimingNs};
 use mem_ctrl::McConfig;
-use mitigations::{mithril_interval, pride_interval, Mithril, Moat, Pride};
-use qprac::{Qprac, QpracConfig, QpracIdeal};
+use mitigations::TrackerParams;
 
-/// Which Rowhammer mitigation the DRAM hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MitigationKind {
-    /// Insecure baseline: PRAC timings, no ABO mitigation (the paper's
-    /// normalization point).
-    None,
-    /// QPRAC-NoOp: mitigates only the alerting bank on RFMs.
-    QpracNoOp,
-    /// QPRAC with opportunistic mitigation (default mechanism).
-    Qprac,
-    /// QPRAC + proactive mitigation on every eligible REF.
-    QpracProactive,
-    /// QPRAC + energy-aware proactive mitigation (the paper's default
-    /// design, `N_PRO = N_BO / 2`).
-    QpracProactiveEa,
-    /// Oracle top-N tracker with proactive mitigation (§V item 5).
-    QpracIdeal,
-    /// MOAT (§VII-A): dual threshold, single entry. Proactive cadence
-    /// comes from [`SystemConfig::proactive_per_refs`] (0 disables).
-    Moat,
-    /// Mithril at a target Rowhammer threshold (sets the periodic RFM
-    /// cadence; §VI-G).
-    Mithril {
-        /// Target T_RH the cadence must defend.
-        trh: u32,
-    },
-    /// PrIDE at a target Rowhammer threshold (§VI-G).
-    Pride {
-        /// Target T_RH the cadence must defend.
-        trh: u32,
-    },
-}
+// The kind enum and its per-design table live in the `mitigations`
+// registry; the simulator re-exports the enum so existing call sites
+// (`sim::MitigationKind`) keep working.
+pub use mitigations::MitigationKind;
 
 /// Full-system configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,22 +44,54 @@ pub struct SystemConfig {
 }
 
 /// Read a `u64` simulation knob from the environment, falling back to
-/// `default` when the variable is unset or fails to parse. Shared by
-/// every `QPRAC_*` knob (the examples and the bench figure binaries)
-/// so the silent-fallback policy lives in one place.
+/// `default` when the variable is unset. A variable that is *set but
+/// unparsable* also falls back, but prints one greppable `warning:`
+/// line — a silently ignored `QPRAC_INSTR=10k` once cost a full wrong
+/// sweep. Shared by every `QPRAC_*` knob (the examples and the bench
+/// figure binaries) so the fallback policy lives in one place.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(v) => {
+            let (value, warning) = numeric_value(name, &v, default);
+            if let Some(warning) = warning {
+                eprintln!("{warning}");
+            }
+            value
+        }
+        Err(_) => default,
+    }
 }
 
 /// [`env_u64`] for `usize` knobs (`QPRAC_JOBS`, LRU capacities).
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(v) => {
+            let (value, warning) = numeric_value(name, &v, default);
+            if let Some(warning) = warning {
+                eprintln!("{warning}");
+            }
+            value
+        }
+        Err(_) => default,
+    }
+}
+
+/// The value-parsing half of [`env_u64`] / [`env_usize`], split out so
+/// the warning semantics are unit-testable without mutating process
+/// environment (same pattern as [`flag_value_enables`]). Returns the
+/// parsed value plus the warning line to print, if any.
+pub(crate) fn numeric_value<T>(name: &str, value: &str, default: T) -> (T, Option<String>)
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    match value.parse() {
+        Ok(v) => (v, None),
+        Err(_) => {
+            let warning =
+                format!("warning: ignoring unparsable {name}={value:?}; using default {default}");
+            (default, Some(warning))
+        }
+    }
 }
 
 /// Read an optional string knob: unset, empty, or the literal `"0"` all
@@ -234,11 +235,11 @@ impl SystemConfig {
     }
 
     /// Build the memory-controller configuration (periodic RFM cadence
-    /// for the rate-based baselines).
+    /// for the rate-based baselines, read off the mitigation registry).
     pub fn mc_config(&self) -> McConfig {
-        let periodic = match self.mitigation {
-            MitigationKind::Mithril { trh } => Some(mithril_interval(trh)),
-            MitigationKind::Pride { trh } => Some(pride_interval(trh)),
+        let spec = mitigations::spec_of(self.mitigation);
+        let periodic = match (spec.periodic_rfm, self.mitigation.trh()) {
+            (Some(cadence), Some(trh)) => Some(cadence(trh)),
             _ => None,
         };
         McConfig {
@@ -248,64 +249,28 @@ impl SystemConfig {
         }
     }
 
-    fn qprac_config(&self) -> QpracConfig {
-        QpracConfig::paper_default()
-            .with_psq_size(self.psq_size)
-            .with_proactive_per_refs(self.proactive_per_refs.max(1))
-            .with_nbo(self.nbo)
+    /// The registry-facing view of this config's tracker parameters.
+    pub fn tracker_params(&self, bank: usize) -> TrackerParams {
+        TrackerParams {
+            nbo: self.nbo,
+            nmit: self.nmit,
+            psq_size: self.psq_size,
+            proactive_per_refs: self.proactive_per_refs,
+            trh: self.mitigation.trh(),
+            seed: self.seed,
+            bank,
+        }
     }
 
-    /// Build one tracker for bank `bank` (deterministic per bank/seed).
+    /// Build one tracker for bank `bank` (deterministic per bank/seed)
+    /// through the hosted design's registry factory.
     pub fn make_tracker(&self, bank: usize) -> Box<dyn InDramMitigation> {
-        let base = self.qprac_config();
-        match self.mitigation {
-            MitigationKind::None => Box::new(NoMitigation),
-            MitigationKind::QpracNoOp => Box::new(Qprac::new(QpracConfig {
-                opportunistic: false,
-                ..base
-            })),
-            MitigationKind::Qprac => Box::new(Qprac::new(base)),
-            MitigationKind::QpracProactive => Box::new(Qprac::new(QpracConfig {
-                proactive: qprac::ProactivePolicy::EveryRef,
-                ..base
-            })),
-            MitigationKind::QpracProactiveEa => Box::new(Qprac::new(QpracConfig {
-                proactive: qprac::ProactivePolicy::EnergyAware {
-                    npro: (self.nbo / 2).max(1),
-                },
-                ..base
-            })),
-            MitigationKind::QpracIdeal => Box::new(QpracIdeal::new(QpracConfig {
-                proactive: qprac::ProactivePolicy::EnergyAware {
-                    npro: (self.nbo / 2).max(1),
-                },
-                ..base
-            })),
-            MitigationKind::Moat => Box::new(Moat::new(
-                (self.nbo / 2).max(1),
-                self.nbo,
-                self.proactive_per_refs,
-            )),
-            MitigationKind::Mithril { trh } => {
-                Box::new(Mithril::new(mitigations::mithril_entries(trh)))
-            }
-            MitigationKind::Pride { .. } => Box::new(Pride::paper(self.seed ^ bank as u64)),
-        }
+        (mitigations::spec_of(self.mitigation).build)(&self.tracker_params(bank))
     }
 
     /// Short label for experiment output.
     pub fn mitigation_label(&self) -> &'static str {
-        match self.mitigation {
-            MitigationKind::None => "baseline",
-            MitigationKind::QpracNoOp => "QPRAC-NoOp",
-            MitigationKind::Qprac => "QPRAC",
-            MitigationKind::QpracProactive => "QPRAC+Proactive",
-            MitigationKind::QpracProactiveEa => "QPRAC+Proactive-EA",
-            MitigationKind::QpracIdeal => "QPRAC-Ideal",
-            MitigationKind::Moat => "MOAT",
-            MitigationKind::Mithril { .. } => "Mithril",
-            MitigationKind::Pride { .. } => "PrIDE",
-        }
+        mitigations::spec_of(self.mitigation).label
     }
 }
 
@@ -423,22 +388,45 @@ mod tests {
     }
 
     #[test]
-    fn tracker_factory_builds_each_kind() {
-        for kind in [
-            MitigationKind::None,
-            MitigationKind::QpracNoOp,
-            MitigationKind::Qprac,
-            MitigationKind::QpracProactive,
-            MitigationKind::QpracProactiveEa,
-            MitigationKind::QpracIdeal,
-            MitigationKind::Moat,
-            MitigationKind::Mithril { trh: 256 },
-            MitigationKind::Pride { trh: 256 },
-        ] {
-            let c = SystemConfig::paper_default().with_mitigation(kind);
+    fn tracker_factory_builds_each_registered_kind() {
+        // Iterate the registry instead of a hand-listed variant array:
+        // a design added to the registry is covered here automatically.
+        for spec in mitigations::registry() {
+            let c = SystemConfig::paper_default().with_mitigation(spec.default_kind);
             let t = c.make_tracker(0);
-            assert!(!t.name().is_empty());
+            assert!(!t.name().is_empty(), "{} built no tracker", spec.stem);
+            assert_eq!(c.mitigation_label(), spec.label);
         }
+    }
+
+    #[test]
+    fn numeric_value_warns_once_on_unparsable_input() {
+        // Satellite fix: a set-but-unparsable knob must not silently
+        // fall back — it produces one greppable `warning:` line.
+        let (v, warning) = numeric_value("QPRAC_INSTR", "10k", 100_000u64);
+        assert_eq!(v, 100_000);
+        let warning = warning.expect("unparsable value must warn");
+        assert!(warning.starts_with("warning: "), "{warning}");
+        assert!(warning.contains("QPRAC_INSTR"), "{warning}");
+        assert!(warning.contains("\"10k\""), "{warning}");
+        assert!(warning.contains("100000"), "{warning}");
+        // Parsable values pass through silently...
+        assert_eq!(numeric_value("QPRAC_INSTR", "2000", 7u64), (2000, None));
+        // ... including usize knobs, and edge garbage still warns.
+        assert_eq!(numeric_value("QPRAC_JOBS", "4", 1usize), (4, None));
+        let (v, warning) = numeric_value("QPRAC_JOBS", "", 3usize);
+        assert_eq!((v, warning.is_some()), (3, true));
+        let (v, warning) = numeric_value("QPRAC_INSTR", "-5", 9u64);
+        assert_eq!((v, warning.is_some()), (9, true));
+    }
+
+    #[test]
+    fn env_numeric_reads_process_environment() {
+        std::env::set_var("QPRAC_TEST_U64_BAD_XYZZY", "not-a-number");
+        assert_eq!(env_u64("QPRAC_TEST_U64_BAD_XYZZY", 41), 41);
+        std::env::set_var("QPRAC_TEST_U64_OK_XYZZY", "42");
+        assert_eq!(env_u64("QPRAC_TEST_U64_OK_XYZZY", 41), 42);
+        assert_eq!(env_u64("QPRAC_TEST_U64_UNSET_XYZZY", 41), 41);
     }
 
     #[test]

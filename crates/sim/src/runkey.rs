@@ -16,9 +16,53 @@
 //! sweep collapse onto one cell.
 
 use dram_core::{MappingScheme, RfmKind};
+use mitigations::TokenError;
 
-use crate::config::{MitigationKind, SystemConfig};
+use crate::config::SystemConfig;
 use crate::serdes::CellResult;
+
+/// Why a run key failed to parse.
+///
+/// [`KeyError::UnknownMitigation`] is the forward-compatibility case: a
+/// peer (or a stale `.qbc` cache) minted the key with a design this
+/// build does not register. Callers should treat it as a clean cache
+/// miss / unserviceable cell — and count it — rather than as garbage
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// The key is well-formed but names an unregistered mitigation.
+    UnknownMitigation(String),
+    /// The key is structurally invalid or non-canonical.
+    Malformed(String),
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyError::UnknownMitigation(token) => {
+                write!(f, "unknown mitigation {token:?} in run key")
+            }
+            KeyError::Malformed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+impl From<String> for KeyError {
+    fn from(msg: String) -> Self {
+        KeyError::Malformed(msg)
+    }
+}
+
+impl From<TokenError> for KeyError {
+    fn from(e: TokenError) -> Self {
+        match e {
+            TokenError::UnknownMitigation(token) => KeyError::UnknownMitigation(token),
+            TokenError::Invalid(msg) => KeyError::Malformed(msg),
+        }
+    }
+}
 
 /// Canonical identity of one cacheable simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -89,8 +133,10 @@ impl RunKey {
     /// to exactly the input (`CellSpec::key`), so a server and its
     /// clients can never disagree on cache identity. Any deviation — an
     /// unknown kind, a missing config field, a non-normalized
-    /// unmitigated config — is an error, never a guess.
-    pub fn parse_text(text: &str) -> Result<CellSpec, String> {
+    /// unmitigated config — is an error, never a guess. A key naming a
+    /// mitigation this build does not register gets the distinct
+    /// [`KeyError::UnknownMitigation`] so peers can degrade gracefully.
+    pub fn parse_text(text: &str) -> Result<CellSpec, KeyError> {
         let (kind, rest) = text
             .split_once(':')
             .ok_or_else(|| format!("malformed run key {text:?}: missing kind"))?;
@@ -134,13 +180,17 @@ impl RunKey {
                     window,
                 }
             }
-            other => return Err(format!("unknown run-key kind {other:?}")),
+            other => {
+                return Err(KeyError::Malformed(format!(
+                    "unknown run-key kind {other:?}"
+                )))
+            }
         };
         if spec.key().as_str() != text {
-            return Err(format!(
+            return Err(KeyError::Malformed(format!(
                 "non-canonical run key {text:?} (canonical form: {:?})",
                 spec.key().as_str()
-            ));
+            )));
         }
         Ok(spec)
     }
@@ -226,41 +276,6 @@ impl std::fmt::Display for RunKey {
     }
 }
 
-fn mitigation_token(m: MitigationKind) -> String {
-    match m {
-        MitigationKind::None => "none".into(),
-        MitigationKind::QpracNoOp => "qprac-noop".into(),
-        MitigationKind::Qprac => "qprac".into(),
-        MitigationKind::QpracProactive => "qprac-pro".into(),
-        MitigationKind::QpracProactiveEa => "qprac-pro-ea".into(),
-        MitigationKind::QpracIdeal => "qprac-ideal".into(),
-        MitigationKind::Moat => "moat".into(),
-        MitigationKind::Mithril { trh } => format!("mithril@{trh}"),
-        MitigationKind::Pride { trh } => format!("pride@{trh}"),
-    }
-}
-
-fn parse_mitigation_token(t: &str) -> Result<MitigationKind, String> {
-    if let Some(trh) = t.strip_prefix("mithril@") {
-        let trh = trh.parse().map_err(|e| format!("bad mithril trh: {e}"))?;
-        return Ok(MitigationKind::Mithril { trh });
-    }
-    if let Some(trh) = t.strip_prefix("pride@") {
-        let trh = trh.parse().map_err(|e| format!("bad pride trh: {e}"))?;
-        return Ok(MitigationKind::Pride { trh });
-    }
-    Ok(match t {
-        "none" => MitigationKind::None,
-        "qprac-noop" => MitigationKind::QpracNoOp,
-        "qprac" => MitigationKind::Qprac,
-        "qprac-pro" => MitigationKind::QpracProactive,
-        "qprac-pro-ea" => MitigationKind::QpracProactiveEa,
-        "qprac-ideal" => MitigationKind::QpracIdeal,
-        "moat" => MitigationKind::Moat,
-        other => return Err(format!("unknown mitigation token {other:?}")),
-    })
-}
-
 fn rfm_token(k: RfmKind) -> &'static str {
     match k {
         RfmKind::AllBank => "ab",
@@ -278,25 +293,37 @@ fn mapping_token(m: MappingScheme) -> &'static str {
 
 /// Render a [`SystemConfig`] as a canonical `k=v;...` string.
 ///
-/// Normalization: under `MitigationKind::None` there is no tracker and
-/// no alert can ever fire (alerts originate from `needs_alert()` on the
-/// hosted tracker, and `NoMitigation` never asserts it), so the
-/// tracker-side knobs — `nbo`, `nmit`, `psq_size`, `proactive_per_refs`,
-/// `alert_rfm_kind` and `seed` (consumed only by PrIDE's sampler) —
-/// cannot influence the run. They are pinned to the paper defaults so
-/// every unmitigated baseline maps to the same key regardless of which
-/// sweep requested it. `crates/sim/tests/run_cache.rs` proves the
-/// equivalence differentially for both the workload path (equal keys ⟹
-/// equal `RunStats`) and the bandwidth-attack path (equal keys ⟹ equal
+/// Normalization: each design's registry entry declares which
+/// tracker-side knobs it provably ignores (`MitigationSpec::inert`),
+/// and those knobs are pinned to the paper defaults before rendering,
+/// so sweeps over knobs a design cannot observe collapse onto one
+/// cacheable cell. Under `MitigationKind::None` that is every tracker
+/// knob (no tracker, no alert can ever fire), so all unmitigated
+/// baselines map to one key; the deterministic ABO designs additionally
+/// pin the probabilistic `seed` (consumed only by the seeded samplers
+/// of PrIDE and Loaded Dice). `crates/sim/tests/run_cache.rs` proves
+/// each flag differentially for the workload path (equal keys ⟹ equal
+/// `RunStats`) and the bandwidth-attack path (equal keys ⟹ equal
 /// `BwAttackStats`).
 fn canonical_config(cfg: &SystemConfig) -> String {
+    let inert = mitigations::spec_of(cfg.mitigation).inert;
     let mut c = cfg.clone();
-    if c.mitigation == MitigationKind::None {
+    if inert.nbo {
         c.nbo = 32;
+    }
+    if inert.nmit {
         c.nmit = 1;
+    }
+    if inert.psq {
         c.psq_size = 5;
+    }
+    if inert.proactive {
         c.proactive_per_refs = 1;
+    }
+    if inert.rfm {
         c.alert_rfm_kind = RfmKind::AllBank;
+    }
+    if inert.seed {
         c.seed = 0xD5;
     }
     // Exhaustive destructure: a new SystemConfig field fails to compile
@@ -317,7 +344,7 @@ fn canonical_config(cfg: &SystemConfig) -> String {
     } = c;
     format!(
         "cores={cores};channels={channels};instr={instr_limit};mit={};nbo={nbo};nmit={nmit};psq={psq_size};pro={proactive_per_refs};rfm={};plain={plain_timing};map={};seed={seed:#x}",
-        mitigation_token(mitigation),
+        mitigation.token(),
         rfm_token(alert_rfm_kind),
         mapping_token(mapping),
     )
@@ -328,7 +355,7 @@ fn canonical_config(cfg: &SystemConfig) -> String {
 /// canonical form exactly (the caller additionally verifies the
 /// re-rendered key equals the input, so normalization violations are
 /// caught there).
-fn parse_config(text: &str) -> Result<SystemConfig, String> {
+fn parse_config(text: &str) -> Result<SystemConfig, KeyError> {
     let mut fields = text.split(';');
     let mut next = |name: &str| -> Result<String, String> {
         let kv = fields
@@ -349,7 +376,7 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
     let cores = num("cores", next("cores")?)?;
     let channels = num("channels", next("channels")?)?;
     let instr_limit = num("instr", next("instr")?)?;
-    let mitigation = parse_mitigation_token(&next("mit")?)?;
+    let mitigation = mitigations::parse_token(&next("mit")?)?;
     let nbo = num("nbo", next("nbo")?)?;
     let nmit = num("nmit", next("nmit")?)?;
     let psq_size = num("psq", next("psq")?)?;
@@ -358,17 +385,17 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
         "ab" => RfmKind::AllBank,
         "sb" => RfmKind::SameBank,
         "pb" => RfmKind::PerBank,
-        other => return Err(format!("unknown rfm token {other:?}")),
+        other => return Err(format!("unknown rfm token {other:?}").into()),
     };
     let plain_timing = match next("plain")?.as_str() {
         "true" => true,
         "false" => false,
-        other => return Err(format!("bad plain flag {other:?}")),
+        other => return Err(format!("bad plain flag {other:?}").into()),
     };
     let mapping = match next("map")?.as_str() {
         "rbc" => MappingScheme::RowBankCol,
         "mop-xor" => MappingScheme::MopXor,
-        other => return Err(format!("unknown mapping token {other:?}")),
+        other => return Err(format!("unknown mapping token {other:?}").into()),
     };
     let seed_text = next("seed")?;
     let seed = seed_text
@@ -376,7 +403,7 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
         .and_then(|h| u64::from_str_radix(h, 16).ok())
         .ok_or_else(|| format!("bad seed {seed_text:?}"))?;
     if let Some(extra) = fields.next() {
-        return Err(format!("trailing config field {extra:?}"));
+        return Err(format!("trailing config field {extra:?}").into());
     }
     Ok(SystemConfig {
         cores,
@@ -397,6 +424,7 @@ fn parse_config(text: &str) -> Result<SystemConfig, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MitigationKind;
 
     #[test]
     fn builder_order_does_not_change_the_key() {
@@ -435,9 +463,17 @@ mod tests {
                 plain_timing: true,
                 ..base.clone()
             },
+            // The seed is live only for the seeded probabilistic
+            // designs; sweep it on one of those (the default-seed
+            // variant below proves the distinction comes from the
+            // seed itself, not the mitigation token).
+            base.clone()
+                .with_mitigation(MitigationKind::Pride { trh: 128 }),
             SystemConfig {
                 seed: 7,
-                ..base.clone()
+                ..base
+                    .clone()
+                    .with_mitigation(MitigationKind::Pride { trh: 128 })
             },
             SystemConfig {
                 cores: 2,
@@ -563,6 +599,7 @@ mod tests {
         let non_canonical = swept.as_str().replace("mit=qprac;", "mit=none;");
         assert!(RunKey::parse_text(&non_canonical)
             .unwrap_err()
+            .to_string()
             .contains("non-canonical"));
         // Unknown names parse (the key is well-formed) but fail execute.
         let ghost = RunKey::workload(&SystemConfig::paper_default(), "nope/nope");
@@ -570,6 +607,46 @@ mod tests {
         assert!(spec.execute().unwrap_err().contains("unknown workload"));
         let engine = RunKey::parse_text("engine:probe").unwrap();
         assert!(engine.execute().unwrap_err().contains("client-side"));
+    }
+
+    #[test]
+    fn unknown_mitigation_is_a_distinct_clean_error() {
+        // A key minted by a build that registers a design this build
+        // does not know must fail with the dedicated variant (so peers
+        // can count it and degrade gracefully), not as garbage.
+        let good = RunKey::workload(
+            &SystemConfig::paper_default().with_mitigation(MitigationKind::Qprac),
+            "ycsb/a_like",
+        );
+        let future = good.as_str().replace("mit=qprac;", "mit=hydra-prac;");
+        match RunKey::parse_text(&future) {
+            Err(KeyError::UnknownMitigation(token)) => assert_eq!(token, "hydra-prac"),
+            other => panic!("expected UnknownMitigation, got {other:?}"),
+        }
+        // A known stem with a malformed suffix is Malformed, not
+        // UnknownMitigation.
+        let bad_trh = good.as_str().replace("mit=qprac;", "mit=mithril@lots;");
+        assert!(matches!(
+            RunKey::parse_text(&bad_trh),
+            Err(KeyError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn every_registered_mitigation_round_trips_through_its_key() {
+        // Registry-driven: any design added to the zoo automatically
+        // gets parse/render coverage here.
+        for spec in mitigations::registry() {
+            let cfg = SystemConfig::paper_default().with_mitigation(spec.default_kind);
+            for key in [
+                RunKey::workload(&cfg, "ycsb/a_like"),
+                RunKey::attack(&cfg, 8, 123_456),
+            ] {
+                let parsed = RunKey::parse_text(key.as_str())
+                    .unwrap_or_else(|e| panic!("{key} failed to parse: {e}"));
+                assert_eq!(parsed.key(), key, "round-trip failed for {}", spec.stem);
+            }
+        }
     }
 
     #[test]

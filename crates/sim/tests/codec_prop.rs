@@ -10,7 +10,10 @@ use dram_core::DeviceStats;
 use energy_model::EnergyBreakdown;
 use mem_ctrl::McStats;
 use proptest::prelude::*;
-use sim::{decode_cell, encode_cell, BwAttackStats, CellResult, RunStats};
+use sim::{
+    decode_cell, encode_cell, BwAttackStats, CacheFormat, CellResult, RunCache, RunKey, RunStats,
+    SystemConfig,
+};
 
 /// Turn raw bits into a finite f64 (infinities and NaNs cannot appear
 /// in real statistics and would break `PartialEq`-based comparison);
@@ -154,6 +157,38 @@ proptest! {
             let back = decode_cell(&frame).expect("decode own encoding");
             prop_assert_eq!(back, cell);
         }
+    }
+
+    /// Registry-driven persistence property: a result cached under any
+    /// registered design's key — every zoo entry, not a hand-picked
+    /// few — reloads bit-identically through the `RunCache` in both
+    /// the binary `.qbc` and legacy text formats. This is the on-disk
+    /// half of the wire contract `serdes_prop.rs` pins for key text.
+    #[test]
+    fn every_registry_key_round_trips_through_both_cache_formats(
+        words in proptest::collection::vec(0u64..u64::MAX, 120..121),
+        channels_pow in 0u32..3,
+        cores in 0usize..5,
+        case in 0u64..u64::MAX,
+    ) {
+        let mut w = Words(words.into_iter());
+        let cell = CellResult::Stats(Box::new(w.stats(1 << channels_pow, cores)));
+        let dir = std::env::temp_dir().join(format!(
+            "qprac-codec-prop-{}-{case:016x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for format in [CacheFormat::Binary, CacheFormat::Text] {
+            let cache = RunCache::at(&dir).with_format(format);
+            for spec in mitigations::registry() {
+                let cfg = SystemConfig::paper_default().with_mitigation(spec.default_kind);
+                let key = RunKey::workload(&cfg, "ycsb/a_like");
+                cache.store(&key, &cell).expect("store cached cell");
+                let back = cache.load(&key).expect("reload cached cell");
+                prop_assert_eq!(&back, &cell, "{} in {:?}", spec.stem, format);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Corruption wall, randomized: flipping any one byte anywhere in

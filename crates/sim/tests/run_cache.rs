@@ -1,11 +1,39 @@
 //! Run-cache foundations: the text serialization must round-trip real
-//! multi-channel runs losslessly, and the `RunKey` normalization rule
-//! (tracker knobs are inert under `MitigationKind::None`) must hold
-//! differentially — equal keys imply bit-identical statistics.
+//! multi-channel runs losslessly, and the `RunKey` normalization rules
+//! (each registry entry's declared-inert tracker knobs, all of them
+//! under `MitigationKind::None`) must hold differentially — equal keys
+//! imply bit-identical statistics.
 
 use cpu_model::WorkloadSpec;
 use dram_core::RfmKind;
 use sim::{run_bandwidth_attack, run_workload, MitigationKind, RunKey, RunStats, SystemConfig};
+
+/// Flip every knob the registry entry declares inert for `kind` away
+/// from its paper default. If the keys still collapse but the stats
+/// diverge, the inertness declaration is a lie.
+fn flip_inert_knobs(cfg: &SystemConfig) -> SystemConfig {
+    let inert = mitigations::spec_of(cfg.mitigation).inert;
+    let mut c = cfg.clone();
+    if inert.nbo {
+        c.nbo = 128;
+    }
+    if inert.nmit {
+        c.nmit = 4;
+    }
+    if inert.psq {
+        c.psq_size = 1;
+    }
+    if inert.proactive {
+        c.proactive_per_refs = 4;
+    }
+    if inert.rfm {
+        c.alert_rfm_kind = RfmKind::PerBank;
+    }
+    if inert.seed {
+        c.seed = 0x1234_5678;
+    }
+    c
+}
 
 #[test]
 fn cache_text_round_trips_a_multi_channel_alert_storm() {
@@ -59,6 +87,34 @@ fn equal_none_keys_imply_equal_stats() {
         run_workload(&plain, &w),
         "collapsed keys must mean bit-identical stats"
     );
+}
+
+#[test]
+fn every_registered_inertness_claim_holds_on_a_real_run() {
+    // Registry-driven version of the None differential above: for each
+    // registered design, flipping exactly the knobs its entry declares
+    // inert must leave both the key and the simulated statistics
+    // bit-identical. A design added with an over-broad inert mask fails
+    // here, not in production cache corruption.
+    let w = WorkloadSpec::by_name("ycsb/a_like").unwrap();
+    for spec in mitigations::registry() {
+        let base = SystemConfig::paper_default()
+            .with_mitigation(spec.default_kind)
+            .with_instruction_limit(1_500);
+        let knobbed = flip_inert_knobs(&base);
+        assert_eq!(
+            RunKey::workload(&base, w.name),
+            RunKey::workload(&knobbed, w.name),
+            "{}: inert knobs must not change the key",
+            spec.stem
+        );
+        assert_eq!(
+            run_workload(&base, &w),
+            run_workload(&knobbed, &w),
+            "{}: collapsed keys must mean bit-identical stats",
+            spec.stem
+        );
+    }
 }
 
 #[test]

@@ -5,13 +5,16 @@
 //! codec. Before this suite, only one real 2-channel run pinned the
 //! round-trip; here every field takes adversarial values — huge
 //! counters, subnormal/negative floats, empty and 8-wide IPC vectors.
+//! The key-side property iterates the mitigation registry, so every
+//! registered design (including ones added after this test was
+//! written) gets render → parse → render coverage at random knobs.
 
 use cpu_model::{CacheStats, CoreStats};
-use dram_core::DeviceStats;
+use dram_core::{DeviceStats, RfmKind};
 use energy_model::EnergyBreakdown;
 use mem_ctrl::McStats;
 use proptest::prelude::*;
-use sim::{BwAttackStats, CellResult, RunStats};
+use sim::{BwAttackStats, CellResult, RunKey, RunStats, SystemConfig};
 
 /// Turn raw bits into a finite f64 (infinities and NaNs cannot appear
 /// in real statistics and would break `PartialEq`-based comparison);
@@ -109,6 +112,59 @@ proptest! {
         prop_assert_eq!(&back, &stats);
         // Idempotent re-render: equal structs render equal strings.
         prop_assert_eq!(back.to_cache_text(), text);
+    }
+
+    /// Registry-driven key property: for EVERY registered mitigation
+    /// and arbitrary knob values, the rendered canonical key parses
+    /// back to a spec that re-renders byte-identically. This is the
+    /// wire/caching contract `qprac-serve` relies on, proven for the
+    /// whole zoo instead of a hand-listed variant array.
+    #[test]
+    fn every_registry_key_renders_parses_and_re_renders(
+        pick in 0usize..usize::MAX,
+        trh in 25u32..2_000,
+        nbo in 1u32..256,
+        nmit_pick in 0usize..3,
+        psq in 1usize..9,
+        pro in 1u32..8,
+        channels_pow in 0u32..3,
+        instr in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        rfm_pick in 0usize..3,
+        plain in any::<bool>(),
+    ) {
+        let specs = mitigations::registry();
+        let spec = &specs[pick % specs.len()];
+        let nmit = [1u8, 2, 4][nmit_pick];
+        let rfm = [RfmKind::AllBank, RfmKind::SameBank, RfmKind::PerBank][rfm_pick];
+        // Exercise the trh-parameterized token form when the design
+        // has one (mithril@{trh} / pride@{trh}).
+        let kind = match spec.at_trh {
+            Some(at) => at(trh),
+            None => spec.default_kind,
+        };
+        let cfg = SystemConfig {
+            plain_timing: plain,
+            seed,
+            ..SystemConfig::paper_default()
+                .with_mitigation(kind)
+                .with_nbo(nbo)
+                .with_nmit(nmit)
+                .with_psq_size(psq)
+                .with_proactive_per_refs(pro)
+                .with_channels(1 << channels_pow)
+                .with_instruction_limit(instr)
+                .with_alert_rfm_kind(rfm)
+        };
+        for key in [
+            RunKey::workload(&cfg, "ycsb/a_like"),
+            RunKey::mix(&cfg, "mix/hot_quad"),
+            RunKey::attack(&cfg, 8, 60_000),
+        ] {
+            let parsed = RunKey::parse_text(key.as_str())
+                .unwrap_or_else(|e| panic!("{key} failed to parse: {e}"));
+            prop_assert_eq!(parsed.key(), key);
+        }
     }
 
     #[test]
