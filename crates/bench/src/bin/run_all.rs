@@ -3,47 +3,17 @@
 //! (identical `(config, workload)` cells across figures simulate once),
 //! optionally resolved from the persistent cache (`QPRAC_RUN_CACHE`),
 //! and scheduled through one work pool before any figure renders —
-//! in-process by default, or against a shared `qprac-serve` daemon when
-//! `QPRAC_REMOTE=host:port` is set (CSVs are byte-identical either way).
+//! in-process by default, or against a consistent-hash-sharded
+//! `qprac-serve` cluster when `QPRAC_REMOTE=host:port[,host:port...]`
+//! is set (CSVs are byte-identical either way).
 //! Results land in `results/*.csv`; the dedupe ratio and cache hits are
 //! reported on the final `run-cache:` line.
-use qprac_bench::experiments::{
-    ablations, attack_figs, compare, full_suite, mix, perf_figs, security_figs, sensitivity_suite,
-    tables,
-};
-use qprac_bench::ExperimentSpec;
+use qprac_bench::experiments::run_all_specs;
 
 fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
     println!("=== QPRAC reproduction: full experiment sweep ===\n");
-    let sens = sensitivity_suite();
-    let mut specs: Vec<ExperimentSpec> = vec![
-        tables::table01_spec(),
-        tables::table02_spec(),
-        tables::table04_spec(),
-        security_figs::fig02_spec(),
-        security_figs::fig03_spec(),
-        security_figs::fig06_spec(),
-        security_figs::fig07_spec(),
-        security_figs::fig08_spec(),
-        security_figs::fig11_spec(),
-        security_figs::fig12_spec(),
-        security_figs::fig13_spec(),
-        security_figs::fig23_spec(),
-        security_figs::wave_validate_spec(),
-        attack_figs::fig19_spec(),
-        perf_figs::fig16_spec(&sens),
-        perf_figs::fig17_spec(&sens),
-        perf_figs::fig18_spec(&sens),
-        perf_figs::fig20_spec(&sens),
-        perf_figs::fig21_22_spec(&sens),
-        perf_figs::table03_spec(&sens),
-        perf_figs::fig14_15_spec(&full_suite()),
-    ];
-    specs.extend(ablations::all_specs(&sens));
-    specs.push(mix::mix_speedup_spec());
-    specs.push(compare::compare_mitigations_spec(&sens));
-    qprac_bench::execute(&specs)?;
+    qprac_bench::execute(&run_all_specs())?;
     println!(
         "=== complete in {:.1} min ===",
         t0.elapsed().as_secs_f64() / 60.0

@@ -13,9 +13,46 @@ pub mod tables;
 
 use cpu_model::{all57, WorkloadSpec};
 
+use crate::spec::ExperimentSpec;
+
 /// The full 57-workload suite (Figs 14 and 15).
 pub fn full_suite() -> Vec<WorkloadSpec> {
     all57()
+}
+
+/// Every spec of the full evaluation sweep, in `run_all` order: the
+/// single source of truth shared by the `run_all` binary (which
+/// executes and emits them) and the `load_test` harness (which replays
+/// exactly this key population against a cluster).
+pub fn run_all_specs() -> Vec<ExperimentSpec> {
+    let sens = sensitivity_suite();
+    let mut specs: Vec<ExperimentSpec> = vec![
+        tables::table01_spec(),
+        tables::table02_spec(),
+        tables::table04_spec(),
+        security_figs::fig02_spec(),
+        security_figs::fig03_spec(),
+        security_figs::fig06_spec(),
+        security_figs::fig07_spec(),
+        security_figs::fig08_spec(),
+        security_figs::fig11_spec(),
+        security_figs::fig12_spec(),
+        security_figs::fig13_spec(),
+        security_figs::fig23_spec(),
+        security_figs::wave_validate_spec(),
+        attack_figs::fig19_spec(),
+        perf_figs::fig16_spec(&sens),
+        perf_figs::fig17_spec(&sens),
+        perf_figs::fig18_spec(&sens),
+        perf_figs::fig20_spec(&sens),
+        perf_figs::fig21_22_spec(&sens),
+        perf_figs::table03_spec(&sens),
+        perf_figs::fig14_15_spec(&full_suite()),
+    ];
+    specs.extend(ablations::all_specs(&sens));
+    specs.push(mix::mix_speedup_spec());
+    specs.push(compare::compare_mitigations_spec(&sens));
+    specs
 }
 
 /// Representative 12-workload subset used by the sensitivity figures

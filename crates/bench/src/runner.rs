@@ -8,12 +8,15 @@
 //! - [`LocalExecutor`] (the default) runs cells on the in-process work
 //!   pool ([`crate::harness::parallel`], capped by `QPRAC_JOBS`);
 //! - [`RemoteExecutor`] (`QPRAC_REMOTE=host:port[,host:port...]`)
-//!   ships each cell's canonical key to a cluster of `qprac-serve`
-//!   replicas — with deadlines, jittered retry, circuit-breaker
-//!   failover and graceful degradation to the local pool — so any
-//!   number of figure binaries, CI shards and sweeps share one warm
-//!   cache and one worker pool. `Engine` cells wrap local closures and
-//!   always run locally.
+//!   ships each cell's canonical key to a `qprac-serve` cluster. The
+//!   address list is a *shard* list: a consistent-hash
+//!   [`qprac_serve::ShardMap`] assigns every key to exactly one shard,
+//!   so cluster-wide single-flight and cache locality hold with zero
+//!   coordination. Per shard, the full fault stack applies — deadlines,
+//!   jittered retry, a circuit breaker — and a shard whose ladder is
+//!   exhausted is marked down in a shared table: only *its* keys
+//!   degrade to the local pool until a `HEALTH` probe readmits it.
+//!   `Engine` cells wrap local closures and always run locally.
 //!
 //! Identical cells shared by several figures — e.g. the unmitigated
 //! baseline of every sensitivity sweep — resolve exactly once per
@@ -102,11 +105,14 @@ pub struct FaultStats {
     /// Re-driven attempts after a retryable failure (per attempt, not
     /// per cell).
     pub retries: AtomicU64,
-    /// Attempts routed to a different replica than the previous one.
-    pub failovers: AtomicU64,
     /// Circuit-breaker open events (including half-open probes that
     /// failed and re-opened).
     pub breaker_opens: AtomicU64,
+    /// Shards marked down after an exhausted ladder (their keys degrade
+    /// to the local pool until a `HEALTH` probe readmits them).
+    pub shard_downs: AtomicU64,
+    /// Down shards readmitted by a successful `HEALTH` probe.
+    pub shard_recoveries: AtomicU64,
     /// Cells that exhausted every remote avenue and ran on the local
     /// pool instead.
     pub local_fallbacks: AtomicU64,
@@ -118,24 +124,25 @@ impl FaultStats {
     /// The `remote-fault:` one-liner, or `None` when nothing went wrong
     /// (the common case — silence is the healthy signal).
     pub fn summary(&self) -> Option<String> {
-        let (r, f, b, l) = (
+        let (r, b, d, v, l) = (
             self.retries.load(Ordering::Relaxed),
-            self.failovers.load(Ordering::Relaxed),
             self.breaker_opens.load(Ordering::Relaxed),
+            self.shard_downs.load(Ordering::Relaxed),
+            self.shard_recoveries.load(Ordering::Relaxed),
             self.local_fallbacks.load(Ordering::Relaxed),
         );
-        if r + f + b + l == 0 {
+        if r + b + d + v + l == 0 {
             return None;
         }
         Some(format!(
-            "remote-fault: retries={r} failovers={f} breaker-opens={b} local-fallbacks={l}"
+            "remote-fault: retries={r} breaker-opens={b} shard-downs={d} shard-recoveries={v} local-fallbacks={l}"
         ))
     }
 }
 
-/// Per-replica health as seen by one pool worker: the cached pipelined
+/// Per-shard health as seen by one pool worker: the cached pipelined
 /// connection plus the circuit-breaker bookkeeping. Worker-local (no
-/// cross-thread sharing) so a slow replica discovered by one worker
+/// cross-thread sharing) so a slow shard discovered by one worker
 /// never serializes the others behind a lock.
 #[derive(Default)]
 struct ReplicaState {
@@ -154,69 +161,87 @@ impl ReplicaState {
 }
 
 std::thread_local! {
-    /// Per-worker replica table, keyed by address (worker threads are
+    /// Per-worker shard-health table, keyed by address (worker threads are
     /// fresh per `parallel` call, but the executor may also run on a
     /// caller's long-lived thread).
     static REPLICAS: std::cell::RefCell<HashMap<String, ReplicaState>> =
         std::cell::RefCell::new(HashMap::new());
 }
 
-/// Execution against a cluster of `qprac-serve` replicas
-/// (`QPRAC_REMOTE=host:port[,host:port...]`), with the full
-/// fault-tolerance stack:
+/// Execution against a sharded `qprac-serve` cluster
+/// (`QPRAC_REMOTE=host:port[,host:port...]`).
+///
+/// The address list is a **shard list**: a consistent-hash
+/// [`qprac_serve::ShardMap`] assigns each [`RunKey`] to exactly one
+/// shard, so every client process routes the same key to the same
+/// daemon — cluster-wide single-flight coalescing and cache locality
+/// hold with zero coordination. (A one-entry list degenerates to the
+/// pre-cluster behavior: one daemon owns every key.)
+///
+/// Per shard, the full fault-tolerance stack applies:
 ///
 /// - every connect/read/write carries the `QPRAC_REMOTE_TIMEOUT_MS`
-///   deadline, so a hung replica costs one timeout, never a stalled
+///   deadline, so a hung shard costs one timeout, never a stalled
 ///   pool worker;
 /// - retryable failures (transport errors, a panicked worker's
-///   single-flight poison) are re-driven with jittered exponential
-///   backoff, deterministic per cell (seeded from [`RunKey::hash`]);
-/// - attempts rotate across replicas; a per-worker circuit breaker
-///   opens after [`Self::BREAKER_THRESHOLD`] consecutive failures and
-///   half-open-probes after a cooldown, so dead replicas stop eating
-///   timeouts;
-/// - a cell that exhausts every attempt (or hits an authoritative
-///   server error) degrades to the local pool — one warning line, the
-///   figure completes.
+///   single-flight poison) are re-driven against the *same* shard with
+///   jittered exponential backoff, deterministic per cell (seeded from
+///   [`RunKey::hash`]) — retries never rotate to another shard, which
+///   would break affinity;
+/// - a per-worker circuit breaker opens after
+///   [`Self::BREAKER_THRESHOLD`] consecutive failures and half-open
+///   probes after a cooldown, so a dead shard stops eating timeouts;
+/// - a cell that exhausts its shard's ladder marks that shard **down**
+///   in a table shared across the executor: further keys owned by the
+///   shard degrade straight to the local pool (no timeout burn) until
+///   a post-cooldown `HEALTH` probe readmits it. Other shards' keys
+///   are untouched — a one-shard outage degrades 1/N of the keyspace,
+///   not the cluster.
+/// - authoritative server errors (the daemon *answered*: unknown
+///   workload, version skew) skip both the ladder and the down table —
+///   the same key fails the same way everywhere.
 ///
 /// Retrying is safe by design: the protocol is key-only and
 /// idempotent, so at-least-once delivery can only cost duplicate work
 /// (which the server's single-flight layer coalesces anyway), never
 /// wrong results. Each pool worker keeps one pipelined connection per
-/// replica (fresh connections per cell would make churn dominate warm
+/// shard (fresh connections per cell would make churn dominate warm
 /// passes). [`Job::Engine`] cells (opaque local closures) run on the
 /// local pool as always.
 #[derive(Debug, Clone)]
 pub struct RemoteExecutor {
-    replicas: Vec<String>,
+    shards: Vec<String>,
+    map: qprac_serve::ShardMap,
     timeout: Duration,
     policy: qprac_serve::RetryPolicy,
     cooldown: Duration,
     stats: Arc<FaultStats>,
+    /// Shard-down table: shard index → down until. Shared across clones
+    /// (all pool workers), so one exhausted ladder spares every other
+    /// worker the same timeouts.
+    down: Arc<std::sync::Mutex<HashMap<usize, Instant>>>,
 }
 
 impl RemoteExecutor {
     /// Consecutive failures before a worker's breaker opens for a
-    /// replica.
+    /// shard.
     pub const BREAKER_THRESHOLD: u32 = 3;
     /// Default breaker cooldown before the half-open probe.
     pub const BREAKER_COOLDOWN: Duration = Duration::from_millis(1_000);
 
-    /// Build from a comma-separated replica list (`host:port[,...]`;
+    /// Build from a comma-separated shard list (`host:port[,...]`;
     /// whitespace and empty entries tolerated). An empty list is legal
     /// and degrades every cell to the local pool.
     pub fn new(addrs: &str) -> RemoteExecutor {
+        let map = qprac_serve::ShardMap::from_list(addrs);
         RemoteExecutor {
-            replicas: addrs
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(String::from)
-                .collect(),
+            shards: map.shards().to_vec(),
+            map,
             timeout: qprac_serve::timeout_from_env(),
             policy: qprac_serve::RetryPolicy::default(),
             cooldown: Self::BREAKER_COOLDOWN,
             stats: Arc::new(FaultStats::default()),
+            down: Arc::new(std::sync::Mutex::new(HashMap::new())),
         }
     }
 
@@ -238,9 +263,14 @@ impl RemoteExecutor {
         self
     }
 
-    /// The configured replica list, in rotation order.
-    pub fn replicas(&self) -> &[String] {
-        &self.replicas
+    /// The configured shard list, in index order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The consistent-hash map this executor routes through.
+    pub fn shard_map(&self) -> &qprac_serve::ShardMap {
+        &self.map
     }
 
     /// The fault counters accumulated so far (shared across clones).
@@ -281,65 +311,109 @@ impl RemoteExecutor {
         }
     }
 
-    /// Drive one cell through the retry/failover ladder. `Err` carries
-    /// the reason the cell must fall back to the local pool.
-    fn run_remote(&self, key: &RunKey) -> Result<JobResult, String> {
-        let n = self.replicas.len();
-        if n == 0 {
-            return Err("no replicas configured".into());
+    /// Gatekeeper on the shard-down table: fail fast while a shard is
+    /// inside its down cooldown; once it expires, one cheap `HEALTH`
+    /// probe decides between readmission and re-arming the cooldown.
+    fn check_shard_up(&self, idx: usize, addr: &str) -> Result<(), String> {
+        let until = self.down.lock().unwrap().get(&idx).copied();
+        let Some(until) = until else { return Ok(()) };
+        if Instant::now() < until {
+            return Err(format!("shard {addr} marked down"));
         }
-        let seed = key.hash();
-        let sleeps = qprac_serve::schedule(seed, self.policy);
+        let probed = qprac_serve::Client::connect_timeout(addr, self.timeout)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.health().map_err(|e| e.to_string()));
+        match probed {
+            Ok(_) => {
+                if self.down.lock().unwrap().remove(&idx).is_some() {
+                    self.stats.shard_recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+                // Readmit at the breaker too, or the next ladder would
+                // start half-open and skip its early attempts.
+                REPLICAS.with(|cell| {
+                    if let Some(state) = cell.borrow_mut().get_mut(addr) {
+                        Self::note_success(state);
+                    }
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.down
+                    .lock()
+                    .unwrap()
+                    .insert(idx, Instant::now() + self.cooldown);
+                Err(format!("shard {addr} still down: {e}"))
+            }
+        }
+    }
+
+    /// An exhausted ladder takes the whole shard down for a cooldown:
+    /// its keys (and only its keys) degrade to the local pool without
+    /// burning further timeouts.
+    fn mark_shard_down(&self, idx: usize, why: &str) {
+        let mut down = self.down.lock().unwrap();
+        if down.insert(idx, Instant::now() + self.cooldown).is_none() {
+            self.stats.shard_downs.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "warning: shard {} marked down ({why}); its keys run locally until a HEALTH probe succeeds",
+                self.shards[idx]
+            );
+        }
+    }
+
+    /// Drive one cell through its owning shard's retry ladder. `Err`
+    /// carries the reason the cell must fall back to the local pool.
+    fn run_remote(&self, key: &RunKey) -> Result<JobResult, String> {
+        if self.map.is_empty() {
+            return Err("no shards configured".into());
+        }
+        // Affinity is the whole point: one key, one shard, every
+        // attempt. Retrying elsewhere would defeat cluster-wide
+        // single-flight and cache locality.
+        let idx = self.map.shard_for(key);
+        let addr = &self.shards[idx];
+        self.check_shard_up(idx, addr)?;
+        let sleeps = qprac_serve::schedule(key.hash(), self.policy);
         let mut last_err = String::from("no attempt made");
-        let mut last_replica: Option<usize> = None;
-        REPLICAS.with(|cell| {
+        let exhausted = REPLICAS.with(|cell| {
             let mut table = cell.borrow_mut();
+            let state = table.entry(addr.clone()).or_default();
             for attempt in 0..self.policy.attempts.max(1) as usize {
                 if attempt > 0 {
                     std::thread::sleep(sleeps[attempt - 1]);
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
                 }
-                let now = Instant::now();
-                // Rotate the starting replica by key so load spreads,
-                // then by attempt so a retry prefers a different
-                // replica; skip open breakers.
-                let Some(idx) = (0..n)
-                    .map(|off| (seed as usize).wrapping_add(attempt + off) % n)
-                    .find(|&i| {
-                        table
-                            .entry(self.replicas[i].clone())
-                            .or_default()
-                            .available(now)
-                    })
-                else {
-                    last_err = format!("all {n} replica breaker(s) open");
+                if !state.available(Instant::now()) {
+                    last_err = format!("{addr}: breaker open");
                     continue; // the backoff sleep may outlive a cooldown
-                };
-                if last_replica.is_some_and(|prev| prev != idx) {
-                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                 }
-                last_replica = Some(idx);
-                let addr = &self.replicas[idx];
-                let state = table.get_mut(addr).expect("entry inserted above");
                 match self.attempt(state, addr, key) {
                     Ok(result) => {
                         Self::note_success(state);
-                        return Ok(result);
+                        return Ok(Ok(result));
                     }
                     Err(e) => {
                         let retryable = e.is_retryable();
                         self.note_failure(state, Instant::now());
                         last_err = format!("{addr}: {e}");
                         if !retryable {
-                            // Authoritative rejection: the same key
-                            // fails the same way on every replica.
-                            return Err(last_err);
+                            // Authoritative rejection: the daemon
+                            // answered, the shard is healthy — the same
+                            // key fails the same way everywhere.
+                            return Ok(Err(last_err.clone()));
                         }
                     }
                 }
             }
-            Err(last_err)
-        })
+            Err(())
+        });
+        match exhausted {
+            Ok(outcome) => outcome,
+            Err(()) => {
+                self.mark_shard_down(idx, &last_err);
+                Err(last_err)
+            }
+        }
     }
 
     /// The graceful-degradation tail: count it, warn once, run locally.
@@ -358,9 +432,9 @@ impl RemoteExecutor {
 impl CellExecutor for RemoteExecutor {
     fn describe(&self) -> String {
         format!(
-            "remote qprac-serve at {} ({} replica(s), timeout {:?})",
-            self.replicas.join(","),
-            self.replicas.len(),
+            "remote qprac-serve at {} ({} shard(s), consistent-hash routed, timeout {:?})",
+            self.shards.join(","),
+            self.shards.len(),
             self.timeout,
         )
     }
@@ -386,7 +460,7 @@ impl CellExecutor for RemoteExecutor {
 
 /// The executor selected by the environment: [`RemoteExecutor`] when
 /// `QPRAC_REMOTE` is set (unset/empty/`0` = off; a comma-separated
-/// list enables failover), else [`LocalExecutor`].
+/// list is a consistent-hash shard cluster), else [`LocalExecutor`].
 pub fn executor_from_env() -> Box<dyn CellExecutor> {
     match sim::env_opt("QPRAC_REMOTE") {
         Some(addrs) => Box::new(RemoteExecutor::new(&addrs)),
@@ -586,11 +660,12 @@ mod tests {
     }
 
     #[test]
-    fn replica_lists_parse_with_whitespace_and_empty_entries() {
+    fn shard_lists_parse_with_whitespace_and_empty_entries() {
         let exec = RemoteExecutor::new(" a:1 , ,b:2,");
-        assert_eq!(exec.replicas(), ["a:1".to_string(), "b:2".to_string()]);
-        assert!(RemoteExecutor::new("").replicas().is_empty());
-        assert!(RemoteExecutor::new(",, ,").replicas().is_empty());
+        assert_eq!(exec.shards(), ["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(exec.shard_map().len(), 2);
+        assert!(RemoteExecutor::new("").shards().is_empty());
+        assert!(RemoteExecutor::new(",, ,").shards().is_empty());
     }
 
     /// A listener that accepts connections and never answers them —
@@ -618,12 +693,13 @@ mod tests {
         (job, key)
     }
 
-    /// Acceptance pin: a hung replica costs bounded timeouts, the
+    /// Acceptance pin: a hung shard costs bounded timeouts, the
     /// worker's circuit breaker opens after the consecutive-failure
-    /// threshold, and the cell still completes (here: on the local
-    /// pool, since the hung replica is the only one).
+    /// threshold, the shard lands in the down table, and the cell
+    /// still completes (here: on the local pool, since the hung shard
+    /// owns every key of a one-shard map).
     #[test]
-    fn hung_replica_opens_the_breaker_and_the_cell_completes() {
+    fn hung_shard_opens_the_breaker_and_the_cell_completes() {
         let (job, key) = tiny_workload_job();
         let exec = RemoteExecutor::new(&hung_listener())
             .with_timeout(Duration::from_millis(120))
@@ -647,48 +723,103 @@ mod tests {
         assert!(stats.breaker_opens.load(Ordering::Relaxed) >= 1);
         assert!(stats.retries.load(Ordering::Relaxed) >= RemoteExecutor::BREAKER_THRESHOLD as u64);
         assert_eq!(stats.local_fallbacks.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.shard_downs.load(Ordering::Relaxed), 1);
     }
 
-    /// With a healthy replica beside the hung one, the cell completes
-    /// remotely: the deadline fires, the attempt rotates over, and no
-    /// local fallback is needed.
+    /// The tentpole's blast-radius property: with one shard hung and
+    /// one live, only the hung shard's keys degrade to the local pool —
+    /// the live shard keeps serving its keys remotely.
     #[test]
-    fn failover_routes_around_a_hung_replica() {
+    fn a_down_shard_degrades_only_its_own_keys() {
+        use cpu_model::WorkloadSpec;
+        use sim::{MitigationKind, SystemConfig};
+        let live = qprac_serve::Server::bind("127.0.0.1:0", qprac_serve::ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let hung = hung_listener();
+        let exec = RemoteExecutor::new(&format!("{live},{hung}"))
+            .with_timeout(Duration::from_millis(150))
+            .with_retry(qprac_serve::RetryPolicy {
+                attempts: 2,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            })
+            .with_cooldown(Duration::from_secs(30));
+        // Shard 0 = live, shard 1 = hung (list order). Scan instruction
+        // limits until each shard owns one key: routing is a pure
+        // function of the key text, so this is deterministic.
+        let mut per_shard: [Option<(Job, RunKey)>; 2] = [None, None];
+        for instr in 300..500 {
+            let cfg = SystemConfig::paper_default()
+                .with_mitigation(MitigationKind::Qprac)
+                .with_instruction_limit(instr);
+            let job = Job::workload(cfg, WorkloadSpec::by_name("ycsb/a_like").unwrap());
+            let key = job.key();
+            let idx = exec.shard_map().shard_for(&key);
+            if per_shard[idx].is_none() {
+                per_shard[idx] = Some((job, key));
+            }
+            if per_shard.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        let [Some((live_job, live_key)), Some((hung_job, hung_key))] = per_shard else {
+            panic!("200 candidate keys never covered both shards");
+        };
+        let out =
+            exec.execute_cells(&[(&live_job, live_key.clone()), (&hung_job, hung_key.clone())]);
+        assert!(out.iter().all(|r| matches!(r, JobResult::Stats(_))));
+        let stats = exec.fault_stats();
+        assert_eq!(
+            stats.local_fallbacks.load(Ordering::Relaxed),
+            1,
+            "exactly the hung shard's key degrades"
+        );
+        assert_eq!(stats.shard_downs.load(Ordering::Relaxed), 1);
+        // The live shard actually served its key (not the local pool).
+        let mut probe = qprac_serve::Client::connect(live).unwrap();
+        assert_eq!(probe.stat("simulated").unwrap(), 1, "live shard served");
+    }
+
+    /// Down-table semantics: inside the cooldown its keys fail fast
+    /// (no timeout burn); after the cooldown a successful `HEALTH`
+    /// probe readmits the shard and traffic goes remote again.
+    #[test]
+    fn down_shard_fails_fast_then_recovers_via_health_probe() {
         let (job, key) = tiny_workload_job();
         let live = qprac_serve::Server::bind("127.0.0.1:0", qprac_serve::ServerConfig::default())
             .unwrap()
             .spawn()
             .unwrap()
             .to_string();
-        let hung = hung_listener();
-        // Arrange the list so attempt 0 deterministically picks the
-        // hung replica (the rotation starts at key.hash() % n).
-        let addrs = if key.hash() % 2 == 0 {
-            format!("{hung},{live}")
-        } else {
-            format!("{live},{hung}")
-        };
-        let exec = RemoteExecutor::new(&addrs)
-            .with_timeout(Duration::from_millis(150))
-            .with_retry(qprac_serve::RetryPolicy {
-                attempts: 4,
-                base: Duration::from_millis(1),
-                cap: Duration::from_millis(2),
-            });
-        let out = exec.execute_cells(&[(&job, key)]);
-        assert!(matches!(out[0], JobResult::Stats(_)));
-        let stats = exec.fault_stats();
-        assert!(stats.retries.load(Ordering::Relaxed) >= 1, "hung first");
-        assert!(stats.failovers.load(Ordering::Relaxed) >= 1, "rotated over");
+        let exec = RemoteExecutor::new(&live)
+            .with_timeout(Duration::from_secs(5))
+            .with_cooldown(Duration::from_millis(150));
+        exec.mark_shard_down(0, "injected for test");
+        assert_eq!(exec.fault_stats().shard_downs.load(Ordering::Relaxed), 1);
+        // Inside the cooldown: immediate local-degrade, no remote dial.
+        let t0 = Instant::now();
+        let err = exec.run_remote(&key).unwrap_err();
+        assert!(err.contains("marked down"), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "down-table hit must not burn a timeout ({:?})",
+            t0.elapsed()
+        );
+        let _ = job; // the fallback path is covered elsewhere
+                     // After the cooldown: the HEALTH probe readmits the shard.
+        std::thread::sleep(Duration::from_millis(200));
+        let out = exec.run_remote(&key).expect("readmitted shard serves");
+        assert!(matches!(out, JobResult::Stats(_)));
         assert_eq!(
-            stats.local_fallbacks.load(Ordering::Relaxed),
-            0,
-            "the healthy replica must answer"
+            exec.fault_stats().shard_recoveries.load(Ordering::Relaxed),
+            1
         );
     }
 
     /// A server-side rejection ("unknown workload") is authoritative:
-    /// every replica would answer the same, so the executor must not
+    /// every shard would answer the same, so the executor must not
     /// burn the retry ladder before degrading.
     #[test]
     fn authoritative_server_errors_skip_retries() {
@@ -708,6 +839,11 @@ mod tests {
             exec.fault_stats().retries.load(Ordering::Relaxed),
             0,
             "authoritative errors must not burn the retry ladder"
+        );
+        assert_eq!(
+            exec.fault_stats().shard_downs.load(Ordering::Relaxed),
+            0,
+            "the daemon answered: the shard is healthy, not down"
         );
         // Sanity: the same executor still serves good keys remotely.
         let good = exec

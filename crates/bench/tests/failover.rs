@@ -1,8 +1,9 @@
-//! Fault-tolerance integration for the spec runner: a flaky two-replica
-//! cluster (one replica dead, deterministic chaos on the survivor) must
-//! emit byte-identical CSVs to local execution, and an
-//! all-replicas-down cluster must degrade to the local pool and still
-//! complete — the figure never has holes.
+//! Fault-tolerance integration for the spec runner: a flaky two-shard
+//! cluster (one shard dead, deterministic chaos on the survivor) must
+//! emit byte-identical CSVs to local execution — with only the dead
+//! shard's keys degrading to the local pool — and an all-shards-down
+//! cluster must degrade entirely and still complete — the figure never
+//! has holes.
 
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
@@ -62,7 +63,7 @@ fn read_csv(dir: &Path) -> String {
 }
 
 /// An address that refuses connections: bind an ephemeral port, then
-/// free it (the closed port stands in for a killed replica).
+/// free it (the closed port stands in for a killed shard).
 fn dead_addr() -> String {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
@@ -83,10 +84,11 @@ fn flaky_cluster_emits_byte_identical_csvs() {
     .unwrap();
     let local_csv = read_csv(&local_dir);
 
-    // A two-replica cluster where one replica is dead and the survivor
+    // A two-shard cluster where one shard is dead and the survivor
     // runs seeded chaos: delayed reads, truncated frames, and one
     // single-flight leader killed mid-simulation. Every fault is
-    // retryable; the cluster may be slow but must never be wrong.
+    // retryable; the cluster may be slow but must never be wrong. The
+    // dead shard's keys (and only those) degrade to the local pool.
     let survivor = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
@@ -118,17 +120,33 @@ fn flaky_cluster_emits_byte_identical_csvs() {
         local_csv,
         "a chaotic cluster must slow results down, never change them"
     );
-    // The dead replica forced rotation; chaos forced re-drives.
+    // Exactly the dead shard's keys degrade to the local pool; which
+    // keys those are follows deterministically from the shard map.
+    let count_dir = temp_dir("count");
+    let specs = make_specs(count_dir.clone());
+    let dead_owned = specs[0]
+        .jobs
+        .iter()
+        .filter(|j| !matches!(j, Job::Engine { .. }))
+        .filter(|j| remote.shard_map().shard_for(&j.key()) == 0)
+        .count() as u64;
     let stats = remote.fault_stats();
-    assert!(stats.failovers.load(Ordering::Relaxed) >= 1, "dead replica");
+    assert_eq!(
+        stats.local_fallbacks.load(Ordering::Relaxed),
+        dead_owned,
+        "only the dead shard's keys may degrade"
+    );
+    if dead_owned > 0 {
+        assert_eq!(stats.shard_downs.load(Ordering::Relaxed), 1, "dead shard");
+    }
 
-    for dir in [local_dir, remote_dir] {
+    for dir in [local_dir, remote_dir, count_dir] {
         let _ = std::fs::remove_dir_all(dir);
     }
 }
 
 #[test]
-fn all_replicas_down_degrades_to_the_local_pool() {
+fn all_shards_down_degrades_to_the_local_pool() {
     let local_dir = temp_dir("truth");
     execute_with(
         &make_specs(local_dir.clone()),
@@ -139,8 +157,9 @@ fn all_replicas_down_degrades_to_the_local_pool() {
     .unwrap();
     let local_csv = read_csv(&local_dir);
 
-    // Two replicas, both refusing connections: every remotable cell
-    // must exhaust its ladder fast and complete on the local pool.
+    // Two shards, both refusing connections: every remotable cell
+    // must exhaust its shard's ladder fast (or hit the down table)
+    // and complete on the local pool.
     let remote = RemoteExecutor::new(&format!("{},{}", dead_addr(), dead_addr()))
         .with_timeout(Duration::from_millis(200))
         .with_retry(RetryPolicy {

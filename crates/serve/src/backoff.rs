@@ -1,7 +1,7 @@
 //! Deterministic jittered exponential backoff.
 //!
 //! Retrying a remote cell needs jitter (synchronized retries from a
-//! whole worker pool would hammer a recovering replica in lockstep) but
+//! whole worker pool would hammer a recovering shard in lockstep) but
 //! the test suite needs reproducibility — so the jitter comes from a
 //! [`SplitMix64`] PRNG seeded by the caller, typically with the cell's
 //! [`sim::RunKey::hash`]. Same key, same schedule, every run.

@@ -13,7 +13,7 @@
 //!                  order, print `=== <key>` headers + payloads
 //! ```
 //!
-//! The address defaults to `QPRAC_REMOTE` (first replica if it is a
+//! The address defaults to `QPRAC_REMOTE` (first shard if it is a
 //! comma-separated list), then `127.0.0.1:7117` — the same knob the
 //! bench runner uses, so `QPRAC_REMOTE=host:port qprac-client stats`
 //! inspects exactly the server a sweep talks to.

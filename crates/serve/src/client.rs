@@ -22,7 +22,7 @@ use sim::{CellResult, RunKey};
 use crate::protocol::{read_response, write_request, Request, Response};
 
 /// Default connect/read/write deadline (`QPRAC_REMOTE_TIMEOUT_MS`):
-/// bounded — a hung replica must fail the call, not the pool — but
+/// bounded — a hung shard must fail the call, not the pool — but
 /// generous enough for a full-scale simulation cell to complete.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_millis(30_000);
 

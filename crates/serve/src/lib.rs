@@ -8,9 +8,14 @@
 //!
 //! - [`protocol`] — the line-oriented wire format (payloads are the
 //!   [`sim::serdes`] cache text; nothing new is invented);
-//! - [`server`] — the thread-per-connection daemon with the three-tier
-//!   resolve path (LRU → persistent [`sim::RunCache`] → simulate) and
-//!   single-flight coalescing;
+//! - [`server`] — the daemon with the three-tier resolve path (LRU →
+//!   persistent [`sim::RunCache`] → simulate) and single-flight
+//!   coalescing, served by an event-driven poll-readiness loop on unix
+//!   (thread-per-connection elsewhere, or under chaos injection);
+//! - [`shard`] — client-side consistent-hash routing: which shard of a
+//!   cluster owns a [`sim::RunKey`];
+//! - [`histogram`] — the per-verb latency histograms behind the
+//!   `STATS`/`HEALTH` quantile lines;
 //! - [`singleflight`] / [`memcache`] — the two concurrency primitives,
 //!   usable on their own;
 //! - [`client`] — the blocking client used by `qprac-client` and the
@@ -39,12 +44,22 @@
 pub mod backoff;
 pub mod chaos;
 pub mod client;
+pub mod histogram;
 pub mod memcache;
+#[cfg(unix)]
+pub mod poll;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
+pub mod shard;
 pub mod singleflight;
 
 pub use backoff::{schedule, RetryPolicy, SplitMix64};
 pub use chaos::{Chaos, ChaosSpec, ChaosStream};
 pub use client::{timeout_from_env, Client, ClientError, DEFAULT_TIMEOUT};
-pub use server::{Server, ServerConfig, DEFAULT_ADDR};
+pub use histogram::{Histogram, VerbHistograms};
+#[cfg(unix)]
+pub use poll::raise_nofile_limit;
+pub use server::{Server, ServerConfig, DEFAULT_ADDR, DEFAULT_MAX_CONNS};
+pub use shard::{ShardMap, VNODES_PER_SHARD};

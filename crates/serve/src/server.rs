@@ -1,5 +1,5 @@
-//! The `qprac-serve` daemon: a std-only, thread-per-connection TCP
-//! service that resolves simulation cells by canonical [`RunKey`] text.
+//! The `qprac-serve` daemon: a std-only TCP service that resolves
+//! simulation cells by canonical [`RunKey`] text.
 //!
 //! Every `RUN <key>` request walks a three-tier path:
 //!
@@ -12,10 +12,15 @@
 //!    single-flight coalescing so N concurrent requests for the same
 //!    key trigger exactly one run.
 //!
-//! Connection threads are cheap (they mostly block on I/O or on a
-//! flight); the semaphore is what actually bounds simulation
-//! parallelism, so a thousand clients asking for twelve distinct cells
-//! produce at most `workers` concurrent simulations and zero duplicates.
+//! Two serve loops share that resolve path. The default on unix is the
+//! event-driven poll-readiness core ([`crate::reactor`]): one event
+//! loop plus a fixed dispatch pool, so thousands of idle connections
+//! cost buffers, not OS threads. Chaos injection (blocking-stream
+//! fault wrappers), `QPRAC_SERVE_THREADED=1`, and non-unix targets use
+//! the legacy thread-per-connection loop. Either way the semaphore is
+//! what actually bounds simulation parallelism, so a thousand clients
+//! asking for twelve distinct cells produce at most `workers`
+//! concurrent simulations and zero duplicates.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,6 +32,7 @@ use std::time::{Duration, Instant};
 use sim::{CellResult, RunCache, RunKey};
 
 use crate::chaos::{Chaos, ChaosSpec, ChaosStream};
+use crate::histogram::VerbHistograms;
 use crate::memcache::LruCache;
 use crate::protocol::{parse_request, read_line, write_response, Request, Response};
 use crate::singleflight::Group;
@@ -35,6 +41,8 @@ use crate::singleflight::Group;
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 /// Default in-memory LRU capacity (entries).
 pub const DEFAULT_LRU_ENTRIES: usize = 4096;
+/// Default concurrent-connection ceiling (`QPRAC_SERVE_MAX_CONNS`).
+pub const DEFAULT_MAX_CONNS: usize = 4096;
 /// Disk-cache GC cadence: a sweep every this many stores.
 const GC_EVERY_STORES: u64 = 32;
 
@@ -50,13 +58,29 @@ pub struct ServerConfig {
     pub disk: RunCache,
     /// Deterministic fault injection (`QPRAC_CHAOS`); `None` = off.
     pub chaos: Option<ChaosSpec>,
+    /// Concurrent-connection ceiling: past it, new connections are
+    /// refused at accept (hang-up, no bytes) and counted.
+    pub max_conns: usize,
+    /// Force the legacy thread-per-connection loop even where the
+    /// event-driven core is available (`QPRAC_SERVE_THREADED=1`).
+    /// Chaos injection always implies it — the fault wrappers are
+    /// blocking-stream shaped.
+    pub threaded: bool,
+    /// Connect timeout for the `SHUTDOWN` self-wake dial in the
+    /// threaded loop (the configured client timeout, not a hardcoded
+    /// constant).
+    pub wake_timeout: Duration,
 }
 
 impl ServerConfig {
     /// Environment-driven configuration: `QPRAC_SERVE_LRU`,
     /// `QPRAC_JOBS` (same knob as the bench pool; 0/unset = machine
-    /// parallelism), `QPRAC_RUN_CACHE`/`QPRAC_RUN_CACHE_MAX_MB`, and
-    /// `QPRAC_CHAOS` (seeded fault injection, tests/CI only).
+    /// parallelism), `QPRAC_RUN_CACHE`/`QPRAC_RUN_CACHE_MAX_MB`,
+    /// `QPRAC_CHAOS` (seeded fault injection, tests/CI only),
+    /// `QPRAC_SERVE_MAX_CONNS` (connection ceiling),
+    /// `QPRAC_SERVE_THREADED` (opt out of the event-driven core), and
+    /// `QPRAC_REMOTE_TIMEOUT_MS` (shared with the client; also the
+    /// `SHUTDOWN` self-wake dial timeout).
     pub fn from_env() -> Self {
         let available = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -71,6 +95,9 @@ impl ServerConfig {
             },
             disk: RunCache::from_env(),
             chaos: ChaosSpec::from_env(),
+            max_conns: sim::env_usize("QPRAC_SERVE_MAX_CONNS", DEFAULT_MAX_CONNS),
+            threaded: sim::env_usize("QPRAC_SERVE_THREADED", 0) != 0,
+            wake_timeout: crate::client::timeout_from_env(),
         }
     }
 }
@@ -84,6 +111,9 @@ impl Default for ServerConfig {
                 .unwrap_or(8),
             disk: RunCache::disabled(),
             chaos: None,
+            max_conns: DEFAULT_MAX_CONNS,
+            threaded: false,
+            wake_timeout: crate::client::DEFAULT_TIMEOUT,
         }
     }
 }
@@ -108,12 +138,16 @@ pub struct Counters {
     /// (a subset of `errors`, counted separately so operators can tell
     /// version skew from garbage input).
     pub unknown_mitigation: AtomicU64,
+    /// `SHUTDOWN` self-wake dials that failed (threaded loop only; the
+    /// drain still completes — accept() observes the flag on the next
+    /// connection — but a nonzero count flags a wedged listener).
+    pub wake_failures: AtomicU64,
 }
 
 impl Counters {
     fn render(&self, in_flight: usize, store_errors: u64) -> String {
         format!(
-            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nunknown_mitigation={}\nstore_errors={store_errors}\nin_flight={in_flight}",
+            "requests={}\nmem_hits={}\ndisk_hits={}\nsimulated={}\ncoalesced={}\nerrors={}\nunknown_mitigation={}\nwake_failures={}\nstore_errors={store_errors}\nin_flight={in_flight}",
             self.requests.load(Ordering::Relaxed),
             self.mem_hits.load(Ordering::Relaxed),
             self.disk_hits.load(Ordering::Relaxed),
@@ -121,6 +155,7 @@ impl Counters {
             self.coalesced.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.unknown_mitigation.load(Ordering::Relaxed),
+            self.wake_failures.load(Ordering::Relaxed),
         )
     }
 }
@@ -132,22 +167,34 @@ pub struct Server {
     inner: Arc<Inner>,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     lru: Mutex<LruCache<RunKey, Arc<CellResult>>>,
     disk: RunCache,
     flights: Group<RunKey, Result<Arc<CellResult>, String>>,
     workers: Semaphore,
-    worker_count: usize,
-    counters: Counters,
+    pub(crate) worker_count: usize,
+    pub(crate) counters: Counters,
     stores: AtomicU64,
     chaos: Option<Chaos>,
     start: Instant,
     addr: SocketAddr,
     /// Set by `SHUTDOWN`: stop accepting, drain, exit [`Server::serve`].
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     /// `RUN`/`RUNB` requests currently being resolved (queue depth on
     /// top of the worker bound; what `SHUTDOWN` drains).
     active: AtomicUsize,
+    /// Per-verb latency histograms (rendered in `STATS`/`HEALTH`).
+    pub(crate) hist: VerbHistograms,
+    /// Concurrent-connection ceiling (both serve loops enforce it).
+    pub(crate) max_conns: usize,
+    /// Currently open connections (a gauge, for `HEALTH`).
+    pub(crate) connections: AtomicUsize,
+    /// Connections refused at the [`Self::max_conns`] ceiling.
+    pub(crate) rejected_conns: AtomicU64,
+    /// Force the thread-per-connection loop.
+    threaded: bool,
+    /// `SHUTDOWN` self-wake dial timeout (threaded loop).
+    wake_timeout: Duration,
 }
 
 impl Server {
@@ -171,6 +218,12 @@ impl Server {
                 addr,
                 shutting_down: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
+                hist: VerbHistograms::default(),
+                max_conns: config.max_conns.max(1),
+                connections: AtomicUsize::new(0),
+                rejected_conns: AtomicU64::new(0),
+                threaded: config.threaded,
+                wake_timeout: config.wake_timeout,
             }),
         })
     }
@@ -180,18 +233,50 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accept loop: one thread per connection, until a `SHUTDOWN`
-    /// request. Teardown is graceful: accepting stops, in-flight
-    /// resolves drain, then the call returns `Ok` — so the daemon can
-    /// exit cleanly instead of being killed mid-simulation.
+    /// Serve until a `SHUTDOWN` request. Teardown is graceful:
+    /// accepting stops, in-flight resolves drain, then the call
+    /// returns `Ok` — so the daemon can exit cleanly instead of being
+    /// killed mid-simulation.
+    ///
+    /// On unix this runs the event-driven poll-readiness core
+    /// ([`crate::reactor`]): one event-loop thread plus a fixed
+    /// dispatch pool, so idle connections cost buffers, not OS
+    /// threads. Chaos injection, `QPRAC_SERVE_THREADED`, and non-unix
+    /// targets fall back to the legacy thread-per-connection loop
+    /// (the chaos fault wrappers are blocking-stream shaped).
     pub fn serve(self) -> io::Result<()> {
+        #[cfg(unix)]
+        if !self.inner.threaded && self.inner.chaos.is_none() {
+            return crate::reactor::serve_event_driven(self.listener, self.inner);
+        }
+        self.serve_threaded()
+    }
+
+    /// The legacy accept loop: one thread per connection.
+    fn serve_threaded(self) -> io::Result<()> {
         for stream in self.listener.incoming() {
             if self.inner.shutting_down.load(Ordering::SeqCst) {
                 break; // the wake-up dial from the SHUTDOWN handler
             }
             let stream = stream?;
+            if self.inner.connections.load(Ordering::SeqCst) >= self.inner.max_conns {
+                self.inner.rejected_conns.fetch_add(1, Ordering::Relaxed);
+                continue; // at capacity: hang up without a byte
+            }
+            self.inner.connections.fetch_add(1, Ordering::SeqCst);
             let inner = Arc::clone(&self.inner);
-            std::thread::spawn(move || handle_connection(&inner, stream));
+            std::thread::spawn(move || {
+                // Decrement on unwind too: the chaos leader-kill panics
+                // straight through the connection handler.
+                struct ConnGauge<'a>(&'a AtomicUsize);
+                impl Drop for ConnGauge<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let _gauge = ConnGauge(&inner.connections);
+                handle_connection(&inner, stream);
+            });
         }
         // Drain: every RUN in progress (including queued ones waiting
         // on the worker semaphore) completes before we return.
@@ -242,16 +327,24 @@ fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write
         };
         let Some(line) = line else { return }; // clean EOF
         inner.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = match parse_request(&line) {
+        let t0 = Instant::now();
+        let parsed = parse_request(&line);
+        let verb_hist = match &parsed {
+            Ok(Request::Ping) => Some(&inner.hist.ping),
+            Ok(Request::Stats) => Some(&inner.hist.stats),
+            Ok(Request::Health) => Some(&inner.hist.health),
+            Ok(Request::Run(_)) => Some(&inner.hist.run),
+            Ok(Request::RunBin(_)) => Some(&inner.hist.runb),
+            _ => None,
+        };
+        let response = match parsed {
             Ok(Request::Ping) => Response::Ok {
                 kind: "text".into(),
                 payload: "pong".into(),
             },
             Ok(Request::Stats) => Response::Ok {
                 kind: "text".into(),
-                payload: inner
-                    .counters
-                    .render(inner.flights.in_flight(), inner.disk.failed_stores()),
+                payload: stats_payload(inner),
             },
             Ok(Request::Health) => Response::Ok {
                 kind: "text".into(),
@@ -260,8 +353,13 @@ fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write
             Ok(Request::Shutdown) => {
                 inner.shutting_down.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag; the
-                // dial needs no payload, accept alone unblocks it.
-                let _ = TcpStream::connect_timeout(&inner.addr, Duration::from_secs(1));
+                // dial needs no payload, accept alone unblocks it. It
+                // respects the configured client timeout, and a failed
+                // dial is counted — the drain still completes on the
+                // next natural accept, but the stall is observable.
+                if TcpStream::connect_timeout(&inner.addr, inner.wake_timeout).is_err() {
+                    inner.counters.wake_failures.fetch_add(1, Ordering::Relaxed);
+                }
                 Response::Ok {
                     kind: "text".into(),
                     payload: "draining".into(),
@@ -287,18 +385,31 @@ fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write
         if matches!(response, Response::Err(_)) {
             inner.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(hist) = verb_hist {
+            hist.record(t0.elapsed());
+        }
         if write_response(&mut writer, &response).is_err() {
             return; // peer went away (e.g. a truncated request)
         }
     }
 }
 
+/// The `STATS` payload: monotonic counters plus per-verb latency
+/// quantiles.
+pub(crate) fn stats_payload(inner: &Inner) -> String {
+    let mut text = inner
+        .counters
+        .render(inner.flights.in_flight(), inner.disk.failed_stores());
+    inner.hist.render(&mut text);
+    text
+}
+
 /// The `HEALTH` payload: liveness plus the load signals a
 /// failover-aware client routes on.
-fn render_health(inner: &Inner) -> String {
+pub(crate) fn render_health(inner: &Inner) -> String {
     let active = inner.active.load(Ordering::SeqCst);
     let mut text = format!(
-        "status={}\nuptime_ms={}\nworkers={}\nactive={active}\nqueue_depth={}\nin_flight={}",
+        "status={}\nuptime_ms={}\nworkers={}\nactive={active}\nqueue_depth={}\nin_flight={}\nconnections={}\nmax_conns={}\nrejected_conns={}",
         if inner.shutting_down.load(Ordering::SeqCst) {
             "draining"
         } else {
@@ -308,7 +419,11 @@ fn render_health(inner: &Inner) -> String {
         inner.worker_count,
         active.saturating_sub(inner.worker_count),
         inner.flights.in_flight(),
+        inner.connections.load(Ordering::SeqCst),
+        inner.max_conns,
+        inner.rejected_conns.load(Ordering::Relaxed),
     );
+    inner.hist.render(&mut text);
     if let Some(chaos) = &inner.chaos {
         text.push('\n');
         text.push_str(&chaos.render());
@@ -335,7 +450,9 @@ impl Drop for ActiveGuard<'_> {
 }
 
 /// The three-tier resolve: memory, disk, then single-flight simulate.
-fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
+/// Shared by both serve loops (thread-per-connection calls it on the
+/// connection thread, the reactor from its dispatch pool).
+pub(crate) fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, String> {
     let _active = ActiveGuard::enter(&inner.active);
     let spec = RunKey::parse_text(key_text).map_err(|e| {
         // Version-skew signal: a newer peer minted a key for a design
@@ -487,6 +604,7 @@ mod tests {
             "coalesced=0",
             "errors=0",
             "unknown_mitigation=0",
+            "wake_failures=0",
             "store_errors=2",
             "in_flight=1",
         ] {
