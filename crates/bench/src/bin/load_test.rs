@@ -20,12 +20,21 @@
 //!    server-side single-flight turned 2x request fan-in into exactly
 //!    one simulation per cell, with zero cross-shard duplication.
 //!
+//! 5. scrapes every shard's `METRICS` exposition before and after the
+//!    load, merges the snapshots, and asserts the Prometheus view
+//!    agrees with the `STATS` view: the cluster-wide
+//!    `qprac_run_requests_total` delta equals the requests this run
+//!    sent and the `qprac_simulated_total` delta equals the unique key
+//!    count. The merged post-load snapshot is written to
+//!    `results/metrics_cluster.txt`.
+//!
 //! Output ends with one greppable line:
 //! `load-test: shards=.. clients=.. idle=.. unique=.. requests=.. simulated=.. wall_ms=.. rps=..`
 //!
-//! Shard list comes from `QPRAC_REMOTE` or argv[1]. Exit code is
-//! nonzero on any failed request or a broken invariant — CI runs this
-//! against a 3-shard cluster.
+//! Shard list comes from `QPRAC_REMOTE` or argv[1]; `--profile` prints
+//! the per-phase wall-time table (here: remote round trips). Exit code
+//! is nonzero on any failed request or a broken invariant — CI runs
+//! this against a 3-shard cluster.
 
 use std::collections::HashSet;
 use std::net::TcpStream;
@@ -33,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use qprac_bench::experiments::run_all_specs;
-use qprac_bench::Job;
+use qprac_bench::{profile, scrape_cluster, write_cluster_metrics, Job};
 use qprac_serve::{Client, ShardMap};
 use sim::RunKey;
 
@@ -109,6 +118,8 @@ fn main() {
     println!("load-test: holding {idle_n} idle connections across the cluster");
 
     let base = per_shard_simulated(&shards);
+    let metrics_base = scrape_cluster(&shards)
+        .unwrap_or_else(|e| panic!("baseline cluster METRICS scrape failed: {e}"));
 
     // Load phase: the doubled key list round-robins over the client
     // pool, so copies 2k and 2k+1 of a key land on *distinct* clients
@@ -144,19 +155,26 @@ fn main() {
                                 match Client::connect(shards[shard].as_str()) {
                                     Ok(cl) => *slot = Some(cl),
                                     Err(e) => {
-                                        eprintln!("client {c}: connect {}: {e}", shards[shard]);
+                                        qprac_obs::warn!(
+                                            "client {c}: connect {}: {e}",
+                                            shards[shard]
+                                        );
                                         failures.fetch_add(1, Ordering::Relaxed);
                                         break;
                                     }
                                 }
                             }
                             requests.fetch_add(1, Ordering::Relaxed);
+                            let t_req = Instant::now();
                             match slot.as_mut().unwrap().run(key) {
-                                Ok(_) => break,
+                                Ok(_) => {
+                                    profile::record("remote_roundtrip", t_req.elapsed());
+                                    break;
+                                }
                                 Err(e) => {
                                     *slot = None; // drop the sick connection
                                     if attempts >= 3 {
-                                        eprintln!("client {c}: {key} failed: {e}");
+                                        qprac_obs::warn!("client {c}: {key} failed: {e}");
                                         failures.fetch_add(1, Ordering::Relaxed);
                                         break;
                                     }
@@ -193,4 +211,30 @@ fn main() {
         "cluster-wide simulated must equal unique keys: shard affinity or \
          single-flight is broken (or the cluster was not cold)"
     );
+
+    // The Prometheus view must agree with the STATS view: the merged
+    // METRICS deltas account for exactly this run's traffic.
+    let metrics_after = scrape_cluster(&shards)
+        .unwrap_or_else(|e| panic!("post-load cluster METRICS scrape failed: {e}"));
+    let run_delta = metrics_after.counter("qprac_run_requests_total")
+        - metrics_base.counter("qprac_run_requests_total");
+    let sim_delta = metrics_after.counter("qprac_simulated_total")
+        - metrics_base.counter("qprac_simulated_total");
+    println!(
+        "load-test: metrics run_requests_delta={run_delta} simulated_delta={sim_delta} \
+         (expect {requests} and {unique})"
+    );
+    assert_eq!(
+        run_delta, requests,
+        "merged qprac_run_requests_total delta must equal the requests sent"
+    );
+    assert_eq!(
+        sim_delta, unique as u64,
+        "merged qprac_simulated_total delta must equal the unique key count"
+    );
+    match write_cluster_metrics(&metrics_after) {
+        Ok(path) => println!("load-test: merged cluster metrics -> {}", path.display()),
+        Err(e) => panic!("writing metrics_cluster.txt failed: {e}"),
+    }
+    profile::print_if_requested();
 }

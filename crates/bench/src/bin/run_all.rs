@@ -8,12 +8,28 @@
 //! is set (CSVs are byte-identical either way).
 //! Results land in `results/*.csv`; the dedupe ratio and cache hits are
 //! reported on the final `run-cache:` line.
+//!
+//! `--profile` prints a per-phase wall-time table (key canonicalize,
+//! cache lookup, remote round trip, simulate, serialize) after the
+//! sweep. A remote pass additionally scrapes every shard's `METRICS`
+//! exposition, merges them, and writes `results/metrics_cluster.txt`.
 use qprac_bench::experiments::run_all_specs;
 
 fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
     println!("=== QPRAC reproduction: full experiment sweep ===\n");
     qprac_bench::execute(&run_all_specs())?;
+    qprac_bench::profile::print_if_requested();
+    match qprac_bench::scrape_cluster_from_env() {
+        Some(Ok((snap, path))) => println!(
+            "metrics-scrape: cluster requests={} simulated={} -> {}",
+            snap.counter("qprac_requests_total"),
+            snap.counter("qprac_simulated_total"),
+            path.display(),
+        ),
+        Some(Err(e)) => qprac_obs::warn!("warning: cluster METRICS scrape failed: {e}"),
+        None => {}
+    }
     println!(
         "=== complete in {:.1} min ===",
         t0.elapsed().as_secs_f64() / 60.0

@@ -1,0 +1,49 @@
+//! CI smoke for the event tracer: run a short simulation with
+//! `QPRAC_TRACE` pointing at a file, then prove the written Chrome
+//! trace is valid JSON containing the event families a live run must
+//! produce (PSQ offers from inside the trackers, refreshes, and
+//! fast-forward spans).
+//!
+//! Usage: `QPRAC_TRACE=/tmp/trace.json trace_smoke` — exits nonzero if
+//! the trace file is missing, malformed, or empty of the expected
+//! events. `QPRAC_INSTR` sizes the run (default 5000 instructions per
+//! core).
+
+use cpu_model::WorkloadSpec;
+use sim::{run_workload, MitigationKind, SystemConfig};
+
+fn main() {
+    let path = std::env::var("QPRAC_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .expect("set QPRAC_TRACE=<path> before running trace_smoke");
+    let instr = sim::env_u64("QPRAC_INSTR", 5_000);
+    let cfg = SystemConfig::paper_default()
+        .with_mitigation(MitigationKind::Qprac)
+        .with_instruction_limit(instr);
+    let spec = WorkloadSpec::by_name("ycsb/a_like").expect("bundled workload");
+    let stats = run_workload(&cfg, &spec);
+    println!(
+        "trace-smoke: simulated {instr} instr/core, ipc_sum={:.3}",
+        stats.ipc_sum()
+    );
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("trace file {path} unreadable: {e}"));
+    qprac_obs::json::validate(&text)
+        .unwrap_or_else(|e| panic!("trace file {path} is not valid JSON: {e}"));
+
+    // A memory-bound run must have activated rows (PSQ offers), hit
+    // periodic refresh, and fast-forwarded through dead stretches.
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for name in ["psq_offer", "refresh", "fast_forward"] {
+        let needle = format!("\"name\":\"{name}\"");
+        let n = text.matches(needle.as_str()).count();
+        counts.push((name, n));
+    }
+    for (name, n) in &counts {
+        println!("trace-smoke: {name} events = {n}");
+        assert!(*n > 0, "trace has no {name} events — tracer not wired?");
+    }
+    println!("trace-smoke: OK ({} bytes at {path})", text.len());
+}

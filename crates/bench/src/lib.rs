@@ -27,12 +27,13 @@
 pub mod csv;
 pub mod experiments;
 pub mod harness;
+pub mod profile;
 pub mod runner;
 pub mod spec;
 
 pub use csv::CsvWriter;
 pub use runner::{
-    execute, execute_with, executor_from_env, run_specs, CellExecutor, FaultStats, LocalExecutor,
-    RemoteExecutor, RunReport,
+    execute, execute_with, executor_from_env, run_specs, scrape_cluster, scrape_cluster_from_env,
+    write_cluster_metrics, CellExecutor, FaultStats, LocalExecutor, RemoteExecutor, RunReport,
 };
 pub use spec::{ExperimentSpec, Job, JobResult, ResultSet};

@@ -1,0 +1,147 @@
+//! Per-phase wall-time profiling for the bench scheduler.
+//!
+//! Every cell an [`crate::execute_with`] pass resolves crosses a fixed
+//! set of phases — canonicalizing its key, probing the run cache,
+//! either a remote round trip or a local simulation, and serializing
+//! the result back into the cache. Each phase records its wall time
+//! into a histogram in the process-wide [`qprac_obs::global`] registry
+//! (`qprac_phase_<name>_us`), so a `--profile` run can answer "where
+//! did the wall clock go" without a profiler attachment, and a remote
+//! pass can show round-trip latency next to the server's own `METRICS`
+//! view of the same requests.
+//!
+//! Recording is two relaxed atomic adds per phase crossing (the
+//! histogram is lock-free after registration), so the instrumentation
+//! stays on by default; `--profile` only controls whether the summary
+//! table is printed.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use qprac_obs::{global, Histogram};
+
+/// The scheduler phases, in pipeline order (the order the summary
+/// table prints).
+pub const PHASES: [&str; 5] = [
+    "key_canonicalize",
+    "cache_lookup",
+    "remote_roundtrip",
+    "simulate",
+    "serialize",
+];
+
+/// Metric-name prefix of every phase histogram in the global registry.
+pub const PREFIX: &str = "qprac_phase_";
+
+fn phase_hist(name: &'static str) -> &'static std::sync::Arc<Histogram> {
+    // One cached Arc per phase: the registry mutex is paid once per
+    // process, not once per cell.
+    static HISTS: OnceLock<Vec<(&'static str, std::sync::Arc<Histogram>)>> = OnceLock::new();
+    let all = HISTS.get_or_init(|| {
+        PHASES
+            .iter()
+            .map(|&p| (p, global().histogram(&format!("{PREFIX}{p}"))))
+            .collect()
+    });
+    &all.iter()
+        .find(|(p, _)| *p == name)
+        .unwrap_or_else(|| panic!("unknown profile phase {name:?}"))
+        .1
+}
+
+/// Time `f` and record its wall time under phase `name`.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    phase_hist(name).record(t0.elapsed());
+    out
+}
+
+/// Record an externally measured duration under phase `name`.
+pub fn record(name: &'static str, elapsed: std::time::Duration) {
+    phase_hist(name).record(elapsed);
+}
+
+/// The `--profile` summary table: one row per phase that observed at
+/// least one crossing, in pipeline order. `None` when nothing was
+/// recorded (e.g. a pass with zero cells).
+pub fn summary() -> Option<String> {
+    let snap = global().snapshot();
+    let mut rows = Vec::new();
+    for phase in PHASES {
+        let Some(h) = snap.hists.get(&format!("{PREFIX}{phase}")) else {
+            continue;
+        };
+        let count = h.count();
+        if count == 0 {
+            continue;
+        }
+        rows.push(format!(
+            "{phase:<18} {count:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10}",
+            h.sum_us as f64 / 1_000.0,
+            h.mean_us(),
+            h.quantile_us(0.50),
+            h.quantile_us(0.95),
+            h.quantile_us(0.99),
+        ));
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = String::from("profile: wall time by scheduler phase\n");
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+        "phase", "count", "total_ms", "mean_us", "p50_us", "p95_us", "p99_us"
+    ));
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Whether `--profile` was passed on the command line (shared by the
+/// `run_all` and `load_test` binaries).
+pub fn profile_requested() -> bool {
+    std::env::args().any(|a| a == "--profile")
+}
+
+/// Print the summary table when `--profile` was requested.
+pub fn print_if_requested() {
+    if !profile_requested() {
+        return;
+    }
+    match summary() {
+        Some(table) => print!("{table}"),
+        None => println!("profile: no phases recorded"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_into_the_global_registry() {
+        let out = time("simulate", || 42u32);
+        assert_eq!(out, 42);
+        record("serialize", std::time::Duration::from_micros(100));
+        let snap = global().snapshot();
+        assert!(snap.hists[&format!("{PREFIX}simulate")].count() >= 1);
+        assert!(snap.hists[&format!("{PREFIX}serialize")].count() >= 1);
+        let table = summary().expect("phases were recorded");
+        assert!(table.contains("simulate"), "{table}");
+        assert!(table.contains("serialize"), "{table}");
+        // Pipeline order: simulate rows before serialize rows.
+        assert!(
+            table.find("simulate").unwrap() < table.find("serialize").unwrap(),
+            "{table}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown profile phase")]
+    fn unknown_phase_names_are_rejected() {
+        record("not_a_phase", std::time::Duration::ZERO);
+    }
+}

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use sim::{RunCache, RunKey};
 
 use crate::harness::parallel;
+use crate::profile;
 use crate::spec::{ExperimentSpec, Job, JobResult, ResultSet};
 
 /// What one [`execute`] pass did.
@@ -93,7 +94,9 @@ impl CellExecutor for LocalExecutor {
     }
 
     fn execute_cells(&self, cells: &[(&Job, RunKey)]) -> Vec<JobResult> {
-        parallel(cells.len(), |i| cells[i].0.run())
+        parallel(cells.len(), |i| {
+            profile::time("simulate", || cells[i].0.run())
+        })
     }
 }
 
@@ -286,10 +289,12 @@ impl RemoteExecutor {
         addr: &str,
         key: &RunKey,
     ) -> Result<JobResult, qprac_serve::ClientError> {
-        if state.client.is_none() {
-            state.client = Some(qprac_serve::Client::connect_timeout(addr, self.timeout)?);
-        }
-        state.client.as_mut().unwrap().run(key)
+        profile::time("remote_roundtrip", || {
+            if state.client.is_none() {
+                state.client = Some(qprac_serve::Client::connect_timeout(addr, self.timeout)?);
+            }
+            state.client.as_mut().unwrap().run(key)
+        })
     }
 
     /// Record a success: close the breaker, keep the connection.
@@ -327,6 +332,9 @@ impl RemoteExecutor {
             Ok(_) => {
                 if self.down.lock().unwrap().remove(&idx).is_some() {
                     self.stats.shard_recoveries.fetch_add(1, Ordering::Relaxed);
+                    qprac_obs::global()
+                        .counter("qprac_bench_shard_recoveries_total")
+                        .inc();
                 }
                 // Readmit at the breaker too, or the next ladder would
                 // start half-open and skip its early attempts.
@@ -354,7 +362,10 @@ impl RemoteExecutor {
         let mut down = self.down.lock().unwrap();
         if down.insert(idx, Instant::now() + self.cooldown).is_none() {
             self.stats.shard_downs.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
+            qprac_obs::global()
+                .counter("qprac_bench_shard_downs_total")
+                .inc();
+            qprac_obs::warn!(
                 "warning: shard {} marked down ({why}); its keys run locally until a HEALTH probe succeeds",
                 self.shards[idx]
             );
@@ -420,12 +431,12 @@ impl RemoteExecutor {
     fn fall_back_local(&self, job: &Job, key: &RunKey, why: &str) -> JobResult {
         self.stats.local_fallbacks.fetch_add(1, Ordering::Relaxed);
         if !self.stats.warned.swap(true, Ordering::Relaxed) {
-            eprintln!(
+            qprac_obs::warn!(
                 "warning: remote execution failed for {key} ({why}); \
                  falling back to the local pool (further fallbacks counted, not logged)"
             );
         }
-        job.run()
+        profile::time("simulate", || job.run())
     }
 }
 
@@ -443,7 +454,7 @@ impl CellExecutor for RemoteExecutor {
         let out = parallel(cells.len(), |i| {
             let (job, key) = &cells[i];
             if matches!(job, Job::Engine { .. }) {
-                job.run()
+                profile::time("simulate", || job.run())
             } else {
                 match self.run_remote(key) {
                     Ok(result) => result,
@@ -466,6 +477,55 @@ pub fn executor_from_env() -> Box<dyn CellExecutor> {
         Some(addrs) => Box::new(RemoteExecutor::new(&addrs)),
         None => Box::new(LocalExecutor),
     }
+}
+
+/// Scrape the `METRICS` exposition of every shard and merge them into
+/// one cluster-wide [`qprac_obs::Snapshot`] (counters and histograms
+/// sum across shards). Any unreachable shard or malformed exposition
+/// is an error naming the shard — a partial cluster view would make
+/// the accounting assertions silently weaker.
+pub fn scrape_cluster(shards: &[String]) -> Result<qprac_obs::Snapshot, String> {
+    let mut merged = qprac_obs::Snapshot::default();
+    for addr in shards {
+        let mut client = qprac_serve::Client::connect(addr.as_str())
+            .map_err(|e| format!("shard {addr}: connect failed: {e}"))?;
+        let text = client
+            .metrics()
+            .map_err(|e| format!("shard {addr}: METRICS scrape failed: {e}"))?;
+        let snap = qprac_obs::Snapshot::parse_prometheus(&text)
+            .map_err(|e| format!("shard {addr}: bad exposition: {e}"))?;
+        merged.merge(&snap);
+    }
+    Ok(merged)
+}
+
+/// Write a merged cluster snapshot to `metrics_cluster.txt` in the
+/// results directory (honoring `QPRAC_RESULTS_DIR`), returning the
+/// path written. The file is the same Prometheus text a single-shard
+/// `METRICS` scrape yields, with every shard's counts summed.
+pub fn write_cluster_metrics(snap: &qprac_obs::Snapshot) -> io::Result<std::path::PathBuf> {
+    let dir = std::env::var("QPRAC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("metrics_cluster.txt");
+    std::fs::write(&path, snap.render_prometheus())?;
+    Ok(path)
+}
+
+/// Scrape-and-write against the `QPRAC_REMOTE` shard list, if any:
+/// the tail of a remote `run_all` pass. Returns the merged snapshot
+/// alongside the file path, or `None` when no cluster is configured.
+pub fn scrape_cluster_from_env() -> Option<Result<(qprac_obs::Snapshot, std::path::PathBuf), String>>
+{
+    let addrs = sim::env_opt("QPRAC_REMOTE")?;
+    let shards = qprac_serve::ShardMap::from_list(&addrs).shards().to_vec();
+    if shards.is_empty() {
+        return None;
+    }
+    Some(scrape_cluster(&shards).and_then(|snap| {
+        let path = write_cluster_metrics(&snap).map_err(|e| format!("write: {e}"))?;
+        Ok((snap, path))
+    }))
 }
 
 /// Run a suite of specs: dedupe cells, resolve them (cache, then the
@@ -498,7 +558,7 @@ pub fn execute_with(
     for spec in specs {
         for job in &spec.jobs {
             cells += 1;
-            let key = job.key();
+            let key = profile::time("key_canonicalize", || job.key());
             if seen.insert(key.clone()) {
                 unique.push((job, key));
             }
@@ -509,7 +569,7 @@ pub fn execute_with(
     let mut results: HashMap<RunKey, JobResult> = HashMap::new();
     let mut to_run: Vec<(&Job, RunKey)> = Vec::new();
     for (job, key) in unique {
-        match cache.load(&key) {
+        match profile::time("cache_lookup", || cache.load(&key)) {
             Some(r) => {
                 results.insert(key, r);
             }
@@ -533,13 +593,13 @@ pub fn execute_with(
     );
     let mut first_store_err: Option<io::Error> = None;
     for ((_, key), out) in to_run.into_iter().zip(outputs) {
-        if let Err(e) = cache.store(&key, &out) {
+        if let Err(e) = profile::time("serialize", || cache.store(&key, &out)) {
             first_store_err.get_or_insert(e);
         }
         results.insert(key, out);
     }
     if cache.failed_stores() > 0 {
-        eprintln!(
+        qprac_obs::warn!(
             "warning: {} run-cache store(s) failed (first: {}); results are unaffected, \
              the cells will re-simulate next pass",
             cache.failed_stores(),
@@ -816,6 +876,48 @@ mod tests {
             exec.fault_stats().shard_recoveries.load(Ordering::Relaxed),
             1
         );
+    }
+
+    /// Cluster scrape: per-shard `METRICS` expositions merge into one
+    /// snapshot whose counters sum across shards and whose simulated
+    /// count matches what the cluster actually ran.
+    #[test]
+    fn scrape_cluster_merges_shard_metrics() {
+        let (_, key) = tiny_workload_job();
+        let shards: Vec<String> = (0..2)
+            .map(|_| {
+                qprac_serve::Server::bind("127.0.0.1:0", qprac_serve::ServerConfig::default())
+                    .unwrap()
+                    .spawn()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        // Run the same key on both shards: each simulates it once.
+        for addr in &shards {
+            let mut c = qprac_serve::Client::connect(addr.as_str()).unwrap();
+            c.run(&key).unwrap();
+        }
+        let merged = scrape_cluster(&shards).expect("both shards scrape");
+        assert_eq!(merged.counter("qprac_simulated_total"), 2);
+        assert!(merged.counter("qprac_requests_total") >= 2);
+        // Client::run prefers the binary RUNB verb; either way the two
+        // requests' latencies must survive the merge.
+        let lat: u64 = ["qprac_lat_run_us", "qprac_lat_runb_us"]
+            .iter()
+            .filter_map(|name| merged.hists.get(*name))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(lat, 2, "run latency histograms merge across shards");
+        // The merged snapshot still renders as valid exposition text.
+        let text = merged.render_prometheus();
+        let reparsed = qprac_obs::Snapshot::parse_prometheus(&text).unwrap();
+        assert_eq!(reparsed, merged);
+        // An unreachable shard fails the scrape loudly, naming it.
+        let mut bad = shards.clone();
+        bad.push("127.0.0.1:1".into());
+        let err = scrape_cluster(&bad).unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
     }
 
     /// A server-side rejection ("unknown workload") is authoritative:

@@ -18,6 +18,7 @@ use crate::counters::{CounterAccess, PracCounters};
 use crate::mitigation::{InDramMitigation, RfmContext};
 use crate::stats::DeviceStats;
 use crate::types::{BankBitSet, BankId, Cycle, MitigationCause, RfmCause, RfmKind, RowId};
+use qprac_obs::{EventKind, TraceHandle};
 
 /// One bank: timing state, PRAC counters and the hosted tracker.
 #[derive(Debug)]
@@ -100,6 +101,27 @@ pub struct DramDevice {
     rfm_lists: RfmLists,
     /// Reusable buffer for the banks affected by an in-flight RFM.
     rfm_scratch: Vec<BankId>,
+    /// Event tracer (disabled by default: one predictable branch per
+    /// event site when off).
+    trace: TraceHandle,
+}
+
+/// Stable ordinal for the trace `extra` encoding of [`RfmKind`]
+/// (`(kind << 8) | cause`).
+fn rfm_kind_ord(kind: RfmKind) -> u32 {
+    match kind {
+        RfmKind::AllBank => 0,
+        RfmKind::SameBank => 1,
+        RfmKind::PerBank => 2,
+    }
+}
+
+/// Stable ordinal for the trace `extra` encoding of [`RfmCause`].
+fn rfm_cause_ord(cause: RfmCause) -> u32 {
+    match cause {
+        RfmCause::AlertService => 0,
+        RfmCause::Periodic => 1,
+    }
 }
 
 impl std::fmt::Debug for DramDevice {
@@ -152,11 +174,28 @@ impl DramDevice {
             alert_bits: BankBitSet::new(cfg.num_banks()),
             rfm_lists,
             rfm_scratch: Vec::with_capacity(cfg.num_banks()),
+            trace: TraceHandle::default(),
             cfg,
         };
         // Trackers may be constructed already wanting an alert.
         dev.resync_alert_flags();
         dev
+    }
+
+    /// Install an event tracer (see `qprac_obs::trace`). Propagated to
+    /// every bank tracker so tracker-internal events (PSQ traffic) land
+    /// in the same ring. The handle should already be tagged with this
+    /// device's channel via [`TraceHandle::for_channel`].
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        for (i, unit) in self.banks.iter_mut().enumerate() {
+            unit.tracker.attach_trace(trace.clone(), i as u32);
+        }
+        self.trace = trace;
+    }
+
+    /// The installed event tracer (disabled handle by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Device configuration.
@@ -238,6 +277,7 @@ impl DramDevice {
         let rank = self.rank_of(bank);
         let group = self.group_of(bank);
         self.ranks[rank].activate(group, now, &self.cfg.timing);
+        self.trace.set_now(now);
         let unit = &mut self.banks[bank.0 as usize];
         unit.timing.activate(row, now, &self.cfg.timing);
         let count = unit.counters.increment(row);
@@ -313,6 +353,7 @@ impl DramDevice {
     /// bank's tracker a proactive-mitigation opportunity (paper §III-D2).
     pub fn refresh(&mut self, rank: u8, now: Cycle) {
         debug_assert!(self.can_refresh(rank, now), "illegal REF");
+        self.trace.set_now(now);
         let until = now + self.cfg.timing.trfc;
         self.ranks[rank as usize].block_until(until);
         let ids: Vec<BankId> = self.bank_ids_of_rank(rank).collect();
@@ -321,11 +362,16 @@ impl DramDevice {
             let unit = &mut self.banks[b.0 as usize];
             let was = unit.tracker.needs_alert();
             if let Some(row) = unit.tracker.on_ref(&mut unit.counters) {
+                self.trace
+                    .instant(EventKind::ProactiveFire, now, b.0 as u32, row.0 as u64, 0);
                 self.apply_mitigation(b, row, MitigationCause::Proactive);
             }
             self.refresh_alert_flag(b.0 as usize, was);
         }
         self.stats.refs += 1;
+        // `bank` carries the rank for rank-wide REF events.
+        self.trace
+            .instant(EventKind::Refresh, now, rank as u32, 0, 0);
     }
 
     /// The banks affected by an RFM of `kind` targeted at `target`, as a
@@ -357,6 +403,7 @@ impl DramDevice {
     /// alert once `nmit` have been issued.
     pub fn rfm(&mut self, kind: RfmKind, target: BankId, cause: RfmCause, now: Cycle) {
         debug_assert!(self.can_rfm(kind, target, now), "illegal RFM");
+        self.trace.set_now(now);
         let until = now + self.cfg.timing.trfm;
         // Reuse the scratch buffer: `apply_mitigation` below needs `&mut
         // self`, so the precomputed list is copied rather than borrowed.
@@ -391,9 +438,27 @@ impl DramDevice {
         }
         self.rfm_scratch = affected;
         self.stats.record_rfm(kind);
+        self.trace.instant(
+            EventKind::RfmIssued,
+            now,
+            target.0 as u32,
+            0,
+            (rfm_kind_ord(kind) << 8) | rfm_cause_ord(cause),
+        );
         if alert_service {
             self.abo.rfms_toward_alert += 1;
             if self.abo.rfms_toward_alert >= self.cfg.prac.nmit {
+                let served = self.abo.rfms_toward_alert;
+                if let Some(since) = self.abo.alert_since {
+                    self.trace.span(
+                        EventKind::AlertServed,
+                        since,
+                        now.saturating_sub(since),
+                        target.0 as u32,
+                        0,
+                        served as u32,
+                    );
+                }
                 self.abo.alert_since = None;
                 self.abo.rfms_toward_alert = 0;
                 self.abo.acts_since_service = 0;
@@ -439,6 +504,11 @@ impl DramDevice {
         if self.alerting_banks > 0 {
             self.abo.alert_since = Some(now);
             self.stats.alerts += 1;
+            if self.trace.wants(EventKind::AlertRaised) {
+                let bank = self.alert_bits.first().unwrap_or(0) as u32;
+                self.trace
+                    .instant(EventKind::AlertRaised, now, bank, 0, self.alerting_banks);
+            }
             for unit in &mut self.banks {
                 unit.tracker.on_alert_state(true);
             }
@@ -837,6 +907,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tracer_sees_alert_lifecycle_rfm_and_refresh() {
+        use std::sync::Arc;
+        let mut dev = device_with_threshold(4);
+        let rec = Arc::new(qprac_obs::Recorder::all());
+        dev.set_trace(TraceHandle::new(rec.clone()).for_channel(3));
+        let mut now = 0;
+        hammer(&mut dev, BankId(1), RowId(5), 4, &mut now);
+        assert!(dev.alert_since().is_some());
+        let raised = rec.events_of(EventKind::AlertRaised);
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].bank, 1, "alerting bank attributed");
+        assert_eq!(raised[0].channel, 3, "channel tag travels");
+        now += dev.cfg().timing.trc;
+        while !dev.can_rfm(RfmKind::AllBank, BankId(0), now) {
+            now += 1;
+        }
+        dev.rfm(RfmKind::AllBank, BankId(0), RfmCause::AlertService, now);
+        let rfms = rec.events_of(EventKind::RfmIssued);
+        assert_eq!(rfms.len(), 1);
+        assert_eq!(rfms[0].extra, 0, "AllBank<<8 | AlertService");
+        let served = rec.events_of(EventKind::AlertServed);
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].ts, raised[0].ts, "span starts at assertion");
+        assert!(served[0].dur >= 1);
+        now += dev.cfg().timing.trfm;
+        while !dev.can_refresh(0, now) {
+            now += 1;
+        }
+        dev.refresh(0, now);
+        assert_eq!(rec.events_of(EventKind::Refresh).len(), 1);
+        // A device without set_trace records nothing and allocates
+        // nothing (the simulator's default).
+        let quiet = device_with_threshold(4);
+        assert!(!quiet.trace().is_enabled());
     }
 
     #[test]

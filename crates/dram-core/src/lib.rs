@@ -42,6 +42,7 @@ pub use counters::{CounterAccess, PracCounters};
 pub use device::DramDevice;
 pub use mapping::{AddressMapper, MappingScheme};
 pub use mitigation::{InDramMitigation, NoMitigation, RfmContext};
+pub use qprac_obs::{EventKind, Recorder, TraceHandle};
 pub use stats::DeviceStats;
 pub use types::{
     BankBitSet, BankCoord, BankId, Cycle, DramAddr, DramCommand, MitigationCause, RfmCause,

@@ -25,6 +25,7 @@
 
 use crate::counters::CounterAccess;
 use crate::types::RowId;
+use qprac_obs::TraceHandle;
 
 /// Context for an RFM callback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,15 @@ pub trait InDramMitigation: std::fmt::Debug + Send {
     /// SRAM storage this tracker requires per bank, in bits (paper §VI-F
     /// and Table IV).
     fn storage_bits(&self) -> u64;
+
+    /// Hand the tracker a tracing handle and its flat bank index so it
+    /// can emit tracker-internal events (QPRAC's PSQ offers, evictions
+    /// and pops). Default: discard — most trackers have nothing
+    /// tracker-internal worth tracing; the host device already traces
+    /// alerts, RFMs and refreshes.
+    fn attach_trace(&mut self, trace: TraceHandle, bank: u32) {
+        let _ = (trace, bank);
+    }
 }
 
 /// A tracker that never mitigates: the insecure baseline the paper

@@ -181,6 +181,13 @@ impl MemoryController {
         &self.device
     }
 
+    /// Install an event tracer on the hosted device (and, through it,
+    /// on every bank tracker). The handle should be channel-tagged via
+    /// [`dram_core::TraceHandle::for_channel`].
+    pub fn set_trace(&mut self, trace: dram_core::TraceHandle) {
+        self.device.set_trace(trace);
+    }
+
     /// Controller statistics.
     pub fn stats(&self) -> &McStats {
         &self.stats

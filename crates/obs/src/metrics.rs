@@ -1,0 +1,378 @@
+//! Lock-free metrics registry with cross-shard aggregation.
+//!
+//! A [`Registry`] hands out [`Counter`]/[`Gauge`] handles and shared
+//! [`Histogram`]s by name. Handles are plain `Arc`ed atomics: after the
+//! one-time registration (a short mutex hold on a name map), every
+//! `inc`/`set`/`record` is a single relaxed atomic op with no lock on
+//! any hot path.
+//!
+//! A [`Snapshot`] is the frozen, mergeable form: it renders to the
+//! Prometheus text exposition format (the `METRICS` verb) and parses
+//! back from it (the bench runner's `scrape_cluster`), so N shards'
+//! scrapes can be summed into one cluster-wide view. Render → parse →
+//! render is the identity, pinned by test.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{bucket_upper_us, HistSnapshot, Histogram, BUCKETS};
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge: a value that can go up and down.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        Gauge(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.hists.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Freeze the registry's current values.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            snap.counters
+                .insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            snap.gauges.insert(name.clone(), g.load(Ordering::Relaxed));
+        }
+        for (name, h) in self.hists.lock().unwrap().iter() {
+            snap.hists.insert(name.clone(), h.snapshot());
+        }
+        snap
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// The process-wide registry (bench-runner phase profiling records
+/// here; binaries snapshot it for `--profile` tables).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A frozen, mergeable copy of a registry (or of one server's exported
+/// state): what `METRICS` serves and `scrape_cluster` sums.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// Fold `other` into `self`: counters and histograms add, gauges add
+    /// too (the cluster-wide depth of N queues is the sum of the parts).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render in Prometheus text exposition format: one `# TYPE` comment
+    /// per metric, counters and gauges as single sample lines,
+    /// histograms as cumulative `_bucket{le=...}`/`_sum`/`_count`
+    /// families. Deterministic (name-sorted) — byte-stable for goldens.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            h.render_prometheus(name, &mut out);
+        }
+        out
+    }
+
+    /// Parse text produced by [`Snapshot::render_prometheus`] (the
+    /// scrape side of the `METRICS` verb). Strict about what this suite
+    /// emits, tolerant of blank lines; anything else is an error naming
+    /// the offending line.
+    pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        // name → declared type, from `# TYPE` comments.
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        // histogram name → cumulative bucket counts in file order.
+        let mut cumulative: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+                if name.is_empty() || kind.is_empty() {
+                    return Err(format!("malformed TYPE line: {line:?}"));
+                }
+                types.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP or other comments
+            }
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("sample line without value: {line:?}"))?;
+            if let Some((name, label)) = key.split_once('{') {
+                // Histogram bucket: name_bucket{le="..."} N
+                let base = name
+                    .strip_suffix("_bucket")
+                    .ok_or_else(|| format!("unsupported labeled sample: {line:?}"))?;
+                let le = label
+                    .strip_prefix("le=\"")
+                    .and_then(|s| s.strip_suffix("\"}"))
+                    .ok_or_else(|| format!("unsupported label set: {line:?}"))?;
+                let bound = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse::<u64>()
+                        .map_err(|_| format!("bad le bound: {line:?}"))?
+                };
+                let n = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad bucket count: {line:?}"))?;
+                cumulative
+                    .entry(base.to_string())
+                    .or_default()
+                    .push((bound, n));
+            } else if let Some(base) = key.strip_suffix("_sum") {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    let sum = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad histogram sum: {line:?}"))?;
+                    snap.hists.entry(base.to_string()).or_default().sum_us = sum;
+                    continue;
+                }
+                Snapshot::parse_scalar(&mut snap, &types, key, value)?;
+            } else if key.ends_with("_count")
+                && types
+                    .get(key.strip_suffix("_count").unwrap())
+                    .map(String::as_str)
+                    == Some("histogram")
+            {
+                // Redundant with the +Inf bucket; validated below.
+                continue;
+            } else {
+                Snapshot::parse_scalar(&mut snap, &types, key, value)?;
+            }
+        }
+        for (base, buckets) in cumulative {
+            if buckets.len() != BUCKETS {
+                return Err(format!(
+                    "histogram {base}: {} buckets, expected {BUCKETS}",
+                    buckets.len()
+                ));
+            }
+            let entry = snap.hists.entry(base.clone()).or_default();
+            let mut prev = 0u64;
+            for (i, (bound, cum)) in buckets.iter().enumerate() {
+                let expect = if i == BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    bucket_upper_us(i)
+                };
+                if *bound != expect {
+                    return Err(format!("histogram {base}: bucket {i} bound {bound}"));
+                }
+                entry.buckets[i] = cum
+                    .checked_sub(prev)
+                    .ok_or_else(|| format!("histogram {base}: non-monotonic cumulative counts"))?;
+                prev = *cum;
+            }
+        }
+        Ok(snap)
+    }
+
+    fn parse_scalar(
+        snap: &mut Snapshot,
+        types: &BTreeMap<String, String>,
+        key: &str,
+        value: &str,
+    ) -> Result<(), String> {
+        match types.get(key).map(String::as_str) {
+            Some("counter") => {
+                let v = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad counter value: {key} {value}"))?;
+                snap.counters.insert(key.to_string(), v);
+            }
+            Some("gauge") => {
+                let v = value
+                    .parse::<i64>()
+                    .map_err(|_| format!("bad gauge value: {key} {value}"))?;
+                snap.gauges.insert(key.to_string(), v);
+            }
+            Some(other) => return Err(format!("unsupported metric type {other} for {key}")),
+            None => return Err(format!("sample without TYPE declaration: {key}")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge("depth").get(), 3);
+        r.histogram("lat").record_us(10);
+        assert_eq!(r.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_render_parse_roundtrip() {
+        let r = Registry::new();
+        r.counter("requests_total").add(42);
+        r.counter("errors_total").add(0);
+        r.gauge("queue_depth").set(-3);
+        let h = r.histogram("lat_run_us");
+        h.record_us(100);
+        h.record_us(9000);
+        let snap = r.snapshot();
+        let text = snap.render_prometheus();
+        let parsed = Snapshot::parse_prometheus(&text).expect("parses");
+        assert_eq!(parsed, snap);
+        // Render of the parse is byte-identical: one write path.
+        assert_eq!(parsed.render_prometheus(), text);
+    }
+
+    #[test]
+    fn merge_sums_all_families() {
+        let a = Registry::new();
+        a.counter("requests_total").add(10);
+        a.gauge("depth").set(2);
+        a.histogram("lat").record_us(50);
+        let b = Registry::new();
+        b.counter("requests_total").add(5);
+        b.counter("only_b_total").add(1);
+        b.gauge("depth").set(4);
+        b.histogram("lat").record_us(70);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("requests_total"), 15);
+        assert_eq!(merged.counter("only_b_total"), 1);
+        assert_eq!(merged.gauge("depth"), 6);
+        assert_eq!(merged.hists["lat"].count(), 2);
+        assert_eq!(merged.hists["lat"].sum_us, 120);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Snapshot::parse_prometheus("orphan 3").is_err());
+        assert!(Snapshot::parse_prometheus("# TYPE x counter\nx notanumber").is_err());
+        assert!(Snapshot::parse_prometheus("# TYPE x summary\nx 1").is_err());
+        assert!(
+            Snapshot::parse_prometheus("# TYPE h histogram\nh_bucket{le=\"0\"} 1").is_err(),
+            "truncated bucket family must not parse"
+        );
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs_selftest_total").inc();
+        assert!(global().snapshot().counter("obs_selftest_total") >= 1);
+    }
+}

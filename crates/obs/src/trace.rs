@@ -1,0 +1,519 @@
+//! Ring-buffered simulation event tracing.
+//!
+//! A [`Recorder`] captures timestamped mitigation events — ABO alerts
+//! raised and served, RFMs by kind, PSQ offers/evictions/pops,
+//! proactive fires, refreshes, fast-forward jumps — and writes them as
+//! Chrome trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`. Timestamps are memory-clock cycles rendered into
+//! the JSON `ts` field (the viewer will label them "µs"; the unit is
+//! cycles).
+//!
+//! Cost discipline: a disabled recorder ([`Recorder::disabled`], or a
+//! default [`TraceHandle`]) holds a zero-capacity buffer and a zero
+//! event mask, and every record site checks the `#[inline]` mask test
+//! *before* constructing an event or touching the buffer lock — the
+//! simulator's hot loops pay one predictable branch when tracing is
+//! off. The `trace_overhead` criterion bench pins this.
+//!
+//! `extra` field semantics by kind:
+//! - [`EventKind::RfmIssued`]: `(rfm_kind << 8) | cause` ordinals
+//! - [`EventKind::PsqOffer`] / `PsqEvict` / `PsqPop`: activation count
+//! - [`EventKind::AlertServed`]: RFMs it took to serve the alert
+//! - [`EventKind::FastForward`]: `row` holds CPU cycles skipped, `dur`
+//!   the span in memory cycles
+//! - others: 0
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity when `QPRAC_TRACE` enables tracing: enough
+/// for the alert-storm workloads, small enough to never matter.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One traceable simulation event kind. The discriminant is the bit
+/// position in the recorder's event mask and the `QPRAC_TRACE_EVENTS`
+/// filter name is [`EventKind::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A bank crossed its alert threshold and Alert_n was asserted.
+    AlertRaised = 0,
+    /// An alert was cleared after `nmit` service RFMs (span: assertion
+    /// to clear).
+    AlertServed = 1,
+    /// An RFM command was issued (any kind, any cause).
+    RfmIssued = 2,
+    /// An activation was offered to a PSQ (hit, insert, or rejection).
+    PsqOffer = 3,
+    /// A PSQ insertion evicted the minimum entry.
+    PsqEvict = 4,
+    /// The PSQ top entry was popped for mitigation.
+    PsqPop = 5,
+    /// A proactive mitigation fired during REF.
+    ProactiveFire = 6,
+    /// A refresh command was issued.
+    Refresh = 7,
+    /// The event-driven scheduler jumped over dead cycles (span).
+    FastForward = 8,
+}
+
+impl EventKind {
+    /// Every kind, in mask-bit order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::AlertRaised,
+        EventKind::AlertServed,
+        EventKind::RfmIssued,
+        EventKind::PsqOffer,
+        EventKind::PsqEvict,
+        EventKind::PsqPop,
+        EventKind::ProactiveFire,
+        EventKind::Refresh,
+        EventKind::FastForward,
+    ];
+
+    /// Mask bit for this kind.
+    #[inline]
+    pub fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+
+    /// The name used in trace JSON and the `QPRAC_TRACE_EVENTS` filter.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::AlertRaised => "alert_raised",
+            EventKind::AlertServed => "alert_served",
+            EventKind::RfmIssued => "rfm_issued",
+            EventKind::PsqOffer => "psq_offer",
+            EventKind::PsqEvict => "psq_evict",
+            EventKind::PsqPop => "psq_pop",
+            EventKind::ProactiveFire => "proactive_fire",
+            EventKind::Refresh => "refresh",
+            EventKind::FastForward => "fast_forward",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// Mask with every event kind enabled.
+pub fn mask_all() -> u64 {
+    EventKind::ALL.iter().map(|k| k.bit()).sum()
+}
+
+/// Build an event mask from a `QPRAC_TRACE_EVENTS`-style comma list of
+/// kind names. Empty or `all` selects everything; unknown names are
+/// reported as an error naming the offender.
+pub fn mask_from_filter(spec: &str) -> Result<u64, String> {
+    let spec = spec.trim();
+    if spec.is_empty() || spec == "all" {
+        return Ok(mask_all());
+    }
+    let mut mask = 0u64;
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let kind = EventKind::from_name(part)
+            .ok_or_else(|| format!("unknown trace event kind {part:?}"))?;
+        mask |= kind.bit();
+    }
+    Ok(mask)
+}
+
+/// One recorded event. `dur == 0` renders as a Chrome instant (`ph:"i"`),
+/// `dur > 0` as a complete span (`ph:"X"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start timestamp in memory-clock cycles.
+    pub ts: u64,
+    /// Span length in memory-clock cycles (0 for instants).
+    pub dur: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// DRAM channel (rendered as the Chrome `tid`).
+    pub channel: u16,
+    /// Bank within the channel.
+    pub bank: u32,
+    /// Row involved, if any (see module docs for per-kind overloads).
+    pub row: u64,
+    /// Kind-specific detail (see module docs).
+    pub extra: u32,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    wrapped: bool,
+}
+
+/// A thread-safe ring-buffered event recorder.
+///
+/// The ring keeps the *last* `capacity` events: for a trace the tail is
+/// the interesting part (the attack steady-state), and a bounded buffer
+/// keeps a billion-cycle run from eating the heap. Dropped-event count
+/// is tracked so a wrapped trace is never mistaken for a complete one.
+#[derive(Debug)]
+pub struct Recorder {
+    mask: u64,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    dropped: AtomicU64,
+    /// Shared simulation clock (memory cycles), published by the host
+    /// device so hook-style record sites that are not handed a cycle
+    /// (e.g. a tracker's PSQ callbacks) can still timestamp events.
+    now: AtomicU64,
+}
+
+impl Recorder {
+    /// A recorder that records nothing and holds no buffer.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            mask: 0,
+            capacity: 0,
+            ring: Mutex::new(Ring::default()),
+            dropped: AtomicU64::new(0),
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder capturing the kinds in `mask`, keeping the last
+    /// `capacity` events.
+    pub fn with_mask(mask: u64, capacity: usize) -> Recorder {
+        Recorder {
+            mask,
+            capacity: if mask == 0 { 0 } else { capacity.max(1) },
+            ring: Mutex::new(Ring::default()),
+            dropped: AtomicU64::new(0),
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish the current simulation cycle (see [`Recorder::now`]).
+    #[inline]
+    pub fn set_now(&self, cycle: u64) {
+        self.now.store(cycle, Ordering::Relaxed);
+    }
+
+    /// The last published simulation cycle.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// A recorder capturing every kind with the default capacity.
+    pub fn all() -> Recorder {
+        Recorder::with_mask(mask_all(), DEFAULT_CAPACITY)
+    }
+
+    /// Whether any kind is recorded at all. A `false` here also
+    /// guarantees the buffer was never allocated.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// Whether `kind` is recorded. The gate every record site checks
+    /// before building an event.
+    #[inline]
+    pub fn wants(&self, kind: EventKind) -> bool {
+        self.mask & kind.bit() != 0
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current heap capacity of the ring buffer — the "allocates
+    /// nothing when disabled" assertion hook.
+    pub fn buffered_capacity(&self) -> usize {
+        self.ring.lock().unwrap().buf.capacity()
+    }
+
+    /// Record one event (callers should gate on [`Recorder::wants`]).
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.wants(ev.kind) {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.buf.len() < self.capacity {
+            if ring.buf.capacity() == 0 {
+                ring.buf.reserve_exact(self.capacity);
+            }
+            ring.buf.push(ev);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = ev;
+            ring.next = (at + 1) % self.capacity;
+            ring.wrapped = true;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events overwritten by ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().unwrap();
+        if !ring.wrapped {
+            return ring.buf.clone();
+        }
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.next..]);
+        out.extend_from_slice(&ring.buf[..ring.next]);
+        out
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn events_of(&self, kind: EventKind) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+
+    /// Write the retained events as Chrome trace-event JSON (the
+    /// "JSON Object Format": a `traceEvents` array plus metadata).
+    pub fn write_chrome_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let events = self.events();
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",")?;
+        writeln!(
+            w,
+            "\"otherData\":{{\"dropped_events\":\"{}\"}},",
+            self.dropped()
+        )?;
+        writeln!(w, "\"traceEvents\":[")?;
+        for (i, ev) in events.iter().enumerate() {
+            let sep = if i + 1 == events.len() { "" } else { "," };
+            let common = format!(
+                "\"name\":\"{}\",\"cat\":\"qprac\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"bank\":{},\"row\":{},\"extra\":{}}}",
+                ev.kind.name(),
+                ev.channel,
+                ev.ts,
+                ev.bank,
+                ev.row,
+                ev.extra,
+            );
+            if ev.dur == 0 {
+                writeln!(w, "{{\"ph\":\"i\",\"s\":\"t\",{common}}}{sep}")?;
+            } else {
+                writeln!(w, "{{\"ph\":\"X\",\"dur\":{},{common}}}{sep}", ev.dur)?;
+            }
+        }
+        writeln!(w, "]}}")
+    }
+
+    /// The Chrome trace JSON as a string.
+    pub fn chrome_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_chrome_json(&mut buf).expect("write to Vec");
+        String::from_utf8(buf).expect("trace JSON is UTF-8")
+    }
+}
+
+/// A cheap, cloneable handle to a shared recorder, tagged with the
+/// channel it reports under. `Default` is the disabled handle: no
+/// recorder, no allocation, mask checks short-circuit on `None`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    rec: Option<Arc<Recorder>>,
+    channel: u16,
+}
+
+impl TraceHandle {
+    /// Handle over `rec`, reporting as channel 0.
+    pub fn new(rec: Arc<Recorder>) -> TraceHandle {
+        TraceHandle {
+            rec: if rec.is_enabled() { Some(rec) } else { None },
+            channel: 0,
+        }
+    }
+
+    /// A copy of this handle tagged with `channel`.
+    pub fn for_channel(&self, channel: u16) -> TraceHandle {
+        TraceHandle {
+            rec: self.rec.clone(),
+            channel,
+        }
+    }
+
+    /// Whether any event kind is recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Whether `kind` is recorded — check this before computing
+    /// anything event-specific.
+    #[inline]
+    pub fn wants(&self, kind: EventKind) -> bool {
+        match &self.rec {
+            Some(r) => r.wants(kind),
+            None => false,
+        }
+    }
+
+    /// The shared recorder, if enabled.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.rec.as_ref()
+    }
+
+    /// Publish the current simulation cycle for record sites that are
+    /// not handed one (no-op when disabled).
+    #[inline]
+    pub fn set_now(&self, cycle: u64) {
+        if let Some(r) = &self.rec {
+            r.set_now(cycle);
+        }
+    }
+
+    /// The last published simulation cycle (0 when disabled).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        match &self.rec {
+            Some(r) => r.now(),
+            None => 0,
+        }
+    }
+
+    /// Record an instant event.
+    #[inline]
+    pub fn instant(&self, kind: EventKind, ts: u64, bank: u32, row: u64, extra: u32) {
+        if let Some(r) = &self.rec {
+            if r.wants(kind) {
+                r.record(TraceEvent {
+                    ts,
+                    dur: 0,
+                    kind,
+                    channel: self.channel,
+                    bank,
+                    row,
+                    extra,
+                });
+            }
+        }
+    }
+
+    /// Record a complete span from `ts` lasting `dur` cycles.
+    #[inline]
+    pub fn span(&self, kind: EventKind, ts: u64, dur: u64, bank: u32, row: u64, extra: u32) {
+        if let Some(r) = &self.rec {
+            if r.wants(kind) {
+                r.record(TraceEvent {
+                    ts,
+                    dur: dur.max(1),
+                    kind,
+                    channel: self.channel,
+                    bank,
+                    row,
+                    extra,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn disabled_recorder_allocates_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert_eq!(r.capacity(), 0);
+        r.record(TraceEvent {
+            ts: 1,
+            dur: 0,
+            kind: EventKind::Refresh,
+            channel: 0,
+            bank: 0,
+            row: 0,
+            extra: 0,
+        });
+        assert_eq!(r.buffered_capacity(), 0, "no buffer behind a disabled mask");
+        assert!(r.events().is_empty());
+        let h = TraceHandle::default();
+        assert!(!h.is_enabled());
+        assert!(!h.wants(EventKind::AlertRaised));
+    }
+
+    #[test]
+    fn mask_filters_kinds() {
+        let r = Recorder::with_mask(EventKind::RfmIssued.bit(), 8);
+        assert!(r.wants(EventKind::RfmIssued));
+        assert!(!r.wants(EventKind::Refresh));
+        let h = TraceHandle::new(Arc::new(r));
+        h.instant(EventKind::Refresh, 5, 0, 0, 0);
+        h.instant(EventKind::RfmIssued, 6, 1, 42, 0);
+        let events = h.recorder().unwrap().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::RfmIssued);
+        assert_eq!(events[0].row, 42);
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let r = Recorder::with_mask(mask_all(), 4);
+        for ts in 0..10u64 {
+            r.record(TraceEvent {
+                ts,
+                dur: 0,
+                kind: EventKind::Refresh,
+                channel: 0,
+                bank: 0,
+                row: 0,
+                extra: 0,
+            });
+        }
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest-first tail");
+    }
+
+    #[test]
+    fn filter_spec_parses() {
+        assert_eq!(mask_from_filter("").unwrap(), mask_all());
+        assert_eq!(mask_from_filter("all").unwrap(), mask_all());
+        assert_eq!(
+            mask_from_filter("rfm_issued, alert_raised").unwrap(),
+            EventKind::RfmIssued.bit() | EventKind::AlertRaised.bit()
+        );
+        assert!(mask_from_filter("nonsense").is_err());
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_typed() {
+        let r = Recorder::all();
+        let h = TraceHandle::new(Arc::new(r)).for_channel(1);
+        h.instant(EventKind::AlertRaised, 100, 2, 7, 0);
+        h.span(EventKind::FastForward, 200, 50, 0, 1234, 0);
+        let rec = h.recorder().unwrap();
+        let text = rec.chrome_json();
+        json::validate(&text).expect("well-formed JSON");
+        assert!(text.contains("\"name\":\"alert_raised\""), "{text}");
+        assert!(text.contains("\"ph\":\"i\""), "{text}");
+        assert!(text.contains("\"ph\":\"X\",\"dur\":50"), "{text}");
+        assert!(text.contains("\"tid\":1"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let r = Recorder::all();
+        json::validate(&r.chrome_json()).expect("empty trace parses");
+    }
+}

@@ -42,5 +42,5 @@ pub mod tracker;
 
 pub use config::{ProactivePolicy, QpracConfig};
 pub use ideal::{ideal_default, QpracIdeal};
-pub use psq::{Psq, PsqEntry};
+pub use psq::{OfferOutcome, Psq, PsqEntry};
 pub use tracker::Qprac;

@@ -27,6 +27,21 @@ pub struct PsqEntry {
     pub count: u32,
 }
 
+/// What a [`Psq::offer_outcome`] call did — the observable form of the
+/// insertion policy, for event tracing and queue-dynamics probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// The row was already tracked; its count was updated in place.
+    Hit,
+    /// The row was inserted into a free slot.
+    Inserted,
+    /// The row was inserted by evicting the minimum entry (returned).
+    Evicted(PsqEntry),
+    /// The count did not strictly beat the queue minimum (or was zero);
+    /// the queue is unchanged.
+    Rejected,
+}
+
 /// A priority-based service queue with a fixed number of entries.
 ///
 /// ```
@@ -86,26 +101,35 @@ impl Psq {
     /// priority insertion). Returns `true` if the row is tracked after
     /// the call.
     pub fn offer(&mut self, row: RowId, count: u32) -> bool {
+        match self.offer_outcome(row, count) {
+            OfferOutcome::Rejected => count == 0 && self.contains(row),
+            _ => true,
+        }
+    }
+
+    /// [`Psq::offer`] reporting what happened (for tracing).
+    pub fn offer_outcome(&mut self, row: RowId, count: u32) -> OfferOutcome {
         if count == 0 {
-            return self.contains(row);
+            return OfferOutcome::Rejected;
         }
         if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
             e.count = count;
-            return true;
+            return OfferOutcome::Hit;
         }
         if self.entries.len() < self.capacity {
             self.entries.push(PsqEntry { row, count });
-            return true;
+            return OfferOutcome::Inserted;
         }
         // Full: replace the minimum only if strictly exceeded (paper:
         // "inserts only rows with activation counts higher than the
         // lowest count in the queue").
         let (min_idx, min_count) = self.min_entry();
         if count > min_count {
+            let evicted = self.entries[min_idx];
             self.entries[min_idx] = PsqEntry { row, count };
-            true
+            OfferOutcome::Evicted(evicted)
         } else {
-            false
+            OfferOutcome::Rejected
         }
     }
 
@@ -232,6 +256,23 @@ mod tests {
         assert_eq!(q.pop_max().unwrap().row, RowId(3));
         assert_eq!(q.pop_max().unwrap().row, RowId(1));
         assert!(q.pop_max().is_none());
+    }
+
+    #[test]
+    fn offer_outcome_names_what_happened() {
+        let mut q = Psq::new(2);
+        assert_eq!(q.offer_outcome(RowId(1), 5), OfferOutcome::Inserted);
+        assert_eq!(q.offer_outcome(RowId(2), 9), OfferOutcome::Inserted);
+        assert_eq!(q.offer_outcome(RowId(1), 6), OfferOutcome::Hit);
+        assert_eq!(q.offer_outcome(RowId(3), 6), OfferOutcome::Rejected);
+        assert_eq!(
+            q.offer_outcome(RowId(3), 7),
+            OfferOutcome::Evicted(PsqEntry {
+                row: RowId(1),
+                count: 6
+            })
+        );
+        assert_eq!(q.offer_outcome(RowId(4), 0), OfferOutcome::Rejected);
     }
 
     #[test]

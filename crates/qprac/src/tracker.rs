@@ -14,10 +14,10 @@
 //! - each REF may proactively mitigate the top entry per the configured
 //!   [`ProactivePolicy`] (§III-D2).
 
-use dram_core::{CounterAccess, InDramMitigation, RfmContext, RowId};
+use dram_core::{CounterAccess, EventKind, InDramMitigation, RfmContext, RowId, TraceHandle};
 
 use crate::config::{ProactivePolicy, QpracConfig};
-use crate::psq::Psq;
+use crate::psq::{OfferOutcome, Psq};
 
 /// Per-bank QPRAC tracker.
 #[derive(Debug, Clone)]
@@ -25,6 +25,11 @@ pub struct Qprac {
     cfg: QpracConfig,
     psq: Psq,
     refs_seen: u64,
+    /// Event tracer (disabled by default; installed by the host device
+    /// via [`InDramMitigation::attach_trace`]).
+    trace: TraceHandle,
+    /// Flat bank index, for event attribution.
+    bank: u32,
 }
 
 impl Qprac {
@@ -34,6 +39,8 @@ impl Qprac {
             psq: Psq::new(cfg.psq_size),
             cfg,
             refs_seen: 0,
+            trace: TraceHandle::default(),
+            bank: 0,
         }
     }
 
@@ -47,8 +54,35 @@ impl Qprac {
         &self.psq
     }
 
+    /// Offer with event tracing. Off-path cost: one branch (the
+    /// enabled check) per activation.
+    fn offer_traced(&mut self, row: RowId, count: u32) {
+        if !self.trace.is_enabled() {
+            self.psq.offer(row, count);
+            return;
+        }
+        let outcome = self.psq.offer_outcome(row, count);
+        let ts = self.trace.now();
+        self.trace
+            .instant(EventKind::PsqOffer, ts, self.bank, row.0 as u64, count);
+        if let OfferOutcome::Evicted(e) = outcome {
+            self.trace
+                .instant(EventKind::PsqEvict, ts, self.bank, e.row.0 as u64, e.count);
+        }
+    }
+
     fn pop_for_mitigation(&mut self) -> Option<RowId> {
-        self.psq.pop_max().map(|e| e.row)
+        let e = self.psq.pop_max()?;
+        if self.trace.wants(EventKind::PsqPop) {
+            self.trace.instant(
+                EventKind::PsqPop,
+                self.trace.now(),
+                self.bank,
+                e.row.0 as u64,
+                e.count,
+            );
+        }
+        Some(e.row)
     }
 }
 
@@ -63,14 +97,14 @@ impl InDramMitigation for Qprac {
     }
 
     fn on_activate(&mut self, row: RowId, count: u32) {
-        self.psq.offer(row, count);
+        self.offer_traced(row, count);
     }
 
     fn on_victim_refresh(&mut self, row: RowId, count: u32) {
         // Transitive-attack coverage (§III-C2): a victim of a mitigation
         // is itself a potential aggressor for *its* neighbours, so it is
         // offered to the PSQ under the same priority rule.
-        self.psq.offer(row, count);
+        self.offer_traced(row, count);
     }
 
     fn needs_alert(&self) -> bool {
@@ -108,6 +142,11 @@ impl InDramMitigation for Qprac {
 
     fn storage_bits(&self) -> u64 {
         self.cfg.storage_bits()
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle, bank: u32) {
+        self.trace = trace;
+        self.bank = bank;
     }
 }
 
@@ -233,6 +272,31 @@ mod tests {
             Qprac::new(QpracConfig::proactive_ea()).name(),
             "qprac+proactive-ea"
         );
+    }
+
+    #[test]
+    fn attached_trace_sees_psq_traffic() {
+        use std::sync::Arc;
+        let rec = Arc::new(dram_core::Recorder::all());
+        rec.set_now(77);
+        let mut t = Qprac::new(QpracConfig::paper_default().with_psq_size(2));
+        t.attach_trace(dram_core::TraceHandle::new(rec.clone()), 5);
+        let mut c = PracCounters::new(64, false);
+        acts(&mut t, &mut c, RowId(1), 3);
+        acts(&mut t, &mut c, RowId(2), 2);
+        acts(&mut t, &mut c, RowId(3), 4); // evicts row 2
+        let offers = rec.events_of(dram_core::EventKind::PsqOffer);
+        assert_eq!(offers.len(), 9, "every activation is an offer");
+        assert!(offers.iter().all(|e| e.bank == 5 && e.ts == 77));
+        let evicts = rec.events_of(dram_core::EventKind::PsqEvict);
+        assert_eq!(evicts.len(), 1);
+        assert_eq!(evicts[0].row, 2, "minimum entry evicted");
+        assert_eq!(evicts[0].extra, 2, "evicted at count 2");
+        assert_eq!(t.on_rfm(&mut c, ctx(true)), Some(RowId(3)));
+        let pops = rec.events_of(dram_core::EventKind::PsqPop);
+        assert_eq!(pops.len(), 1);
+        assert_eq!(pops[0].row, 3);
+        assert_eq!(pops[0].extra, 4, "popped at its count");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!   ping           liveness probe (exit 0 iff the server answers)
 //!   stats          print the server's counter block
 //!   health         print the server's HEALTH block (uptime, queue)
+//!   metrics        print the Prometheus text exposition (METRICS verb)
 //!   shutdown       ask the server to drain and exit gracefully
 //!   run <key>      submit one canonical run key, print the payload
 //!   batch          read keys from stdin (one per line), submit each in
@@ -25,7 +26,7 @@ use qprac_serve::{Client, DEFAULT_ADDR};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qprac-client [--addr host:port] <ping|stats|health|shutdown|run <key>|batch>"
+        "usage: qprac-client [--addr host:port] <ping|stats|health|metrics|shutdown|run <key>|batch>"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         ("ping", None) => client.ping().map(|()| println!("pong from {addr}")),
         ("stats", None) => client.stats().map(|s| println!("{s}")),
         ("health", None) => client.health().map(|s| println!("{s}")),
+        ("metrics", None) => client.metrics().map(|s| print!("{s}")),
         ("shutdown", None) => client.shutdown().map(|()| println!("draining {addr}")),
         ("run", Some(key)) => client.run_key_text(key).map(|r| {
             println!("{}", r.payload());

@@ -198,6 +198,14 @@ impl Client {
         Ok(self.call(&Request::Health)?.1)
     }
 
+    /// Fetch the server's registry in Prometheus text exposition
+    /// format (the `METRICS` verb). Feed the text to
+    /// [`qprac_obs::Snapshot::parse_prometheus`] to merge scrapes
+    /// across shards.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        Ok(self.call(&Request::Metrics)?.1)
+    }
+
     /// Ask the server to shut down gracefully: it stops accepting,
     /// drains in-flight work, and exits its accept loop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

@@ -1,113 +1,14 @@
-//! Fixed log-bucket latency histograms for the service's per-verb
-//! `STATS`/`HEALTH` output.
+//! Per-verb latency histograms for the service's `STATS`/`HEALTH`
+//! output.
 //!
-//! Buckets are powers of two in microseconds: bucket 0 holds exactly
-//! 0 µs, bucket `i` (i ≥ 1) holds `[2^(i-1), 2^i)` µs. The layout is a
-//! compile-time constant — no configuration, no allocation, every
-//! `record` is one relaxed atomic increment — so histograms can sit on
-//! the server's hottest path (the event loop) without contention. A
-//! quantile is answered as the *inclusive upper bound* of the bucket
-//! where the cumulative count crosses the rank, which over-reports by
-//! at most 2x (one bucket width): the right bias for a regression
-//! signal, where under-reporting would hide a slowdown.
+//! The histogram type itself now lives in [`qprac_obs::hist`] (this
+//! module re-exports it, so existing `qprac_serve::histogram::Histogram`
+//! users keep compiling): the same log2-bucket layout backs the bench
+//! runner's phase profiles and the cluster-wide `METRICS` merge, and
+//! both the `name=value` rendering here and the Prometheus exposition
+//! are derived from one [`HistSnapshot`] so they can never drift.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Number of buckets: bucket 39 holds `[2^38, ∞)` µs (~76 h and up),
-/// far beyond any request this service answers.
-pub const BUCKETS: usize = 40;
-
-/// Bucket index for a latency in microseconds. Total function, clamped
-/// at the top bucket.
-pub fn bucket_index(us: u64) -> usize {
-    if us == 0 {
-        0
-    } else {
-        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
-    }
-}
-
-/// Inclusive upper bound of a bucket in microseconds (`u64::MAX` for
-/// the clamped top bucket).
-pub fn bucket_upper_us(index: usize) -> u64 {
-    match index {
-        0 => 0,
-        i if i >= BUCKETS - 1 => u64::MAX,
-        i => (1u64 << i) - 1,
-    }
-}
-
-/// A thread-safe fixed log-bucket histogram of microsecond latencies.
-#[derive(Debug)]
-pub struct Histogram {
-    counts: [AtomicU64; BUCKETS],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl Histogram {
-    /// Record one observation.
-    pub fn record_us(&self, us: u64) {
-        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record one observation from a [`std::time::Duration`].
-    pub fn record(&self, elapsed: std::time::Duration) {
-        self.record_us(elapsed.as_micros().min(u64::MAX as u128) as u64);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) as a bucket upper bound in µs;
-    /// 0 when the histogram is empty. Concurrent recording can make the
-    /// snapshot approximate by a few observations, never panic.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let snapshot: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = snapshot.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        // Rank of the target observation, 1-based, clamped into range.
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &n) in snapshot.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper_us(i);
-            }
-        }
-        bucket_upper_us(BUCKETS - 1)
-    }
-
-    /// The `name=value` lines for `STATS`/`HEALTH`: count plus
-    /// p50/p95/p99 upper bounds, prefixed `lat_<verb>_`. Empty verbs
-    /// render nothing — quiet server, quiet stats.
-    pub fn render(&self, verb: &str, out: &mut String) {
-        let count = self.count();
-        if count == 0 {
-            return;
-        }
-        out.push_str(&format!(
-            "\nlat_{verb}_count={count}\nlat_{verb}_p50_us={}\nlat_{verb}_p95_us={}\nlat_{verb}_p99_us={}",
-            self.quantile_us(0.50),
-            self.quantile_us(0.95),
-            self.quantile_us(0.99),
-        ));
-    }
-}
+pub use qprac_obs::hist::{bucket_index, bucket_upper_us, HistSnapshot, Histogram, BUCKETS};
 
 /// One histogram per request verb.
 #[derive(Debug, Default)]
@@ -122,18 +23,26 @@ pub struct VerbHistograms {
     pub health: Histogram,
     /// `PING` round-trips (server-side cost only).
     pub ping: Histogram,
+    /// `METRICS` renders (the scrape cost itself is observable).
+    pub metrics: Histogram,
 }
 
 impl VerbHistograms {
-    /// Append every non-empty verb's latency lines.
-    pub fn render(&self, out: &mut String) {
-        for (verb, hist) in [
+    /// Verb-name/histogram pairs, in rendering order.
+    pub fn verbs(&self) -> [(&'static str, &Histogram); 6] {
+        [
             ("run", &self.run),
             ("runb", &self.runb),
             ("stats", &self.stats),
             ("health", &self.health),
             ("ping", &self.ping),
-        ] {
+            ("metrics", &self.metrics),
+        ]
+    }
+
+    /// Append every non-empty verb's latency lines.
+    pub fn render(&self, out: &mut String) {
+        for (verb, hist) in self.verbs() {
             hist.render(verb, out);
         }
     }
@@ -142,56 +51,6 @@ impl VerbHistograms {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The satellite pin: bucket boundaries are part of the observable
-    /// output format and must never drift.
-    #[test]
-    fn bucket_boundaries_are_pinned() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(7), 3);
-        assert_eq!(bucket_index(8), 4);
-        assert_eq!(bucket_index(1023), 10);
-        assert_eq!(bucket_index(1024), 11);
-        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
-        // Upper bounds are the largest value each bucket accepts.
-        assert_eq!(bucket_upper_us(0), 0);
-        assert_eq!(bucket_upper_us(1), 1);
-        assert_eq!(bucket_upper_us(2), 3);
-        assert_eq!(bucket_upper_us(3), 7);
-        assert_eq!(bucket_upper_us(10), 1023);
-        assert_eq!(bucket_upper_us(BUCKETS - 1), u64::MAX);
-        for us in [0u64, 1, 2, 3, 5, 100, 4097, 1 << 37] {
-            let i = bucket_index(us);
-            assert!(us <= bucket_upper_us(i), "{us} above its bucket bound");
-            if i > 0 {
-                assert!(us > bucket_upper_us(i - 1), "{us} fits a lower bucket");
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_report_bucket_upper_bounds() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
-        // 90 fast observations (bucket of 10 µs = [8,16) → bound 15)
-        // and 10 slow ones (1000 µs → bucket [512,1024) → bound 1023).
-        for _ in 0..90 {
-            h.record_us(10);
-        }
-        for _ in 0..10 {
-            h.record_us(1000);
-        }
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.50), 15);
-        assert_eq!(h.quantile_us(0.90), 15);
-        assert_eq!(h.quantile_us(0.95), 1023);
-        assert_eq!(h.quantile_us(0.99), 1023);
-        assert_eq!(h.quantile_us(1.0), 1023);
-    }
 
     #[test]
     fn render_emits_count_and_quantiles_only_when_nonempty() {
@@ -209,17 +68,11 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_recording_is_lossless() {
-        let h = Histogram::default();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for i in 0..1000u64 {
-                        h.record_us(i);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.count(), 4000);
+    fn render_includes_the_metrics_verb() {
+        let v = VerbHistograms::default();
+        v.metrics.record_us(50);
+        let mut out = String::new();
+        v.render(&mut out);
+        assert!(out.contains("lat_metrics_count=1"), "{out}");
     }
 }

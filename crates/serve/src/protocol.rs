@@ -12,6 +12,7 @@
 //!           | "RUNB " <canonical run-key text> "\n"
 //!           | "STATS\n"
 //!           | "HEALTH\n"
+//!           | "METRICS\n"
 //!           | "SHUTDOWN\n"
 //!           | "PING\n"
 //! response := "OK " <kind> " " <len> "\n" <len payload bytes>
@@ -52,6 +53,9 @@ pub enum Request {
     /// Replica health: uptime, queue depth, in-flight work — what a
     /// failover-aware client routes on.
     Health,
+    /// The same registry data as `STATS`/`HEALTH` in Prometheus text
+    /// exposition format — what `scrape_cluster` merges across shards.
+    Metrics,
     /// Graceful teardown: stop accepting, drain in-flight work, exit.
     Shutdown,
     /// Liveness probe.
@@ -127,10 +131,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match line.trim_end() {
         "STATS" => Ok(Request::Stats),
         "HEALTH" => Ok(Request::Health),
+        "METRICS" => Ok(Request::Metrics),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "PING" => Ok(Request::Ping),
         other => Err(format!(
-            "unknown request {:?} (expected RUN <key> | RUNB <key> | STATS | HEALTH | SHUTDOWN | PING)",
+            "unknown request {:?} (expected RUN <key> | RUNB <key> | STATS | HEALTH | METRICS | SHUTDOWN | PING)",
             clip(other, 80)
         )),
     }
@@ -143,6 +148,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         Request::RunBin(key) => writeln!(w, "RUNB {key}"),
         Request::Stats => writeln!(w, "STATS"),
         Request::Health => writeln!(w, "HEALTH"),
+        Request::Metrics => writeln!(w, "METRICS"),
         Request::Shutdown => writeln!(w, "SHUTDOWN"),
         Request::Ping => writeln!(w, "PING"),
     }?;
@@ -250,6 +256,7 @@ mod tests {
             Request::RunBin("workload:x;cores=4".into()),
             Request::Stats,
             Request::Health,
+            Request::Metrics,
             Request::Shutdown,
             Request::Ping,
         ] {

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use crate::poll::{poll_fds, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use crate::protocol::{parse_request, write_response, Request, Response, MAX_LINE};
-use crate::server::{render_health, resolve, stats_payload, Inner};
+use crate::server::{metrics_payload, render_health, resolve, stats_payload, Inner};
 
 /// Read-buffer soft cap per connection: past this the reactor stops
 /// reading (TCP backpressure) until the backlog drains, so a peer that
@@ -421,6 +421,13 @@ impl Reactor {
                         payload: render_health(inner),
                     });
                     inner.hist.health.record(t0.elapsed());
+                }
+                Ok(Request::Metrics) => {
+                    c.push_response(&Response::Ok {
+                        kind: "text".into(),
+                        payload: metrics_payload(inner),
+                    });
+                    inner.hist.metrics.record(t0.elapsed());
                 }
                 Ok(Request::Shutdown) => {
                     inner.shutting_down.store(true, Ordering::SeqCst);

@@ -333,6 +333,7 @@ fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write
             Ok(Request::Ping) => Some(&inner.hist.ping),
             Ok(Request::Stats) => Some(&inner.hist.stats),
             Ok(Request::Health) => Some(&inner.hist.health),
+            Ok(Request::Metrics) => Some(&inner.hist.metrics),
             Ok(Request::Run(_)) => Some(&inner.hist.run),
             Ok(Request::RunBin(_)) => Some(&inner.hist.runb),
             _ => None,
@@ -349,6 +350,10 @@ fn serve_streams(inner: &Inner, mut reader: impl BufRead, mut writer: impl Write
             Ok(Request::Health) => Response::Ok {
                 kind: "text".into(),
                 payload: render_health(inner),
+            },
+            Ok(Request::Metrics) => Response::Ok {
+                kind: "text".into(),
+                payload: metrics_payload(inner),
             },
             Ok(Request::Shutdown) => {
                 inner.shutting_down.store(true, Ordering::SeqCst);
@@ -429,6 +434,72 @@ pub(crate) fn render_health(inner: &Inner) -> String {
         text.push_str(&chaos.render());
     }
     text
+}
+
+/// The `METRICS` payload: the same counters, gauges and histograms as
+/// `STATS`/`HEALTH`, frozen into an [`qprac_obs::Snapshot`] and
+/// rendered in Prometheus text exposition format. Building the
+/// snapshot from the *same* atomics and the same `HistSnapshot` write
+/// path the `name=value` renderers use is what keeps the two
+/// expositions from ever drifting.
+pub(crate) fn metrics_payload(inner: &Inner) -> String {
+    metrics_snapshot(inner).render_prometheus()
+}
+
+/// The server's exported state as a mergeable snapshot.
+pub(crate) fn metrics_snapshot(inner: &Inner) -> qprac_obs::Snapshot {
+    let c = &inner.counters;
+    let mut snap = qprac_obs::Snapshot::default();
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    for (name, value) in [
+        ("qprac_requests_total", load(&c.requests)),
+        // Cell resolves only (RUN + RUNB): what a load test can account
+        // for exactly, scrape-to-scrape.
+        (
+            "qprac_run_requests_total",
+            inner.hist.run.count() + inner.hist.runb.count(),
+        ),
+        ("qprac_mem_hits_total", load(&c.mem_hits)),
+        ("qprac_disk_hits_total", load(&c.disk_hits)),
+        ("qprac_simulated_total", load(&c.simulated)),
+        ("qprac_coalesced_total", load(&c.coalesced)),
+        ("qprac_errors_total", load(&c.errors)),
+        (
+            "qprac_unknown_mitigation_total",
+            load(&c.unknown_mitigation),
+        ),
+        ("qprac_wake_failures_total", load(&c.wake_failures)),
+        ("qprac_store_errors_total", inner.disk.failed_stores()),
+        ("qprac_rejected_conns_total", load(&inner.rejected_conns)),
+    ] {
+        snap.counters.insert(name.to_string(), value);
+    }
+    let active = inner.active.load(Ordering::SeqCst);
+    for (name, value) in [
+        (
+            "qprac_connections",
+            inner.connections.load(Ordering::SeqCst) as i64,
+        ),
+        ("qprac_in_flight", inner.flights.in_flight() as i64),
+        ("qprac_active", active as i64),
+        (
+            "qprac_queue_depth",
+            active.saturating_sub(inner.worker_count) as i64,
+        ),
+        ("qprac_workers", inner.worker_count as i64),
+        ("qprac_uptime_ms", inner.start.elapsed().as_millis() as i64),
+        (
+            "qprac_draining",
+            inner.shutting_down.load(Ordering::SeqCst) as i64,
+        ),
+    ] {
+        snap.gauges.insert(name.to_string(), value);
+    }
+    for (verb, hist) in inner.hist.verbs() {
+        snap.hists
+            .insert(format!("qprac_lat_{verb}_us"), hist.snapshot());
+    }
+    snap
 }
 
 /// Panic-safe tally of resolves in progress ([`Inner::active`]): the
@@ -512,7 +583,7 @@ pub(crate) fn resolve(inner: &Inner, key_text: &str) -> Result<Arc<CellResult>, 
         if let Err(e) = inner.disk.store(&key, &result) {
             // Counted by the cache (STATS `store_errors`); the result
             // itself still flows to the caller and the memory tier.
-            eprintln!("qprac-serve: disk-cache store failed: {e}");
+            qprac_obs::warn!("qprac-serve: disk-cache store failed: {e}");
         }
         if inner
             .stores

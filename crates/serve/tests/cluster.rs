@@ -209,3 +209,41 @@ fn stats_and_health_expose_per_verb_latency_quantiles() {
     assert!(health.contains("connections="), "{health}");
     assert!(health.contains("max_conns="), "{health}");
 }
+
+/// The `METRICS` verb serves a parseable Prometheus exposition whose
+/// counters agree with `STATS` — both are built from the same atomics
+/// and the same histogram snapshots, so any drift is a bug.
+#[test]
+fn metrics_exposition_parses_and_matches_stats() {
+    let addr = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let key = small_key(250);
+    client.run(&key).expect("run");
+    client.run(&key).expect("run again (warm)");
+    let simulated = client.stat("simulated").expect("stats counter");
+    let text = client.metrics().expect("metrics");
+    let snap = qprac_obs::Snapshot::parse_prometheus(&text)
+        .unwrap_or_else(|e| panic!("METRICS payload must parse: {e}\n{text}"));
+    assert_eq!(snap.counter("qprac_simulated_total"), simulated);
+    assert_eq!(snap.counter("qprac_run_requests_total"), 2);
+    assert_eq!(snap.counter("qprac_mem_hits_total"), 1, "warm rerun hit");
+    assert!(snap.gauge("qprac_workers") >= 1, "{text}");
+    assert!(snap.gauge("qprac_uptime_ms") >= 0, "{text}");
+    // Per-verb latency travels as real histograms.
+    let runb = snap.hists.get("qprac_lat_runb_us").expect("runb histogram");
+    assert_eq!(runb.count(), 2);
+    // A second scrape counts the first: the METRICS verb observes
+    // itself like any other.
+    let text2 = client.metrics().expect("second scrape");
+    let snap2 = qprac_obs::Snapshot::parse_prometheus(&text2).expect("parses");
+    assert_eq!(snap2.hists["qprac_lat_metrics_us"].count(), 1);
+    // Cross-shard aggregation: merging two scrapes of the same shard
+    // doubles counters — the operation load_test applies across shards.
+    let mut merged = snap.clone();
+    merged.merge(&snap2);
+    assert_eq!(
+        merged.counter("qprac_simulated_total"),
+        2 * simulated,
+        "merge must sum counters"
+    );
+}

@@ -54,7 +54,7 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         Ok(v) => {
             let (value, warning) = numeric_value(name, &v, default);
             if let Some(warning) = warning {
-                eprintln!("{warning}");
+                qprac_obs::warn!("{warning}");
             }
             value
         }
@@ -68,7 +68,7 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         Ok(v) => {
             let (value, warning) = numeric_value(name, &v, default);
             if let Some(warning) = warning {
-                eprintln!("{warning}");
+                qprac_obs::warn!("{warning}");
             }
             value
         }

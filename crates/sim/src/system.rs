@@ -46,7 +46,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cpu_model::{CacheConfig, Core, CoreConfig, CoreMem, CoreStats, Llc, LlcAccess, TraceSource};
-use dram_core::{AddressMapper, DeviceStats, DramAddr, DramDevice};
+use dram_core::{
+    AddressMapper, DeviceStats, DramAddr, DramDevice, EventKind, Recorder, TraceHandle,
+};
 use energy_model::{EnergyBreakdown, EnergyParams};
 use mem_ctrl::{McStats, MemoryController, ReqKind};
 
@@ -386,6 +388,35 @@ pub struct System {
     ff_attempts: u64,
     ff_jumps: u64,
     ff_skipped: u64,
+    /// System-level event tracer (disabled unless `QPRAC_TRACE` is set
+    /// or [`System::with_tracer`] was called). Channel-tagged one past
+    /// the last channel so system-wide events (fast-forward jumps) get
+    /// their own Perfetto track.
+    tracer: TraceHandle,
+    /// Where to write the Chrome trace JSON at collection
+    /// (`QPRAC_TRACE`; `None` for tracers installed by tests).
+    trace_out: Option<std::path::PathBuf>,
+}
+
+/// Build the env-configured tracer: `QPRAC_TRACE=<path>` enables
+/// recording and names the Chrome trace-event JSON file written when
+/// the run completes; `QPRAC_TRACE_EVENTS` is a comma list of
+/// [`EventKind`] names restricting what is captured (default: all).
+fn trace_from_env() -> (TraceHandle, Option<std::path::PathBuf>) {
+    let path = match std::env::var_os("QPRAC_TRACE") {
+        Some(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => return (TraceHandle::default(), None),
+    };
+    let spec = std::env::var("QPRAC_TRACE_EVENTS").unwrap_or_default();
+    let mask = match qprac_obs::trace::mask_from_filter(&spec) {
+        Ok(mask) => mask,
+        Err(e) => {
+            qprac_obs::warn!("warning: QPRAC_TRACE_EVENTS ignored ({e}); tracing all events");
+            qprac_obs::trace::mask_all()
+        }
+    };
+    let rec = Recorder::with_mask(mask, qprac_obs::trace::DEFAULT_CAPACITY);
+    (TraceHandle::new(Arc::new(rec)), Some(path))
 }
 
 impl System {
@@ -409,7 +440,8 @@ impl System {
         let dram_cfg = cfg.dram_config();
         let mapper = AddressMapper::new(&dram_cfg, cfg.mapping);
         let banks = dram_cfg.num_banks();
-        let mcs: Vec<MemoryController> = (0..cfg.channels)
+        let (tracer, trace_out) = trace_from_env();
+        let mut mcs: Vec<MemoryController> = (0..cfg.channels)
             .map(|ch| {
                 let cfg_ref = &cfg;
                 // Trackers are seeded by a system-global bank index so
@@ -422,6 +454,11 @@ impl System {
                 MemoryController::new(cfg.mc_config(), device)
             })
             .collect();
+        if tracer.is_enabled() {
+            for (ch, mc) in mcs.iter_mut().enumerate() {
+                mc.set_trace(tracer.for_channel(ch as u16));
+            }
+        }
         let cores: Vec<Core> = traces
             .into_iter()
             .zip(mlps)
@@ -457,8 +494,22 @@ impl System {
             ff_attempts: 0,
             ff_jumps: 0,
             ff_skipped: 0,
+            tracer: tracer.for_channel(cfg.channels as u16),
+            trace_out,
             cfg,
         }
+    }
+
+    /// Install an explicit tracer (tests and probes; replaces any
+    /// env-configured one). No trace file is written at collection —
+    /// read events off the handle's recorder instead.
+    pub fn with_tracer(mut self, trace: TraceHandle) -> Self {
+        for (ch, mc) in self.mcs.iter_mut().enumerate() {
+            mc.set_trace(trace.for_channel(ch as u16));
+        }
+        self.tracer = trace.for_channel(self.mcs.len() as u16);
+        self.trace_out = None;
+        self
     }
 
     /// Override the fast-forwarding mode (defaults to on unless
@@ -640,6 +691,16 @@ impl System {
         for lane in &mut self.lane_state {
             lane.idle_owed += new_mem_cycle - self.mem_cycle;
         }
+        // `row` carries the CPU cycles skipped; the span length is the
+        // jump in memory cycles.
+        self.tracer.span(
+            EventKind::FastForward,
+            self.mem_cycle,
+            new_mem_cycle - self.mem_cycle,
+            0,
+            skip,
+            0,
+        );
         self.mem_cycle = new_mem_cycle;
         self.clock_acc = 4 * self.cpu_cycle % 5;
     }
@@ -667,7 +728,7 @@ impl System {
                 let acts: u64 = self.mcs.iter().map(|m| m.device().stats().acts).sum();
                 let alerts: u64 = self.mcs.iter().map(|m| m.device().stats().alerts).sum();
                 let pending_reads: usize = self.mcs.iter().map(|m| m.pending_reads()).sum();
-                eprintln!(
+                qprac_obs::rawln!(
                     "[sim] cycle={} cores(ret,out,rob)={per_core:?} acts={acts} alerts={alerts} pending_reads={pending_reads} pending_issue={} mshrs={}",
                     self.cpu_cycle,
                     self.mem.pending_total(),
@@ -683,6 +744,18 @@ impl System {
     }
 
     fn collect(mut self) -> RunStats {
+        // Write the env-configured trace file before anything else can
+        // fail: a trace of a crashing run is the one you want most.
+        if let (Some(path), Some(rec)) = (&self.trace_out, self.tracer.recorder()) {
+            let written = std::fs::File::create(path)
+                .and_then(|mut f| rec.write_chrome_json(&mut std::io::BufWriter::new(&mut f)));
+            if let Err(e) = written {
+                qprac_obs::warn!(
+                    "warning: QPRAC_TRACE write to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
         // Flush idle cycles still owed to each controller (the batch is
         // exact because alert state cannot have changed since that
         // controller's last tick).
@@ -693,7 +766,7 @@ impl System {
             }
         }
         if env_flag("QPRAC_FF_STATS") {
-            eprintln!(
+            qprac_obs::rawln!(
                 "[sim] ff: cycles={} stepped={} skipped={} attempts={} jumps={}",
                 self.cpu_cycle,
                 self.cpu_cycle - self.ff_skipped,

@@ -1,0 +1,146 @@
+//! Event-tracing integration: a traced alert-storm run must yield
+//! well-formed Chrome trace JSON whose alert events agree with the
+//! run's `RunStats`, and an untraced run must record nothing and
+//! allocate nothing.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cpu_model::{LoopTrace, TraceEntry, TraceSource};
+use dram_core::AddressMapper;
+use sim::{EventKind, MitigationKind, Recorder, RunStats, System, SystemConfig, TraceHandle};
+
+/// Same-LLC-set, same-bank different-row hammering trace (see
+/// `fastforward.rs` for the construction rationale). Core `i` hammers
+/// channel `i % channels`, so every channel sees its own alert storm.
+fn hammer_trace(cfg: &SystemConfig, core: u64) -> LoopTrace {
+    let dram = cfg.dram_config();
+    let mapper = AddressMapper::new(&dram, cfg.mapping);
+    let want_channel = (core % cfg.channels as u64) as u8;
+    let set = 911 + core * 131;
+    let stride = 16_384u64;
+    let mut by_bank: BTreeMap<(u8, u8, u8), Vec<(u64, u32)>> = BTreeMap::new();
+    for j in 0..1024u64 {
+        let line = set + j * stride;
+        let a = mapper.decode(line % mapper.num_lines());
+        if a.channel != want_channel {
+            continue;
+        }
+        let key = (a.coord.rank, a.coord.bank_group, a.coord.bank);
+        let rows = by_bank.entry(key).or_default();
+        if rows.iter().all(|&(_, r)| r != a.row.0) {
+            rows.push((line, a.row.0));
+        }
+    }
+    let mut banks: Vec<&Vec<(u64, u32)>> = by_bank.values().collect();
+    banks.sort_by_key(|rows| std::cmp::Reverse(rows.len()));
+    let mut lines = Vec::new();
+    for rows in banks {
+        lines.extend(rows.iter().take(12).map(|&(line, _)| line));
+        if lines.len() >= 12 {
+            lines.truncate(12);
+            break;
+        }
+    }
+    assert!(lines.len() >= 10, "probe found too few conflict rows");
+    LoopTrace::new(
+        lines
+            .into_iter()
+            .map(|line| TraceEntry {
+                bubbles: 0,
+                line,
+                is_store: false,
+            })
+            .collect(),
+    )
+}
+
+fn storm_system(channels: usize) -> System {
+    let cfg = SystemConfig::paper_default()
+        .with_mitigation(MitigationKind::Qprac)
+        .with_nbo(8)
+        .with_channels(channels)
+        .with_instruction_limit(4_000);
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| Box::new(hammer_trace(&cfg, i as u64)) as Box<dyn TraceSource>)
+        .collect();
+    System::new(cfg, traces, 4)
+}
+
+fn run_traced(channels: usize) -> (RunStats, Arc<Recorder>) {
+    // Every activation is a PsqOffer, so a complete storm trace needs
+    // more ring than the wrap-tolerant default.
+    let rec = Arc::new(Recorder::with_mask(qprac_obs::trace::mask_all(), 1 << 21));
+    let stats = storm_system(channels)
+        .with_tracer(TraceHandle::new(rec.clone()))
+        .run();
+    (stats, rec)
+}
+
+#[test]
+fn traced_two_channel_storm_matches_run_stats() {
+    let (stats, rec) = run_traced(2);
+    assert!(
+        stats.device.alerts > 0,
+        "storm must alert: {:?}",
+        stats.device
+    );
+    // Every device-counted alert is one AlertRaised trace event (the
+    // ring did not wrap, so the trace is complete).
+    assert_eq!(rec.dropped(), 0, "ring wrapped; counts incomparable");
+    let raised = rec.events_of(EventKind::AlertRaised);
+    assert_eq!(raised.len() as u64, stats.device.alerts);
+    // Both channels produced events, tagged with their channel.
+    for ch in 0..2u16 {
+        assert!(
+            raised.iter().any(|e| e.channel == ch),
+            "no alert events from channel {ch}"
+        );
+    }
+    // RFM events at least cover the device's RFM count per kind sum.
+    let rfms = rec.events_of(EventKind::RfmIssued);
+    assert_eq!(rfms.len() as u64, stats.device.rfms());
+    // Alert-service spans: one per cleared alert, each with a positive
+    // length starting no earlier than its channel's first assertion.
+    let served = rec.events_of(EventKind::AlertServed);
+    assert!(!served.is_empty(), "storm alerts must get served");
+    assert!(served.iter().all(|e| e.dur >= 1));
+    // PSQ traffic flows from inside the trackers.
+    assert!(!rec.events_of(EventKind::PsqOffer).is_empty());
+    assert!(!rec.events_of(EventKind::PsqPop).is_empty());
+    // Fast-forward spans carry the skipped CPU cycles.
+    let ff = rec.events_of(EventKind::FastForward);
+    assert!(!ff.is_empty(), "a storm run still has dead stretches");
+    assert!(ff.iter().all(|e| e.row >= 1), "jump must skip CPU cycles");
+    // The rendered trace is well-formed JSON with the expected shape.
+    let json = rec.chrome_json();
+    qprac_obs::json::validate(&json).expect("trace JSON must be valid");
+    assert!(json.contains("\"name\":\"alert_raised\""));
+    assert!(json.contains("\"ph\":\"X\""), "spans present");
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    let (traced, _rec) = run_traced(1);
+    let untraced = storm_system(1).run();
+    assert_eq!(traced, untraced, "tracing must be observation-only");
+}
+
+#[test]
+fn untraced_run_records_and_allocates_nothing() {
+    // QPRAC_TRACE unset (the test environment never sets it): the
+    // system's recorder is absent entirely. An explicitly disabled
+    // recorder also never allocates its ring.
+    let rec = Arc::new(Recorder::disabled());
+    let stats = storm_system(1)
+        .with_tracer(TraceHandle::new(rec.clone()))
+        .run();
+    assert!(stats.device.alerts > 0, "the run itself was live");
+    assert!(!rec.is_enabled());
+    assert!(rec.events().is_empty(), "disabled recorder captured events");
+    assert_eq!(
+        rec.buffered_capacity(),
+        0,
+        "disabled recorder allocated its ring"
+    );
+}
